@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures: it runs
+the experiment once inside the ``benchmark`` fixture (so
+``pytest benchmarks/ --benchmark-only`` times the harness), prints the
+reproduced rows/series, and asserts the paper's qualitative claims
+(orderings, bands, crossovers) hold.
+
+Reports are echoed to stdout and appended to ``benchmarks/results.txt``
+so the numbers survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+def report(title: str, body: str) -> None:
+    """Print a reproduced table/figure and append it to results.txt."""
+    block = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n"
+    print(block)
+    with RESULTS_PATH.open("a") as stream:
+        stream.write(block)
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

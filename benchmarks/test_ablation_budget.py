@@ -1,0 +1,82 @@
+"""Ablation — adaptive time budgeting vs fixed budgets (paper §II-F).
+
+The adaptive mechanism exists "to avoid false timeouts in systems with
+large bursts or burst chaining".  This bench runs identical fault-free
+workloads of growing burst length under (a) the adaptive policy and
+(b) a fixed-budget policy sized for short bursts, and reports the false-
+timeout rate of each.
+
+Expected shape: the adaptive policy is false-positive-free at every
+burst length; the fixed policy starts failing once bursts outgrow its
+budget, with a crossover between 16 and 64 beats for the chosen sizing.
+"""
+
+from conftest import report, run_once
+
+from repro.analysis.report import render_series
+from repro.axi.interface import AxiInterface
+from repro.axi.manager import Manager
+from repro.axi.subordinate import Subordinate
+from repro.axi.traffic import write_spec
+from repro.sim.kernel import Simulator
+from repro.tmu.budget import AdaptiveBudgetPolicy, FixedBudgetPolicy
+from repro.tmu.config import TmuConfig, Variant
+from repro.tmu.unit import TransactionMonitoringUnit
+
+BURSTS = [1, 4, 16, 64, 256]
+FIXED_BUDGET = 96
+
+
+def false_timeout_rate(policy, beats, txns=4):
+    config = TmuConfig(
+        variant=Variant.TINY,
+        budgets=policy,
+        max_txn_cycles=4096,
+    )
+    sim = Simulator()
+    host, device = AxiInterface("host"), AxiInterface("device")
+    manager = Manager("manager", host)
+    tmu = TransactionMonitoringUnit(
+        "tmu", host, device, config, standalone_ack_after=4
+    )
+    subordinate = Subordinate("subordinate", device)
+    for component in (manager, tmu, subordinate):
+        sim.add(component)
+    for i in range(txns):
+        manager.submit(write_spec(0, 0x1000 * (i + 1), beats=beats))
+    sim.run_until(lambda s: manager.idle, timeout=100_000)
+    return tmu.faults_handled / txns
+
+
+def run():
+    adaptive = [
+        false_timeout_rate(AdaptiveBudgetPolicy(), beats) for beats in BURSTS
+    ]
+    fixed = [
+        false_timeout_rate(
+            FixedBudgetPolicy(span_budget_cycles=FIXED_BUDGET), beats
+        )
+        for beats in BURSTS
+    ]
+    return adaptive, fixed
+
+
+def test_ablation_adaptive_budget(benchmark):
+    adaptive, fixed = run_once(benchmark, run)
+    body = render_series(
+        "burst beats",
+        BURSTS,
+        [
+            ("adaptive false-timeout rate", adaptive),
+            (f"fixed({FIXED_BUDGET}cyc) false-timeout rate", fixed),
+        ],
+        title="Fault-free workload; any TMU fault is a false positive",
+    )
+    report("Ablation: adaptive vs fixed time budgets", body)
+    assert all(rate == 0.0 for rate in adaptive), adaptive
+    assert fixed[0] == 0.0  # short bursts fit the fixed budget
+    assert fixed[-1] > 0.0  # long bursts falsely time out
+    # Crossover where burst duration outgrows the fixed budget.
+    assert any(
+        fixed[i] == 0.0 and fixed[i + 1] > 0.0 for i in range(len(fixed) - 1)
+    )

@@ -1,0 +1,55 @@
+"""Fig. 11 — System-level detection-latency comparison (Cheshire + Ethernet).
+
+The paper's system experiment: a 250-beat write on a 64-bit bus into the
+Ethernet peripheral, faults injected at the beginning, middle and end of
+the transaction.  Tc uses a single 320-cycle budget; Fc uses per-phase
+budgets (10 / 20 / 10 / 250 / 10 / 20).
+
+Expected series (paper Fig. 11):
+
+* Fc detects when the failing phase's budget expires — 10, 20, 10, 250,
+  10, 20 cycles for the six stages;
+* Tc always detects after the entire 320-cycle budget.
+"""
+
+import pytest
+from conftest import report, run_once
+
+from repro.analysis.report import render_bar_chart, render_series
+from repro.soc.cheshire import SYSTEM_TC_BUDGET
+from repro.soc.experiment import FIG11_LABELS, FIG11_STAGES, run_fig11
+
+PAPER_FC_SERIES = [10, 20, 10, 250, 10, 20]
+PAPER_TC_SERIES = [SYSTEM_TC_BUDGET] * 6
+
+
+def test_fig11_system_latency(benchmark):
+    results = run_once(benchmark, run_fig11)
+    fc = [r.fig11_latency for r in results["full"]]
+    tc = [r.latency_from_start for r in results["tiny"]]
+    body = render_series(
+        "injection stage",
+        list(FIG11_LABELS),
+        [
+            ("Fc measured", fc),
+            ("Fc paper", PAPER_FC_SERIES),
+            ("Tc measured", tc),
+            ("Tc paper", PAPER_TC_SERIES),
+        ],
+        title="250-beat Ethernet write, Cheshire integration",
+    )
+    body += "\n\n" + render_bar_chart(
+        list(FIG11_LABELS), [float(v) for v in fc], title="Fc detection latency"
+    )
+    report("Fig. 11: system-level detection latency, Fc vs Tc", body)
+
+    for stage, measured, expected in zip(FIG11_STAGES, fc, PAPER_FC_SERIES):
+        assert measured == pytest.approx(expected, abs=2), stage
+    for stage, measured in zip(FIG11_STAGES, tc):
+        assert measured == pytest.approx(SYSTEM_TC_BUDGET, abs=2), stage
+    # Every injection recovered via reset + interrupt service.
+    for series in results.values():
+        for result in series:
+            assert result.recovered
+            assert result.ethernet_resets == 1
+            assert result.cpu_recoveries == 1

@@ -1,0 +1,92 @@
+"""Fig. 7 — Area comparison of the four configurations (Tc/Fc ± prescaler).
+
+Sweeps outstanding-transaction capacity 1-128 (4 unique IDs, as in the
+paper's setup) for Tc, Tc+Pre(32), Fc, Fc+Pre(32) and checks the
+paper's claims:
+
+* exact published endpoints at 16/32 outstanding;
+* area grows linearly with capacity;
+* ordering Fc > Fc+Pre > Tc > Tc+Pre everywhere (Tc+Pre least);
+* Tc ≈ 38 % of Fc on average;
+* prescaler savings inside the published 18-39 % (Tc) / 19-32 % (Fc)
+  bands at the published capacities.
+"""
+
+import pytest
+from conftest import report, run_once
+
+from repro.analysis.report import render_series
+from repro.area.gf12 import REFERENCE_PRESCALE_STEP
+from repro.area.model import estimate_area, prescaler_saving
+from repro.tmu.config import Variant
+
+CAPACITIES = [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def sweep():
+    series = {"Tc": [], "Tc+Pre": [], "Fc": [], "Fc+Pre": []}
+    for n in CAPACITIES:
+        series["Tc"].append(estimate_area(Variant.TINY, n).total_um2)
+        series["Tc+Pre"].append(
+            estimate_area(
+                Variant.TINY, n, REFERENCE_PRESCALE_STEP, sticky=True
+            ).total_um2
+        )
+        series["Fc"].append(estimate_area(Variant.FULL, n).total_um2)
+        series["Fc+Pre"].append(
+            estimate_area(
+                Variant.FULL, n, REFERENCE_PRESCALE_STEP, sticky=True
+            ).total_um2
+        )
+    savings = {
+        variant: [
+            prescaler_saving(v, n) * 100 for n in CAPACITIES
+        ]
+        for variant, v in (("Tc", Variant.TINY), ("Fc", Variant.FULL))
+    }
+    return series, savings
+
+
+def test_fig7_area_scaling(benchmark):
+    series, savings = run_once(benchmark, sweep)
+    body = render_series(
+        "outstanding",
+        CAPACITIES,
+        [(name, values) for name, values in series.items()],
+        title="Area [um^2] vs outstanding transactions (GF12 model)",
+    )
+    body += "\n\n" + render_series(
+        "outstanding",
+        CAPACITIES,
+        [(f"{name} saving %", values) for name, values in savings.items()],
+        title=f"Prescaler (step {REFERENCE_PRESCALE_STEP}) area saving",
+    )
+    report("Fig. 7: Area comparison of the four TMU configurations", body)
+
+    # Published endpoints (paper abstract / §III-A2).
+    i16, i32 = CAPACITIES.index(16), CAPACITIES.index(32)
+    assert series["Tc"][i16] == pytest.approx(1330.0)
+    assert series["Tc"][i32] == pytest.approx(2616.0)
+    assert series["Fc"][i16] == pytest.approx(3452.0)
+    assert series["Fc"][i32] == pytest.approx(6787.0)
+
+    # Ordering: Fc largest, Tc+Pre consistently the least.
+    for i, n in enumerate(CAPACITIES):
+        assert (
+            series["Fc"][i]
+            > series["Fc+Pre"][i]
+            > series["Tc"][i]
+            > series["Tc+Pre"][i]
+        ), f"ordering broken at {n}"
+
+    # Linearity.
+    tc = series["Tc"]
+    assert tc[i32] - tc[i16] == pytest.approx(2 * (tc[i16] - tc[CAPACITIES.index(8)]))
+
+    # Tc ≈ 38 % of Fc on average.
+    ratios = [series["Tc"][i] / series["Fc"][i] for i in range(len(CAPACITIES))]
+    assert 0.33 < sum(ratios) / len(ratios) < 0.43
+
+    # Savings inside the published bands at the published capacities.
+    assert 18 <= savings["Tc"][i16] <= 39 and 18 <= savings["Tc"][i32] <= 39
+    assert 19 <= savings["Fc"][i16] <= 32 and 19 <= savings["Fc"][i32] <= 32

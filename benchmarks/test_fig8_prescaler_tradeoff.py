@@ -1,0 +1,94 @@
+"""Fig. 8 — Prescaler step vs area and detection latency (128 outstanding).
+
+For prescaler steps 1-128 at a fixed 128-outstanding capacity and the
+paper's 256-cycle budget, the bench reports the modelled area and the
+*measured* worst-case detection latency under the paper's scenario —
+"the datapath never asserts a valid signal, effectively modelling a
+total stall" — swept over prescaler phase alignments.
+
+Claims checked: area decreases and detection latency increases with the
+step, for both variants (Figs. 8a and 8b).
+"""
+
+from conftest import report, run_once
+
+from repro.analysis.report import render_series
+from repro.area.model import detection_latency_bound, estimate_area
+from repro.faults.campaign import measure_stall_detection_latency
+from repro.tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
+from repro.tmu.config import TmuConfig, Variant
+
+STEPS = [1, 2, 4, 8, 16, 32, 64, 128]
+BUDGET = 256
+OUTSTANDING = 128
+
+
+def stall_config(variant: Variant, step: int) -> TmuConfig:
+    budgets = AdaptiveBudgetPolicy(
+        PhaseBudgets(aw_handshake=BUDGET),
+        SpanBudgets(base=BUDGET, per_beat=0),
+    )
+    return TmuConfig(
+        variant=variant,
+        max_uniq_ids=4,
+        txn_per_id=32,
+        prescale_step=step,
+        budgets=budgets,
+        max_txn_cycles=BUDGET,
+    )
+
+
+def sweep(variant: Variant):
+    areas, latencies = [], []
+    for step in STEPS:
+        areas.append(
+            estimate_area(
+                variant, OUTSTANDING, step, sticky=True, budget_cycles=BUDGET
+            ).total_um2
+        )
+        latencies.append(
+            measure_stall_detection_latency(
+                stall_config(variant, step),
+                offsets=range(min(step, 8)),
+            )
+        )
+    return areas, latencies
+
+
+def run_both():
+    return {variant: sweep(variant) for variant in (Variant.FULL, Variant.TINY)}
+
+
+def test_fig8_prescaler_tradeoff(benchmark):
+    results = run_once(benchmark, run_both)
+    for variant, label in ((Variant.FULL, "8a Fc"), (Variant.TINY, "8b Tc")):
+        areas, latencies = results[variant]
+        body = render_series(
+            "prescale_step",
+            STEPS,
+            [
+                ("area_um2", areas),
+                ("worst_detect_latency_cycles", latencies),
+                (
+                    "analytic_bound",
+                    [detection_latency_bound(BUDGET, step) for step in STEPS],
+                ),
+            ],
+            title=(
+                f"{variant.value} @ {OUTSTANDING} outstanding, "
+                f"budget {BUDGET} cycles, total-stall scenario"
+            ),
+        )
+        report(f"Fig. {label}: prescaler step vs area and detection latency", body)
+
+        # Area monotone decreasing with the step.
+        assert areas == sorted(areas, reverse=True)
+        # Latency never better than the budget, never beyond the bound.
+        for step, latency in zip(STEPS, latencies):
+            assert BUDGET <= latency <= detection_latency_bound(BUDGET, step)
+        # Latency monotone non-decreasing across the sweep.
+        assert latencies == sorted(latencies)
+        # The trade-off is real: the largest step saves meaningful area...
+        assert areas[-1] < 0.8 * areas[0]
+        # ...at a meaningful latency cost.
+        assert latencies[-1] > latencies[0]

@@ -1,0 +1,38 @@
+"""Table I — Key Design Parameters.
+
+Regenerates the parameter table and verifies the capacity relationship
+``MaxOutstdTxns = MaxUniqIDs × TxnPerUniqID`` on the paper's IP-level
+sweep configurations (4 unique IDs, 1-32 transactions per ID).
+"""
+
+from conftest import report, run_once
+
+from repro.analysis.report import render_table
+from repro.tmu.config import TmuConfig
+
+
+def build_table():
+    rows = [
+        ["MaxUniqIDs", "Number of unique Transaction IDs that can be tracked"],
+        ["TxnPerUniqID", "Outstanding transactions allowed per ID"],
+        ["MaxOutstdTxns", "Total outstanding transactions supported"],
+    ]
+    sweep = []
+    for per_id in (1, 2, 4, 8, 16, 32):
+        config = TmuConfig(max_uniq_ids=4, txn_per_id=per_id)
+        sweep.append([4, per_id, config.max_outstanding])
+    return rows, sweep
+
+
+def test_table1_parameters(benchmark):
+    rows, sweep = run_once(benchmark, build_table)
+    body = render_table(["Parameter", "Description"], rows)
+    body += "\n\n" + render_table(
+        ["MaxUniqIDs", "TxnPerUniqID", "MaxOutstdTxns"],
+        sweep,
+        title="IP-level sweep configurations (paper §III-A1)",
+    )
+    report("Table I: Key Design Parameters", body)
+    for max_ids, per_id, total in sweep:
+        assert total == max_ids * per_id
+    assert sweep[-1][2] == 128  # the paper's largest configuration

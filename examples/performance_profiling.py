@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Observability: using Fc per-phase logs to find a bus bottleneck (§II-H).
+
+"By providing real-time tracking of each AXI4 request, the TMU captures
+latency metrics, identifies bottlenecks, and quickly isolates faulty
+devices."
+
+A mixed workload runs against a subordinate with a deliberately slow
+write-response path.  The Full-Counter TMU's per-phase statistics point
+straight at the WLAST_BVLD phase; a VCD waveform of the device-side
+channels is dumped for inspection in GTKWave.
+
+Run:  python examples/performance_profiling.py
+"""
+
+import pathlib
+
+from repro.axi import AxiInterface, Manager, RandomTraffic, Subordinate
+from repro.sim import Simulator, VcdWriter
+from repro.tmu import TransactionMonitoringUnit, full_config
+
+VCD_PATH = pathlib.Path("profiling_trace.vcd")
+
+
+def main() -> None:
+    sim = Simulator()
+    host = AxiInterface("host")
+    device = AxiInterface("device")
+    manager = Manager("cpu", host)
+    tmu = TransactionMonitoringUnit("tmu", host, device, full_config())
+    # The bottleneck under investigation: a write-response path that is
+    # 10x slower than everything else.
+    subordinate = Subordinate("ddr_ctrl", device, b_latency=20, r_latency=2)
+    for component in (manager, tmu, subordinate):
+        sim.add(component)
+
+    # Dump the device-side handshakes to a VCD for waveform inspection.
+    with VCD_PATH.open("w") as stream:
+        wires = [
+            device.aw.valid, device.aw.ready,
+            device.w.valid, device.w.ready,
+            device.b.valid, device.b.ready,
+            device.ar.valid, device.ar.ready,
+            device.r.valid, device.r.ready,
+            tmu.irq,
+        ]
+        writer = VcdWriter(stream, wires, module="tmu_device_side")
+        sim.add_probe(writer.sample)
+
+        manager.submit_all(
+            RandomTraffic(ids=(0, 1, 2, 3), max_beats=8, seed=42).take(60)
+        )
+        sim.run_until(lambda s: manager.idle, timeout=60_000)
+        writer.close()
+
+    print(f"workload: 60 mixed transactions, finished at cycle {sim.cycle}")
+    print(f"waveform: {VCD_PATH} ({VCD_PATH.stat().st_size} bytes)\n")
+
+    print("== Full-Counter per-phase latency profile (writes) ==")
+    print(f"  {'phase':14s} {'count':>5s} {'mean':>7s} {'max':>5s}")
+    phase_means = {}
+    for label, stat in tmu.write_guard.perf.phase_summary().items():
+        phase_means[label] = stat.mean
+        print(f"  {label:14s} {stat.count:>5d} {stat.mean:>7.1f} "
+              f"{stat.maximum if stat.maximum is not None else 0:>5d}")
+
+    bottleneck = max(phase_means, key=phase_means.get)
+    print(f"\n  -> bottleneck: {bottleneck} "
+          f"(mean {phase_means[bottleneck]:.1f} cycles)")
+    assert bottleneck == "WLAST_BVLD", "expected the slow B path to dominate"
+
+    print("\n== read-side profile for contrast ==")
+    for label, stat in tmu.read_guard.perf.phase_summary().items():
+        print(f"  {label:14s} {stat.count:>5d} {stat.mean:>7.1f}")
+
+    write_perf = tmu.write_guard.perf
+    read_perf = tmu.read_guard.perf
+    print(f"\nthroughput: "
+          f"{(write_perf.beats_transferred + read_perf.beats_transferred) / sim.cycle:.2f} "
+          f"beats/cycle over {sim.cycle} cycles")
+    print("the WLAST_BVLD mean directly exposes the DDR controller's slow "
+          "response path — no external analyzer needed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Design-space exploration: choosing a prescaler step (paper Figs. 7-8).
+
+For a capacity and a worst-case detection-latency requirement, sweeps
+the prescaler step, reporting GF12 area (model) and measured worst-case
+detection latency (simulated total stall), then picks the cheapest
+configuration meeting the requirement — the workflow the paper's
+design-space exploration supports.
+
+Run:  python examples/prescaler_tuning.py
+"""
+
+from repro.analysis import render_series
+from repro.area import estimate_area
+from repro.faults import measure_stall_detection_latency
+from repro.tmu import (
+    AdaptiveBudgetPolicy,
+    PhaseBudgets,
+    SpanBudgets,
+    TmuConfig,
+    Variant,
+)
+
+OUTSTANDING = 64
+BUDGET = 256
+LATENCY_REQUIREMENT = 300  # cycles: detection must not exceed this
+STEPS = [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def config_for(variant: Variant, step: int) -> TmuConfig:
+    budgets = AdaptiveBudgetPolicy(
+        PhaseBudgets(aw_handshake=BUDGET), SpanBudgets(base=BUDGET, per_beat=0)
+    )
+    return TmuConfig(
+        variant=variant,
+        max_uniq_ids=4,
+        txn_per_id=OUTSTANDING // 4,
+        prescale_step=step,
+        budgets=budgets,
+        max_txn_cycles=BUDGET,
+    )
+
+
+def explore(variant: Variant):
+    rows = []
+    for step in STEPS:
+        area = estimate_area(
+            variant, OUTSTANDING, step, sticky=True, budget_cycles=BUDGET
+        ).total_um2
+        latency = measure_stall_detection_latency(
+            config_for(variant, step), offsets=range(min(step, 8))
+        )
+        rows.append((step, area, latency))
+    return rows
+
+
+def main() -> None:
+    for variant in (Variant.TINY, Variant.FULL):
+        rows = explore(variant)
+        print(
+            render_series(
+                "step",
+                [row[0] for row in rows],
+                [
+                    ("area [um^2]", [row[1] for row in rows]),
+                    ("worst detect latency", [row[2] for row in rows]),
+                ],
+                title=(
+                    f"\n{variant.value}: {OUTSTANDING} outstanding, "
+                    f"{BUDGET}-cycle budget"
+                ),
+            )
+        )
+        feasible = [row for row in rows if row[2] <= LATENCY_REQUIREMENT]
+        best = min(feasible, key=lambda row: row[1])
+        baseline = rows[0]
+        saving = (baseline[1] - best[1]) / baseline[1] * 100
+        print(
+            f"-> requirement: detect within {LATENCY_REQUIREMENT} cycles\n"
+            f"-> pick step {best[0]}: {best[1]:.0f} um^2 "
+            f"({saving:.0f}% smaller than step 1), "
+            f"worst latency {best[2]} cycles"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim: enables editable installs in offline environments
+where the ``wheel`` package is unavailable (``pip install -e . --no-use-pep517``).
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

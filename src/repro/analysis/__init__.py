@@ -1,0 +1,23 @@
+"""Measurement and reporting helpers for the benches."""
+
+from .export import (
+    area_report_dict,
+    injection_result_dict,
+    perf_log_dict,
+    to_json,
+)
+from .latency import IrqLatencyProbe, LatencySummary, summarize_latencies
+from .report import render_bar_chart, render_series, render_table
+
+__all__ = [
+    "IrqLatencyProbe",
+    "area_report_dict",
+    "injection_result_dict",
+    "perf_log_dict",
+    "to_json",
+    "LatencySummary",
+    "render_bar_chart",
+    "render_series",
+    "render_table",
+    "summarize_latencies",
+]

@@ -1,0 +1,85 @@
+"""Structured (JSON-ready) export of measurement results.
+
+Benches and downstream tooling serialize area reports, performance logs
+and injection results to plain dictionaries for archiving or plotting
+outside this repository.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..area.model import AreaReport
+from ..tmu.perf import PerfLog
+
+
+def area_report_dict(report: AreaReport) -> Dict[str, Any]:
+    """JSON-ready form of an :class:`AreaReport`."""
+    return {
+        "variant": report.variant.value,
+        "outstanding": report.outstanding,
+        "prescale_step": report.prescale_step,
+        "total_um2": report.total_um2,
+        "breakdown_um2": {
+            key: value
+            for key, value in report.breakdown().items()
+            if key != "total"
+        },
+    }
+
+
+def perf_log_dict(log: PerfLog, window_cycles: Optional[int] = None) -> Dict[str, Any]:
+    """JSON-ready form of a guard's :class:`PerfLog`."""
+    phases = {}
+    for label, stat in log.phase_summary().items():
+        phases[label] = {
+            "count": stat.count,
+            "mean": stat.mean,
+            "min": stat.minimum,
+            "max": stat.maximum,
+        }
+    result: Dict[str, Any] = {
+        "direction": log.direction.value,
+        "completed": log.completed,
+        "beats": log.beats_transferred,
+        "latency": {
+            "mean": log.txn_latency.mean,
+            "min": log.txn_latency.minimum,
+            "max": log.txn_latency.maximum,
+        },
+        "latency_histogram": {
+            f"{bounds[0]}-{bounds[1] if bounds[1] is not None else 'inf'}": count
+            for bounds, count in log.latency_histogram.nonzero()
+        },
+        "phases": phases,
+    }
+    if window_cycles:
+        result["throughput_beats_per_cycle"] = log.throughput(window_cycles)
+    return result
+
+
+def injection_result_dict(result) -> Dict[str, Any]:
+    """JSON-ready form of an IP- or system-level injection result.
+
+    Works for both :class:`~repro.faults.campaign.InjectionResult` and
+    :class:`~repro.soc.experiment.SystemInjectionResult` (duck-typed on
+    the shared fields).
+    """
+    return {
+        "stage": result.stage.value,
+        "variant": result.variant,
+        "detected": result.detect_cycle is not None,
+        "inject_cycle": result.inject_cycle,
+        "detect_cycle": result.detect_cycle,
+        "latency_from_injection": result.latency_from_injection,
+        "latency_from_start": result.latency_from_start,
+        "fault_kind": result.fault_kind,
+        "fault_phase": result.fault_phase,
+        "recovered": result.recovered,
+    }
+
+
+def to_json(payload: Any, indent: int = 2) -> str:
+    """Serialize an export dictionary (or list of them) to JSON text."""
+    return json.dumps(payload, indent=indent, sort_keys=True)

@@ -1,0 +1,61 @@
+"""Detection-latency probes and summaries.
+
+Utilities shared by the Fig. 8/9/11 benches: first-assertion watchers
+for interrupt wires and summary statistics over injection results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional
+
+from ..sim.kernel import Simulator
+from ..sim.signal import Wire
+
+
+class IrqLatencyProbe:
+    """Records the cycle each rising edge of an interrupt wire occurs."""
+
+    def __init__(self, wire: Wire) -> None:
+        self.wire = wire
+        self.assert_cycles: List[int] = []
+        self._last = False
+
+    def __call__(self, sim: Simulator) -> None:
+        value = bool(self.wire.value)
+        if value and not self._last:
+            self.assert_cycles.append(sim.cycle)
+        self._last = value
+
+    @property
+    def first_assertion(self) -> Optional[int]:
+        return self.assert_cycles[0] if self.assert_cycles else None
+
+
+@dataclasses.dataclass
+class LatencySummary:
+    """Aggregate over a set of detection latencies."""
+
+    count: int
+    detected: int
+    minimum: Optional[int]
+    maximum: Optional[int]
+    mean: Optional[float]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of injections that were detected."""
+        return self.detected / self.count if self.count else 0.0
+
+
+def summarize_latencies(latencies: Iterable[Optional[int]]) -> LatencySummary:
+    """Summarize a stream of per-injection latencies (None = undetected)."""
+    values = list(latencies)
+    detected = [value for value in values if value is not None]
+    return LatencySummary(
+        count=len(values),
+        detected=len(detected),
+        minimum=min(detected) if detected else None,
+        maximum=max(detected) if detected else None,
+        mean=sum(detected) / len(detected) if detected else None,
+    )

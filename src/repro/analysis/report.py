@@ -1,0 +1,80 @@
+"""ASCII table/series rendering for benchmark reports.
+
+The benches print the same rows and series the paper's tables and
+figures report; these helpers keep that output aligned and diff-friendly
+(``EXPERIMENTS.md`` embeds them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a padded ASCII table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(str(col)) for col in columns]
+    for row in materialized:
+        if len(row) != len(columns):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(columns)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Sequence[tuple],
+    title: Optional[str] = None,
+    fmt: str = "{:.1f}",
+) -> str:
+    """Render (x, y1, y2, ...) series as a table — one paper figure axis.
+
+    ``series`` is a sequence of ``(name, values)`` pairs.
+    """
+    columns = [x_label] + [name for name, _ in series]
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x]
+        for _, values in series:
+            value = values[i]
+            row.append(fmt.format(value) if isinstance(value, float) else value)
+        rows.append(row)
+    return render_table(columns, rows, title=title)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (for quick figure-shape eyeballing)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(values) if values else 1.0
+    peak = peak if peak > 0 else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if value else ""
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)

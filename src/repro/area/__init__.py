@@ -1,0 +1,19 @@
+"""GF12-calibrated structural area model (reproduces Figs. 7-8)."""
+
+from . import gf12
+from .model import (
+    AreaReport,
+    detection_latency_bound,
+    estimate_area,
+    prescaler_saving,
+    tmu_area,
+)
+
+__all__ = [
+    "AreaReport",
+    "detection_latency_bound",
+    "estimate_area",
+    "gf12",
+    "prescaler_saving",
+    "tmu_area",
+]

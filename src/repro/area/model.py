@@ -1,0 +1,175 @@
+"""Structural area model for the TMU (reproduces Figs. 7-8 area axes).
+
+``area(variant, outstanding, step) = base + prescaler_overhead
+                                     + outstanding × entry(step)``
+
+The per-entry cost splits into a control share (OTT links, state, meta)
+and a counter share whose width scales as ``log2(budget / step)`` — the
+mechanism by which the prescaler trades timing resolution for area.
+Constants are calibrated in :mod:`repro.area.gf12` against the paper's
+published GF12 synthesis numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..tmu.config import TmuConfig, Variant
+from . import gf12
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaReport:
+    """Area estimate with a per-component breakdown (µm², GF12)."""
+
+    variant: Variant
+    outstanding: int
+    prescale_step: int
+    base_um2: float
+    prescaler_um2: float
+    entries_um2: float
+    counters_um2: float
+    sticky_um2: float
+
+    @property
+    def total_um2(self) -> float:
+        return (
+            self.base_um2
+            + self.prescaler_um2
+            + self.entries_um2
+            + self.counters_um2
+            + self.sticky_um2
+        )
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "base (HT/EI/FSM)": self.base_um2,
+            "prescaler": self.prescaler_um2,
+            "entry control": self.entries_um2,
+            "counters": self.counters_um2,
+            "sticky bits": self.sticky_um2,
+            "total": self.total_um2,
+        }
+
+
+def _variant_constants(variant: Variant):
+    if variant == Variant.TINY:
+        return (
+            gf12.TC_BASE_UM2,
+            gf12.TC_CTRL_UM2,
+            gf12.TC_BIT_UM2,
+            gf12.TC_COUNTER_SETS,
+            gf12.TC_PRESCALER_OVERHEAD_UM2,
+        )
+    return (
+        gf12.FC_BASE_UM2,
+        gf12.FC_CTRL_UM2,
+        gf12.FC_BIT_UM2,
+        gf12.FC_COUNTER_SETS,
+        gf12.FC_PRESCALER_OVERHEAD_UM2,
+    )
+
+
+def estimate_area(
+    variant: Variant,
+    outstanding: int,
+    prescale_step: int = 1,
+    sticky: bool = True,
+    budget_cycles: int = gf12.REFERENCE_BUDGET_CYCLES,
+) -> AreaReport:
+    """Estimate the GF12 area of a TMU instance.
+
+    Parameters
+    ----------
+    variant:
+        Tiny- or Full-Counter.
+    outstanding:
+        ``MaxOutstdTxns`` — tracked outstanding transactions.
+    prescale_step:
+        Prescaler step; 1 means no prescaler (and no overhead).
+    sticky:
+        Whether sticky bits are instantiated (only meaningful with a
+        prescaler).
+    budget_cycles:
+        Longest transaction the counters must represent.
+    """
+    if outstanding <= 0:
+        raise ValueError("outstanding must be positive")
+    base, ctrl, bit_cost, counter_sets, pre_overhead = _variant_constants(variant)
+    width = gf12.counter_bits(budget_cycles, prescale_step)
+    counters = outstanding * counter_sets * 2 * width * bit_cost
+    has_prescaler = prescale_step > 1
+    sticky_area = (
+        outstanding * gf12.STICKY_BIT_UM2 if (has_prescaler and sticky) else 0.0
+    )
+    return AreaReport(
+        variant=variant,
+        outstanding=outstanding,
+        prescale_step=prescale_step,
+        base_um2=base,
+        prescaler_um2=pre_overhead if has_prescaler else 0.0,
+        entries_um2=outstanding * ctrl,
+        counters_um2=counters,
+        sticky_um2=sticky_area,
+    )
+
+
+def tmu_area(config: TmuConfig) -> AreaReport:
+    """Area of a TMU described by a :class:`TmuConfig`."""
+    return estimate_area(
+        config.variant,
+        config.max_outstanding,
+        config.prescale_step,
+        config.sticky,
+        config.max_txn_cycles,
+    )
+
+
+def prescaler_saving(
+    variant: Variant,
+    outstanding: int,
+    prescale_step: int = gf12.REFERENCE_PRESCALE_STEP,
+    budget_cycles: int = gf12.REFERENCE_BUDGET_CYCLES,
+) -> float:
+    """Fractional area saved by adding a prescaler at *prescale_step*."""
+    plain = estimate_area(
+        variant, outstanding, 1, sticky=False, budget_cycles=budget_cycles
+    ).total_um2
+    prescaled = estimate_area(
+        variant,
+        outstanding,
+        prescale_step,
+        sticky=True,
+        budget_cycles=budget_cycles,
+    ).total_um2
+    return (plain - prescaled) / plain
+
+
+def detection_latency_bound(
+    budget_cycles: int, prescale_step: int, sticky: bool = True
+) -> int:
+    """Analytic worst-case detection latency for a total-stall fault.
+
+    Counting is conservative (the partial interval before the first
+    prescaler edge is discarded), so detection takes ``ceil(budget/step)``
+    complete intervals plus up to one full period of arming delay:
+    ``(units + 1) * step`` cycles in the worst phase alignment.  Without
+    a prescaler the bound is the budget exactly.  (The Fig. 8 bench
+    *measures* this by simulation; this closed form is the
+    property-test oracle.)
+    """
+    units = max(1, -(-budget_cycles // prescale_step))
+    del sticky  # latency bound holds with or without the sticky bit
+    if prescale_step == 1:
+        return budget_cycles
+    return (units + 1) * prescale_step
+
+
+__all__ = [
+    "AreaReport",
+    "detection_latency_bound",
+    "estimate_area",
+    "prescaler_saving",
+    "tmu_area",
+]

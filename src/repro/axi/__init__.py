@@ -1,0 +1,45 @@
+"""AXI4 protocol substrate: types, channels, managers, subordinates."""
+
+from .channels import ArBeat, AwBeat, BBeat, RBeat, WBeat, remap_id
+from .id_remap import IdRemapTable
+from .interface import AxiInterface
+from .manager import CompletedTransaction, Manager, ManagerFaults
+from .memory import SparseMemory
+from .subordinate import Subordinate, SubordinateFaults
+from .traffic import (
+    RandomTraffic,
+    TransactionSpec,
+    chained_bursts,
+    dma_stream,
+    ethernet_frame_spec,
+    read_spec,
+    write_spec,
+)
+from .types import AxiDir, BurstType, Resp
+
+__all__ = [
+    "ArBeat",
+    "AwBeat",
+    "AxiDir",
+    "AxiInterface",
+    "BBeat",
+    "BurstType",
+    "CompletedTransaction",
+    "IdRemapTable",
+    "Manager",
+    "ManagerFaults",
+    "RBeat",
+    "RandomTraffic",
+    "Resp",
+    "SparseMemory",
+    "Subordinate",
+    "SubordinateFaults",
+    "TransactionSpec",
+    "WBeat",
+    "chained_bursts",
+    "dma_stream",
+    "ethernet_frame_spec",
+    "read_spec",
+    "remap_id",
+    "write_spec",
+]

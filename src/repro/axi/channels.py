@@ -1,0 +1,102 @@
+"""Beat payload dataclasses for the five AXI4 channels.
+
+Each dataclass is one *flit*: the payload carried by a single handshake
+on the corresponding channel.  Fields mirror the AXI4 signal names with
+the ``Ax``/``x`` prefix dropped (``AWADDR`` → ``AwBeat.addr``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from .types import BurstType, Resp, beats_of, bytes_per_beat
+
+
+@dataclasses.dataclass(frozen=True)
+class AwBeat:
+    """Write-address channel payload (AW)."""
+
+    id: int
+    addr: int
+    len: int = 0
+    size: int = 3
+    burst: BurstType = BurstType.INCR
+    lock: bool = False
+    cache: int = 0
+    prot: int = 0
+    qos: int = 0
+    user: int = 0
+
+    @property
+    def beats(self) -> int:
+        return beats_of(self.len)
+
+    @property
+    def bytes_per_beat(self) -> int:
+        return bytes_per_beat(self.size)
+
+
+@dataclasses.dataclass(frozen=True)
+class WBeat:
+    """Write-data channel payload (W).  AXI4 W channel carries no ID."""
+
+    data: int
+    strb: int
+    last: bool
+    user: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class BBeat:
+    """Write-response channel payload (B)."""
+
+    id: int
+    resp: Resp = Resp.OKAY
+    user: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class ArBeat:
+    """Read-address channel payload (AR)."""
+
+    id: int
+    addr: int
+    len: int = 0
+    size: int = 3
+    burst: BurstType = BurstType.INCR
+    lock: bool = False
+    cache: int = 0
+    prot: int = 0
+    qos: int = 0
+    user: int = 0
+
+    @property
+    def beats(self) -> int:
+        return beats_of(self.len)
+
+    @property
+    def bytes_per_beat(self) -> int:
+        return bytes_per_beat(self.size)
+
+
+@dataclasses.dataclass(frozen=True)
+class RBeat:
+    """Read-data channel payload (R)."""
+
+    id: int
+    data: int
+    resp: Resp
+    last: bool
+    user: int = 0
+
+
+def remap_id(beat, new_id: int):
+    """Return a copy of an ID-carrying beat with its ID replaced.
+
+    Used by the AXI ID remapper; works for AW/AR/B/R beats.
+    """
+    return dataclasses.replace(beat, id=new_id)
+
+
+AddressBeat = Optional[object]  # AwBeat | ArBeat; py3.9-compatible alias

@@ -1,0 +1,389 @@
+"""N×M AXI4 crossbar with address decode and round-robin arbitration.
+
+Models the Cheshire platform's central interconnect (paper Fig. 10):
+
+* address-decoded routing of AW/AR to subordinate ports, with a DECERR
+  default subordinate for unmapped addresses;
+* manager-index ID extension so responses route back unambiguously
+  (downstream ID = ``manager_index << ID_SHIFT | original ID``);
+* per-subordinate W-channel burst locking (AXI4 forbids interleaving
+  write data of different bursts);
+* round-robin arbitration on every contended port.
+
+Ordering note: a manager issuing same-ID transactions to *different*
+subordinates could observe reordered completions; real crossbars stall
+that case.  The workloads here (like Cheshire's) give each manager
+distinct ID streams per target, so the hazard is not exercised; the
+protocol checker still flags it if it ever occurs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from ..sim.component import Component
+from .channels import BBeat, RBeat, remap_id
+from .interface import AxiInterface
+from .types import Resp
+
+#: Bits reserved for the original ID when prepending the manager index.
+ID_SHIFT = 16
+_ID_MASK = (1 << ID_SHIFT) - 1
+
+
+def extend_id(manager_index: int, orig_id: int) -> int:
+    """Downstream ID carrying the issuing manager's port index."""
+    if orig_id > _ID_MASK:
+        raise ValueError(f"original ID {orig_id} exceeds {ID_SHIFT} bits")
+    return (manager_index << ID_SHIFT) | orig_id
+
+
+def split_id(extended: int) -> Tuple[int, int]:
+    """Inverse of :func:`extend_id`: (manager_index, original ID)."""
+    return extended >> ID_SHIFT, extended & _ID_MASK
+
+
+@dataclasses.dataclass(frozen=True)
+class AddressRange:
+    """One subordinate's address window."""
+
+    base: int
+    size: int
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+
+#: Route index used for addresses no subordinate claims.
+DEFAULT_ROUTE = -1
+
+
+class Crossbar(Component):
+    """AXI4 crossbar connecting manager ports to subordinate ports.
+
+    Parameters
+    ----------
+    managers:
+        Upstream interfaces (managers drive their request channels).
+    subordinates:
+        ``(interface, address_range)`` pairs for each downstream port.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        managers: Sequence[AxiInterface],
+        subordinates: Sequence[Tuple[AxiInterface, AddressRange]],
+        qos_arbitration: bool = False,
+    ) -> None:
+        super().__init__(name)
+        if not managers or not subordinates:
+            raise ValueError("crossbar needs at least one port per side")
+        self.qos_arbitration = qos_arbitration
+        self.managers = list(managers)
+        self.subordinates = [bus for bus, _ in subordinates]
+        self.ranges = [rng for _, rng in subordinates]
+        n_mgr, n_sub = len(self.managers), len(self.subordinates)
+
+        # Registered routing/arbitration state.
+        self._mgr_w_route: List[Deque[int]] = [deque() for _ in range(n_mgr)]
+        self._sub_w_owner: List[Deque[int]] = [deque() for _ in range(n_sub)]
+        self._aw_rr = [0] * n_sub
+        self._ar_rr = [0] * n_sub
+        self._b_rr = [0] * n_mgr
+        self._r_rr = [0] * n_mgr
+        # Default-subordinate (DECERR) bookkeeping.
+        self._decerr_b: Deque[int] = deque()  # extended IDs awaiting DECERR B
+        self._decerr_r: Deque[int] = deque()
+        self._decerr_w_drain = 0
+        self.decode_errors = 0
+        # Same-ID ordering: outstanding target per (manager, ID, dir).
+        # AXI4 requires same-ID responses in request order; the crossbar
+        # enforces it by granting a same-ID request only to the target
+        # its outstanding predecessors went to.
+        self._w_outstanding: Dict[Tuple[int, int], Deque[int]] = {}
+        self._r_outstanding: Dict[Tuple[int, int], Deque[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Routing helpers
+    # ------------------------------------------------------------------
+    def route(self, addr: int) -> int:
+        for index, rng in enumerate(self.ranges):
+            if rng.contains(addr):
+                return index
+        return DEFAULT_ROUTE
+
+    def wires(self):
+        for bus in self.managers:
+            yield from bus.wires()
+        for bus in self.subordinates:
+            yield from bus.wires()
+
+    # ------------------------------------------------------------------
+    # Drive: pure combinational forwarding + arbitration
+    # ------------------------------------------------------------------
+    def _addr_winner(self, channel: str, sub_index: int, rr: int) -> Optional[int]:
+        """Pick among managers requesting *sub_index*.
+
+        Round-robin by default; with QoS arbitration the highest AxQOS
+        wins and round-robin only breaks ties (AXI4 QoS semantics).
+        """
+        n_mgr = len(self.managers)
+        winner = None
+        winner_qos = -1
+        for offset in range(n_mgr):
+            m = (rr + offset) % n_mgr
+            src = getattr(self.managers[m], channel)
+            beat = src.payload.value
+            if src.valid.value and beat is not None and self.route(beat.addr) == sub_index:
+                if not self.qos_arbitration:
+                    return m
+                if beat.qos > winner_qos:
+                    winner = m
+                    winner_qos = beat.qos
+        return winner
+
+    def drive(self) -> None:
+        self._drive_addr("aw")
+        self._drive_addr("ar")
+        self._drive_w()
+        self._drive_resp("b")
+        self._drive_resp("r")
+
+    def _w_target_allowed(self, manager_index: int, target: int) -> bool:
+        """Write-deadlock avoidance: one W target per manager at a time.
+
+        Granting a manager AWs to two different subordinates while both
+        subs' W channels are locked to *other* managers can form a
+        circular wait (a classic AXI crossbar deadlock).  The standard
+        interconnect rule breaks the cycle: a manager's new AW is only
+        granted when its pending W streams all go to the same target.
+        """
+        route = self._mgr_w_route[manager_index]
+        return all(entry == target for entry in route)
+
+    def _same_id_allowed(
+        self, channel: str, manager_index: int, txn_id: int, target: int
+    ) -> bool:
+        """Same-ID ordering: all outstanding same-ID requests of this
+        manager must target the same port before a new one is granted."""
+        table = self._w_outstanding if channel == "aw" else self._r_outstanding
+        queue = table.get((manager_index, txn_id))
+        return not queue or queue[0] == target
+
+    def _grant_allowed(self, channel: str, m: int, beat, target: int) -> bool:
+        if not self._same_id_allowed(channel, m, beat.id, target):
+            return False
+        if channel == "aw" and not self._w_target_allowed(m, target):
+            return False
+        return True
+
+    def _drive_addr(self, channel: str) -> None:
+        rr_state = self._aw_rr if channel == "aw" else self._ar_rr
+        granted = [False] * len(self.managers)
+        for s, sub in enumerate(self.subordinates):
+            dst = getattr(sub, channel)
+            winner = self._addr_winner(channel, s, rr_state[s])
+            if winner is not None:
+                beat = getattr(self.managers[winner], channel).payload.value
+                if not self._grant_allowed(channel, winner, beat, s):
+                    winner = None
+            if winner is None:
+                dst.idle()
+                continue
+            src = getattr(self.managers[winner], channel)
+            beat = src.payload.value
+            dst.drive(remap_id(beat, extend_id(winner, beat.id)))
+            src.ready.value = dst.ready.value
+            granted[winner] = True
+        # Default subordinate: accept unmapped requests (same gating).
+        for m, mgr in enumerate(self.managers):
+            src = getattr(mgr, channel)
+            if granted[m]:
+                continue
+            beat = src.payload.value
+            if (
+                src.valid.value
+                and beat is not None
+                and self.route(beat.addr) == DEFAULT_ROUTE
+                and self._grant_allowed(channel, m, beat, DEFAULT_ROUTE)
+            ):
+                src.ready.value = True
+            else:
+                src.ready.value = False
+
+    def _drive_w(self) -> None:
+        # Forward each subordinate's locked W stream.
+        fed_by: List[Optional[int]] = [None] * len(self.managers)
+        for s, sub in enumerate(self.subordinates):
+            if self._sub_w_owner[s]:
+                owner = self._sub_w_owner[s][0]
+                route = self._mgr_w_route[owner]
+                if route and route[0] == s:
+                    fed_by[owner] = s
+        for m, mgr in enumerate(self.managers):
+            s = fed_by[m]
+            if s is not None:
+                sub = self.subordinates[s]
+                sub.w.valid.value = mgr.w.valid.value
+                sub.w.payload.value = mgr.w.payload.value
+                mgr.w.ready.value = sub.w.ready.value
+            else:
+                route = self._mgr_w_route[m]
+                if route and route[0] == DEFAULT_ROUTE:
+                    mgr.w.ready.value = True  # drain beats of unmapped writes
+                else:
+                    mgr.w.ready.value = False
+        for s, sub in enumerate(self.subordinates):
+            if not self._sub_w_owner[s] or fed_by[self._sub_w_owner[s][0]] != s:
+                sub.w.idle()
+
+    def _resp_winner(self, channel: str, mgr_index: int, rr: int) -> Optional[int]:
+        n_sub = len(self.subordinates)
+        for offset in range(n_sub):
+            s = (rr + offset) % n_sub
+            src = getattr(self.subordinates[s], channel)
+            beat = src.payload.value
+            if src.valid.value and beat is not None:
+                if split_id(beat.id)[0] == mgr_index:
+                    return s
+        return None
+
+    def _drive_resp(self, channel: str) -> None:
+        rr_state = self._b_rr if channel == "b" else self._r_rr
+        used_subs: List[Optional[int]] = [None] * len(self.subordinates)
+        for m, mgr in enumerate(self.managers):
+            dst = getattr(mgr, channel)
+            winner = self._resp_winner(channel, m, rr_state[m])
+            if winner is not None:
+                src = getattr(self.subordinates[winner], channel)
+                beat = src.payload.value
+                dst.drive(remap_id(beat, split_id(beat.id)[1]))
+                src.ready.value = dst.ready.value
+                used_subs[winner] = m
+                continue
+            # DECERR responses for unmapped requests.
+            queue = self._decerr_b if channel == "b" else self._decerr_r
+            pending = None
+            for ext in queue:
+                if split_id(ext)[0] == m:
+                    pending = ext
+                    break
+            serviceable = (
+                channel == "r" or self._decerr_w_drain_done_for(pending)
+            )
+            if pending is not None and pending == queue[0] and serviceable:
+                orig = split_id(pending)[1]
+                if channel == "b":
+                    dst.drive(BBeat(id=orig, resp=Resp.DECERR))
+                else:
+                    dst.drive(RBeat(id=orig, data=0, resp=Resp.DECERR, last=True))
+            else:
+                dst.idle()
+        for s, sub in enumerate(self.subordinates):
+            if used_subs[s] is None:
+                src = getattr(sub, channel)
+                src.ready.value = False
+
+    def _decerr_w_drain_done_for(self, pending: Optional[int]) -> bool:
+        # A DECERR B may only go out once the write's W beats are drained.
+        return pending is None or self._decerr_w_drain == 0
+
+    # ------------------------------------------------------------------
+    # Update: commit arbitration and routing state on fired handshakes
+    # ------------------------------------------------------------------
+    def update(self) -> None:
+        n_mgr = len(self.managers)
+        # Managers whose W beat was forwarded to a subordinate this
+        # cycle must not also trigger the DECERR drain bookkeeping below
+        # (the same handshake fires on both sides of the crossbar).
+        w_forwarded = set()
+        for s, sub in enumerate(self.subordinates):
+            if sub.aw.fired():
+                m, orig = split_id(sub.aw.payload.value.id)
+                self._sub_w_owner[s].append(m)
+                self._mgr_w_route[m].append(s)
+                self._w_outstanding.setdefault((m, orig), deque()).append(s)
+                self._aw_rr[s] = (m + 1) % n_mgr
+            if sub.ar.fired():
+                m, orig = split_id(sub.ar.payload.value.id)
+                self._r_outstanding.setdefault((m, orig), deque()).append(s)
+                self._ar_rr[s] = (m + 1) % n_mgr
+            if sub.w.fired():
+                owner = self._sub_w_owner[s][0]
+                w_forwarded.add(owner)
+                if sub.w.payload.value.last:
+                    self._sub_w_owner[s].popleft()
+                    self._mgr_w_route[owner].popleft()
+        for m, mgr in enumerate(self.managers):
+            # Unmapped requests accepted this cycle.
+            if mgr.aw.fired():
+                beat = mgr.aw.payload.value
+                if self.route(beat.addr) == DEFAULT_ROUTE:
+                    self._decerr_b.append(extend_id(m, beat.id))
+                    self._mgr_w_route[m].append(DEFAULT_ROUTE)
+                    self._w_outstanding.setdefault((m, beat.id), deque()).append(
+                        DEFAULT_ROUTE
+                    )
+                    self._decerr_w_drain += 1
+                    self.decode_errors += 1
+            if mgr.ar.fired():
+                beat = mgr.ar.payload.value
+                if self.route(beat.addr) == DEFAULT_ROUTE:
+                    self._decerr_r.append(extend_id(m, beat.id))
+                    self._r_outstanding.setdefault((m, beat.id), deque()).append(
+                        DEFAULT_ROUTE
+                    )
+                    self.decode_errors += 1
+            if mgr.w.fired() and m not in w_forwarded:
+                route = self._mgr_w_route[m]
+                if route and route[0] == DEFAULT_ROUTE and mgr.w.payload.value.last:
+                    route.popleft()
+                    self._decerr_w_drain -= 1
+            if mgr.b.fired():
+                beat = mgr.b.payload.value
+                self._pop_outstanding(self._w_outstanding, m, beat.id)
+                if (
+                    beat.resp == Resp.DECERR
+                    and self._decerr_b
+                    and split_id(self._decerr_b[0]) == (m, beat.id)
+                ):
+                    self._decerr_b.popleft()
+                else:
+                    self._b_rr[m] = (self._b_rr[m] + 1) % len(self.subordinates)
+            if mgr.r.fired():
+                beat = mgr.r.payload.value
+                if beat.last:
+                    self._pop_outstanding(self._r_outstanding, m, beat.id)
+                if (
+                    beat.resp == Resp.DECERR
+                    and self._decerr_r
+                    and split_id(self._decerr_r[0]) == (m, beat.id)
+                ):
+                    self._decerr_r.popleft()
+                elif beat.last:
+                    self._r_rr[m] = (self._r_rr[m] + 1) % len(self.subordinates)
+
+    @staticmethod
+    def _pop_outstanding(table, m: int, txn_id: int) -> None:
+        queue = table.get((m, txn_id))
+        if queue:
+            queue.popleft()
+            if not queue:
+                del table[(m, txn_id)]
+
+    def reset(self) -> None:
+        for queue in self._mgr_w_route + self._sub_w_owner:
+            queue.clear()
+        self._aw_rr = [0] * len(self.subordinates)
+        self._ar_rr = [0] * len(self.subordinates)
+        self._b_rr = [0] * len(self.managers)
+        self._r_rr = [0] * len(self.managers)
+        self._decerr_b.clear()
+        self._decerr_r.clear()
+        self._decerr_w_drain = 0
+        self.decode_errors = 0
+        self._w_outstanding.clear()
+        self._r_outstanding.clear()

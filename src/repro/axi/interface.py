@@ -1,0 +1,59 @@
+"""AXI4 interface bundle: the five channels of one manager↔subordinate link.
+
+An :class:`AxiInterface` is a passive bundle of wires; components on
+either side drive the appropriate sides (request-channel sources drive
+``valid``/``payload``, sinks drive ``ready``; response channels are
+mirrored).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim.signal import Channel, Wire
+
+
+class AxiInterface:
+    """The five AXI4 channels between one manager port and one subordinate.
+
+    Channels
+    --------
+    aw, w, ar:
+        Request channels — manager side is the source.
+    b, r:
+        Response channels — subordinate side is the source.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.aw = Channel(f"{name}.aw")
+        self.w = Channel(f"{name}.w")
+        self.b = Channel(f"{name}.b")
+        self.ar = Channel(f"{name}.ar")
+        self.r = Channel(f"{name}.r")
+
+    @property
+    def channels(self):
+        return (self.aw, self.w, self.b, self.ar, self.r)
+
+    def wires(self) -> Iterator[Wire]:
+        for channel in self.channels:
+            yield from channel.wires()
+
+    def reset(self) -> None:
+        for channel in self.channels:
+            channel.reset()
+
+    def idle_requests(self) -> None:
+        """Manager-side helper: deassert all request valids."""
+        self.aw.idle()
+        self.w.idle()
+        self.ar.idle()
+
+    def idle_responses(self) -> None:
+        """Subordinate-side helper: deassert all response valids."""
+        self.b.idle()
+        self.r.idle()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AxiInterface({self.name!r})"

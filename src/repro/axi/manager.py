@@ -1,0 +1,380 @@
+"""Traffic-generating AXI4 manager with a completion scoreboard.
+
+The manager issues :class:`~repro.axi.traffic.TransactionSpec` streams,
+drives the AW/W/AR request channels with configurable pacing, accepts
+B/R responses with configurable readiness, and records every completed
+transaction (cycle-stamped per phase) in a scoreboard.  The scoreboard is
+what the IP-level and system-level benches use to cross-check the TMU's
+own performance logs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..sim.component import Component
+from .channels import ArBeat, AwBeat, BBeat, RBeat, WBeat
+from .interface import AxiInterface
+from .traffic import TransactionSpec
+from .types import AxiDir, Resp
+
+
+@dataclasses.dataclass
+class CompletedTransaction:
+    """Scoreboard record of one finished transaction."""
+
+    direction: AxiDir
+    txn_id: int
+    addr: int
+    beats: int
+    issue_cycle: int
+    addr_cycle: int
+    first_data_cycle: Optional[int]
+    last_data_cycle: Optional[int]
+    resp_cycle: int
+    resp: Resp
+    data: Optional[List[int]] = None
+
+    @property
+    def latency(self) -> int:
+        """End-to-end latency from address handshake to completion."""
+        return self.resp_cycle - self.addr_cycle
+
+    @property
+    def failed(self) -> bool:
+        return self.resp.is_error
+
+
+@dataclasses.dataclass
+class ManagerFaults:
+    """Manager-side fault switches for injection campaigns.
+
+    * ``freeze_w`` — W Stage Timeout: the manager never presents write
+      data (paper Fig. 9, "no valid data received from the master").
+    * ``deaf_b`` / ``deaf_r`` — the manager stops accepting responses
+      (exercises the ``BVLD_BRDY`` / response-readiness phases).
+    """
+
+    freeze_w: bool = False
+    deaf_b: bool = False
+    deaf_r: bool = False
+
+    def clear(self) -> None:
+        self.freeze_w = False
+        self.deaf_b = False
+        self.deaf_r = False
+
+
+@dataclasses.dataclass
+class _Outstanding:
+    spec: TransactionSpec
+    issue_cycle: int
+    addr_cycle: int
+    first_data_cycle: Optional[int] = None
+    last_data_cycle: Optional[int] = None
+    read_data: Optional[List[int]] = None
+    worst_resp: Resp = Resp.OKAY
+
+
+class Manager(Component):
+    """AXI4 manager that plays transaction specs and scores responses.
+
+    Parameters
+    ----------
+    bus:
+        The interface whose request channels this manager sources.
+    max_outstanding:
+        Optional self-imposed cap on in-flight transactions (both
+        directions combined); the manager stalls issue when reached.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bus: AxiInterface,
+        max_outstanding: Optional[int] = None,
+    ) -> None:
+        super().__init__(name)
+        self.bus = bus
+        self.max_outstanding = max_outstanding
+
+        self._aw_queue: Deque[TransactionSpec] = deque()
+        self._ar_queue: Deque[TransactionSpec] = deque()
+        self._aw_delay = 0
+        self._ar_delay = 0
+
+        self._w_pending: Deque[_Outstanding] = deque()
+        self._w_active: Optional[Tuple[_Outstanding, List[int], int]] = None
+        self._w_gap = 0
+
+        self._outstanding: Dict[Tuple[AxiDir, int], Deque[_Outstanding]] = {}
+        self._inflight = 0
+        self._b_wait = 0
+        self._r_wait = 0
+        self._cycle = 0
+
+        self.completed: List[CompletedTransaction] = []
+        self.surprises: List[str] = []
+        self.faults = ManagerFaults()
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    def submit(self, spec: TransactionSpec) -> None:
+        """Queue one transaction for issue."""
+        if spec.direction == AxiDir.WRITE:
+            if len(self._aw_queue) == 0:
+                self._aw_delay = spec.issue_delay
+            self._aw_queue.append(spec)
+        else:
+            if len(self._ar_queue) == 0:
+                self._ar_delay = spec.issue_delay
+            self._ar_queue.append(spec)
+
+    def submit_all(self, specs: Iterable[TransactionSpec]) -> None:
+        for spec in specs:
+            self.submit(spec)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or in flight."""
+        return (
+            not self._aw_queue
+            and not self._ar_queue
+            and not self._w_pending
+            and self._w_active is None
+            and self._inflight == 0
+        )
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def failures(self) -> List[CompletedTransaction]:
+        return [txn for txn in self.completed if txn.failed]
+
+    # ------------------------------------------------------------------
+    # Component protocol
+    # ------------------------------------------------------------------
+    def wires(self):
+        yield from self.bus.wires()
+
+    def _issue_allowed(self) -> bool:
+        return (
+            self.max_outstanding is None
+            or self._inflight < self.max_outstanding
+        )
+
+    def drive(self) -> None:
+        bus = self.bus
+        # AW
+        if self._aw_queue and self._aw_delay == 0 and self._issue_allowed():
+            spec = self._aw_queue[0]
+            bus.aw.drive(
+                AwBeat(
+                    id=spec.txn_id,
+                    addr=spec.addr,
+                    len=spec.len,
+                    size=spec.size,
+                    burst=spec.burst,
+                    qos=spec.qos,
+                )
+            )
+        else:
+            bus.aw.idle()
+        # AR
+        if self._ar_queue and self._ar_delay == 0 and self._issue_allowed():
+            spec = self._ar_queue[0]
+            bus.ar.drive(
+                ArBeat(
+                    id=spec.txn_id,
+                    addr=spec.addr,
+                    len=spec.len,
+                    size=spec.size,
+                    burst=spec.burst,
+                    qos=spec.qos,
+                )
+            )
+        else:
+            bus.ar.idle()
+        # W
+        if self._w_active is not None and self._w_gap == 0 and not self.faults.freeze_w:
+            record, data, index = self._w_active
+            bus.w.drive(
+                WBeat(
+                    data=data[index],
+                    strb=record.spec.full_strb(),
+                    last=index == record.spec.beats - 1,
+                )
+            )
+        else:
+            bus.w.idle()
+        # Response readiness
+        bus.b.ready.value = not self.faults.deaf_b and (
+            self._b_wait >= self._resp_delay(bus.b, AxiDir.WRITE)
+        )
+        bus.r.ready.value = not self.faults.deaf_r and (
+            self._r_wait >= self._resp_delay(bus.r, AxiDir.READ)
+        )
+
+    def _resp_delay(self, channel, direction: AxiDir) -> int:
+        beat = channel.payload.value
+        if not channel.valid.value or beat is None:
+            return 0
+        queue = self._outstanding.get((direction, beat.id))
+        if not queue:
+            return 0
+        return queue[0].spec.resp_ready_delay
+
+    def update(self) -> None:
+        bus = self.bus
+        self._cycle += 1
+        if self._aw_delay > 0:
+            self._aw_delay -= 1
+        if self._ar_delay > 0:
+            self._ar_delay -= 1
+        if self._w_gap > 0:
+            self._w_gap -= 1
+
+        if bus.aw.fired():
+            self._on_addr_fired(self._aw_queue, AxiDir.WRITE)
+        if bus.ar.fired():
+            self._on_addr_fired(self._ar_queue, AxiDir.READ)
+
+        self._activate_w_if_needed()
+        if bus.w.fired():
+            self._on_w_fired()
+
+        self._b_wait = self._b_wait + 1 if bus.b.valid.value else 0
+        self._r_wait = self._r_wait + 1 if bus.r.valid.value else 0
+        if bus.b.fired():
+            self._b_wait = 0
+            self._on_b_fired(bus.b.payload.value)
+        if bus.r.fired():
+            self._r_wait = 0
+            self._on_r_fired(bus.r.payload.value)
+
+    def _on_addr_fired(self, queue: Deque[TransactionSpec], direction: AxiDir) -> None:
+        spec = queue.popleft()
+        record = _Outstanding(
+            spec=spec, issue_cycle=self._cycle - 1, addr_cycle=self._cycle
+        )
+        if direction == AxiDir.READ:
+            record.read_data = []
+        self._outstanding.setdefault((direction, spec.txn_id), deque()).append(record)
+        self._inflight += 1
+        if direction == AxiDir.WRITE:
+            self._w_pending.append(record)
+            if queue:
+                self._aw_delay = queue[0].issue_delay
+        else:
+            if queue:
+                self._ar_delay = queue[0].issue_delay
+
+    def _activate_w_if_needed(self) -> None:
+        if self._w_active is None and self._w_pending:
+            record = self._w_pending.popleft()
+            self._w_active = (record, record.spec.write_data(), 0)
+            self._w_gap = 0
+
+    def _on_w_fired(self) -> None:
+        if self._w_active is None:
+            return
+        record, data, index = self._w_active
+        if record.first_data_cycle is None:
+            record.first_data_cycle = self._cycle
+        if index == record.spec.beats - 1:
+            record.last_data_cycle = self._cycle
+            self._w_active = None
+            self._activate_w_if_needed()
+        else:
+            self._w_active = (record, data, index + 1)
+            self._w_gap = record.spec.w_gap
+
+    def _pop_outstanding(
+        self, direction: AxiDir, txn_id: int
+    ) -> Optional[_Outstanding]:
+        queue = self._outstanding.get((direction, txn_id))
+        if not queue:
+            return None
+        record = queue.popleft()
+        if not queue:
+            del self._outstanding[(direction, txn_id)]
+        return record
+
+    def _on_b_fired(self, beat: BBeat) -> None:
+        record = self._pop_outstanding(AxiDir.WRITE, beat.id)
+        if record is None:
+            self.surprises.append(
+                f"cycle {self._cycle}: B response for unknown write ID {beat.id}"
+            )
+            return
+        self._inflight -= 1
+        self.completed.append(
+            CompletedTransaction(
+                direction=AxiDir.WRITE,
+                txn_id=beat.id,
+                addr=record.spec.addr,
+                beats=record.spec.beats,
+                issue_cycle=record.issue_cycle,
+                addr_cycle=record.addr_cycle,
+                first_data_cycle=record.first_data_cycle,
+                last_data_cycle=record.last_data_cycle,
+                resp_cycle=self._cycle,
+                resp=beat.resp,
+            )
+        )
+
+    def _on_r_fired(self, beat: RBeat) -> None:
+        queue = self._outstanding.get((AxiDir.READ, beat.id))
+        if not queue:
+            self.surprises.append(
+                f"cycle {self._cycle}: R beat for unknown read ID {beat.id}"
+            )
+            return
+        record = queue[0]
+        if record.first_data_cycle is None:
+            record.first_data_cycle = self._cycle
+        assert record.read_data is not None
+        record.read_data.append(beat.data)
+        if beat.resp.is_error or beat.resp > record.worst_resp:
+            record.worst_resp = max(record.worst_resp, beat.resp)
+        if beat.last:
+            record.last_data_cycle = self._cycle
+            self._pop_outstanding(AxiDir.READ, beat.id)
+            self._inflight -= 1
+            self.completed.append(
+                CompletedTransaction(
+                    direction=AxiDir.READ,
+                    txn_id=beat.id,
+                    addr=record.spec.addr,
+                    beats=record.spec.beats,
+                    issue_cycle=record.issue_cycle,
+                    addr_cycle=record.addr_cycle,
+                    first_data_cycle=record.first_data_cycle,
+                    last_data_cycle=record.last_data_cycle,
+                    resp_cycle=self._cycle,
+                    resp=record.worst_resp,
+                    data=record.read_data,
+                )
+            )
+
+    def reset(self) -> None:
+        self._aw_queue.clear()
+        self._ar_queue.clear()
+        self._aw_delay = 0
+        self._ar_delay = 0
+        self._w_pending.clear()
+        self._w_active = None
+        self._w_gap = 0
+        self._outstanding.clear()
+        self._inflight = 0
+        self._b_wait = 0
+        self._r_wait = 0
+        self._cycle = 0
+        self.completed.clear()
+        self.surprises.clear()
+        self.faults.clear()

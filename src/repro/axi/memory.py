@@ -1,0 +1,79 @@
+"""Sparse byte-addressable memory model backing AXI subordinates.
+
+Pages are allocated lazily so a 64-bit address space costs nothing until
+written.  Reads of unwritten bytes return a configurable fill byte,
+making "read garbage" bugs deterministic in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class SparseMemory:
+    """Lazily-paged byte memory.
+
+    Parameters
+    ----------
+    page_bits:
+        log2 of the page size in bytes.
+    fill:
+        Byte value returned for never-written locations.
+    """
+
+    def __init__(self, page_bits: int = 12, fill: int = 0) -> None:
+        if not 0 <= fill <= 0xFF:
+            raise ValueError("fill must be a byte value")
+        self._page_bits = page_bits
+        self._page_size = 1 << page_bits
+        self._fill = fill
+        self._pages: Dict[int, bytearray] = {}
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def allocated_pages(self) -> int:
+        return len(self._pages)
+
+    def _page_for(self, addr: int) -> bytearray:
+        page_index = addr >> self._page_bits
+        page = self._pages.get(page_index)
+        if page is None:
+            page = bytearray([self._fill]) * self._page_size
+            self._pages[page_index] = page
+        return page
+
+    def read_byte(self, addr: int) -> int:
+        page = self._pages.get(addr >> self._page_bits)
+        if page is None:
+            return self._fill
+        return page[addr & (self._page_size - 1)]
+
+    def write_byte(self, addr: int, value: int) -> None:
+        self._page_for(addr)[addr & (self._page_size - 1)] = value & 0xFF
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Read *length* bytes starting at *addr*."""
+        return bytes(self.read_byte(addr + i) for i in range(length))
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write *data* starting at *addr*."""
+        for i, byte in enumerate(data):
+            self.write_byte(addr + i, byte)
+
+    def read_word(self, addr: int, width: int) -> int:
+        """Read a little-endian integer of *width* bytes."""
+        return int.from_bytes(self.read(addr, width), "little")
+
+    def write_word(self, addr: int, value: int, width: int) -> None:
+        """Write a little-endian integer of *width* bytes."""
+        self.write(addr, (value & ((1 << (8 * width)) - 1)).to_bytes(width, "little"))
+
+    def write_masked(self, addr: int, value: int, strb: int, width: int) -> None:
+        """Apply a write-strobe-masked store, as the W channel requires."""
+        data = (value & ((1 << (8 * width)) - 1)).to_bytes(width, "little")
+        for lane in range(width):
+            if strb & (1 << lane):
+                self.write_byte(addr + lane, data[lane])

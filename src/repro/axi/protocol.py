@@ -1,0 +1,343 @@
+"""Rule-based AXI4 protocol checker (AXIChecker-class, ref. [13]).
+
+A passive observer that applies a library of AXI4 protocol rules to one
+interface, modelled on Chen et al.'s synthesizable AXIChecker.  Rules
+are named in the ARM protocol-assertion style (``ERRM_*`` for manager
+obligations, ``ERRS_*`` for subordinate obligations).
+
+This module serves three roles in the reproduction:
+
+* the :class:`~repro.baselines.axichecker.AxiChecker` baseline of
+  Table II wraps it;
+* property tests drive random legal traffic through it and assert zero
+  false positives;
+* fault-injection tests assert that the corresponding rule fires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..sim.component import Component
+from .interface import AxiInterface
+from .types import (
+    MAX_BURST_LEN,
+    BurstType,
+    Resp,
+    aligned,
+    crosses_4k_boundary,
+    is_legal_wrap_len,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One protocol rule."""
+
+    name: str
+    description: str
+
+
+@dataclasses.dataclass(frozen=True)
+class RuleViolation:
+    """One observed rule violation."""
+
+    rule: Rule
+    cycle: int
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - log formatting
+        return f"[cycle {self.cycle}] {self.rule.name}: {self.detail}"
+
+
+def _rule(name: str, description: str) -> Rule:
+    rule = Rule(name, description)
+    RULES[name] = rule
+    return rule
+
+
+RULES: Dict[str, Rule] = {}
+
+# Manager address-channel obligations.
+ERRM_AWVALID_STABLE = _rule(
+    "ERRM_AWVALID_STABLE", "AWVALID must stay asserted until AWREADY"
+)
+ERRM_AW_PAYLOAD_STABLE = _rule(
+    "ERRM_AW_PAYLOAD_STABLE", "AW payload must not change while stalled"
+)
+ERRM_AWADDR_ALIGNED_WRAP = _rule(
+    "ERRM_AWADDR_ALIGNED_WRAP", "WRAP bursts require size-aligned addresses"
+)
+ERRM_AWLEN_WRAP = _rule(
+    "ERRM_AWLEN_WRAP", "WRAP bursts must be 2, 4, 8 or 16 beats"
+)
+ERRM_AW_4K_BOUNDARY = _rule(
+    "ERRM_AW_4K_BOUNDARY", "INCR bursts must not cross a 4 KiB boundary"
+)
+ERRM_AWLEN_RANGE = _rule(
+    "ERRM_AWLEN_RANGE", f"AWLEN must encode at most {MAX_BURST_LEN} beats"
+)
+ERRM_ARVALID_STABLE = _rule(
+    "ERRM_ARVALID_STABLE", "ARVALID must stay asserted until ARREADY"
+)
+ERRM_AR_PAYLOAD_STABLE = _rule(
+    "ERRM_AR_PAYLOAD_STABLE", "AR payload must not change while stalled"
+)
+ERRM_ARADDR_ALIGNED_WRAP = _rule(
+    "ERRM_ARADDR_ALIGNED_WRAP", "WRAP bursts require size-aligned addresses"
+)
+ERRM_ARLEN_WRAP = _rule(
+    "ERRM_ARLEN_WRAP", "WRAP bursts must be 2, 4, 8 or 16 beats"
+)
+ERRM_AR_4K_BOUNDARY = _rule(
+    "ERRM_AR_4K_BOUNDARY", "INCR bursts must not cross a 4 KiB boundary"
+)
+
+# Manager write-data obligations.
+ERRM_WVALID_STABLE = _rule(
+    "ERRM_WVALID_STABLE", "WVALID must stay asserted until WREADY"
+)
+ERRM_W_PAYLOAD_STABLE = _rule(
+    "ERRM_W_PAYLOAD_STABLE", "W payload must not change while stalled"
+)
+ERRM_WLAST_POSITION = _rule(
+    "ERRM_WLAST_POSITION", "WLAST must mark exactly the AWLEN-th beat"
+)
+ERRM_W_EXTRA_BEATS = _rule(
+    "ERRM_W_EXTRA_BEATS", "no W beats beyond the burst length"
+)
+ERRM_W_NO_OUTSTANDING = _rule(
+    "ERRM_W_NO_OUTSTANDING", "W data without any outstanding write address"
+)
+ERRM_WSTRB_RANGE = _rule(
+    "ERRM_WSTRB_RANGE", "WSTRB must only enable lanes within the beat size"
+)
+
+# Subordinate response obligations.
+ERRS_BVALID_STABLE = _rule(
+    "ERRS_BVALID_STABLE", "BVALID must stay asserted until BREADY"
+)
+ERRS_BRESP_LEGAL = _rule("ERRS_BRESP_LEGAL", "BRESP must be a legal encoding")
+ERRS_B_BEFORE_WLAST = _rule(
+    "ERRS_B_BEFORE_WLAST", "B response must follow the write's WLAST"
+)
+ERRS_B_UNREQUESTED = _rule(
+    "ERRS_B_UNREQUESTED", "B response without a matching outstanding write"
+)
+ERRS_RVALID_STABLE = _rule(
+    "ERRS_RVALID_STABLE", "RVALID must stay asserted until RREADY"
+)
+ERRS_RRESP_LEGAL = _rule("ERRS_RRESP_LEGAL", "RRESP must be a legal encoding")
+ERRS_R_UNREQUESTED = _rule(
+    "ERRS_R_UNREQUESTED", "R beat without a matching outstanding read"
+)
+ERRS_RLAST_POSITION = _rule(
+    "ERRS_RLAST_POSITION", "RLAST must mark exactly the ARLEN-th beat"
+)
+ERRS_R_IN_ORDER = _rule(
+    "ERRS_R_IN_ORDER", "same-ID reads must complete in request order"
+)
+
+
+@dataclasses.dataclass
+class _PendingWrite:
+    txn_id: int
+    beats: int
+    beats_seen: int = 0
+    wlast_seen: bool = False
+
+
+@dataclasses.dataclass
+class _PendingRead:
+    txn_id: int
+    beats: int
+    beats_seen: int = 0
+
+
+class _Stability:
+    """Tracks valid/payload stability across stalled cycles."""
+
+    __slots__ = ("pending", "payload")
+
+    def __init__(self) -> None:
+        self.pending = False
+        self.payload = None
+
+    def step(self, valid: bool, ready: bool, payload) -> Optional[str]:
+        """Returns 'drop', 'payload', or None."""
+        outcome = None
+        if self.pending:
+            if not valid:
+                outcome = "drop"
+            elif payload != self.payload:
+                outcome = "payload"
+        self.pending = bool(valid and not ready)
+        self.payload = payload if self.pending else None
+        return outcome
+
+
+class ProtocolChecker(Component):
+    """Passive AXI4 rule checker attached to one interface."""
+
+    def __init__(self, name: str, bus: AxiInterface) -> None:
+        super().__init__(name)
+        self.bus = bus
+        self.violations: List[RuleViolation] = []
+        self._cycle = 0
+        self._stab = {ch: _Stability() for ch in ("aw", "w", "b", "ar", "r")}
+        self._writes: Dict[int, Deque[_PendingWrite]] = {}
+        self._write_order: Deque[_PendingWrite] = deque()
+        self._reads: Dict[int, Deque[_PendingRead]] = {}
+
+    # ------------------------------------------------------------------
+    def wires(self):
+        yield from self.bus.wires()
+
+    def _flag(self, rule: Rule, detail: str = "") -> None:
+        self.violations.append(RuleViolation(rule, self._cycle, detail))
+
+    def count(self, rule: Rule) -> int:
+        return sum(1 for violation in self.violations if violation.rule == rule)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    # ------------------------------------------------------------------
+    def update(self) -> None:
+        self._cycle += 1
+        self._check_stability()
+        bus = self.bus
+        if bus.aw.fired():
+            self._on_aw(bus.aw.payload.value)
+        if bus.ar.fired():
+            self._on_ar(bus.ar.payload.value)
+        if bus.w.fired():
+            self._on_w(bus.w.payload.value)
+        if bus.b.fired():
+            self._on_b(bus.b.payload.value)
+        if bus.r.fired():
+            self._on_r(bus.r.payload.value)
+
+    def _check_stability(self) -> None:
+        rules = {
+            "aw": (ERRM_AWVALID_STABLE, ERRM_AW_PAYLOAD_STABLE),
+            "w": (ERRM_WVALID_STABLE, ERRM_W_PAYLOAD_STABLE),
+            "b": (ERRS_BVALID_STABLE, None),
+            "ar": (ERRM_ARVALID_STABLE, ERRM_AR_PAYLOAD_STABLE),
+            "r": (ERRS_RVALID_STABLE, None),
+        }
+        for name, (drop_rule, payload_rule) in rules.items():
+            channel = getattr(self.bus, name)
+            outcome = self._stab[name].step(
+                bool(channel.valid.value),
+                bool(channel.ready.value),
+                channel.payload.value,
+            )
+            if outcome == "drop":
+                self._flag(drop_rule, f"{name} valid dropped before ready")
+            elif outcome == "payload" and payload_rule is not None:
+                self._flag(payload_rule, f"{name} payload changed while stalled")
+
+    # -- address channels -------------------------------------------------
+    def _on_aw(self, beat) -> None:
+        if beat.burst == BurstType.WRAP:
+            if not is_legal_wrap_len(beat.len):
+                self._flag(ERRM_AWLEN_WRAP, f"len={beat.len}")
+            if not aligned(beat.addr, beat.size):
+                self._flag(ERRM_AWADDR_ALIGNED_WRAP, f"addr={beat.addr:#x}")
+        if crosses_4k_boundary(beat.addr, beat.len, beat.size, beat.burst):
+            self._flag(ERRM_AW_4K_BOUNDARY, f"addr={beat.addr:#x} len={beat.len}")
+        if not 0 <= beat.len < MAX_BURST_LEN:
+            self._flag(ERRM_AWLEN_RANGE, f"len={beat.len}")
+        pending = _PendingWrite(txn_id=beat.id, beats=beat.len + 1)
+        self._writes.setdefault(beat.id, deque()).append(pending)
+        self._write_order.append(pending)
+
+    def _on_ar(self, beat) -> None:
+        if beat.burst == BurstType.WRAP:
+            if not is_legal_wrap_len(beat.len):
+                self._flag(ERRM_ARLEN_WRAP, f"len={beat.len}")
+            if not aligned(beat.addr, beat.size):
+                self._flag(ERRM_ARADDR_ALIGNED_WRAP, f"addr={beat.addr:#x}")
+        if crosses_4k_boundary(beat.addr, beat.len, beat.size, beat.burst):
+            self._flag(ERRM_AR_4K_BOUNDARY, f"addr={beat.addr:#x} len={beat.len}")
+        self._reads.setdefault(beat.id, deque()).append(
+            _PendingRead(txn_id=beat.id, beats=beat.len + 1)
+        )
+
+    # -- write data ---------------------------------------------------------
+    def _current_write(self) -> Optional[_PendingWrite]:
+        while self._write_order and self._write_order[0].wlast_seen:
+            self._write_order.popleft()
+        return self._write_order[0] if self._write_order else None
+
+    def _on_w(self, beat) -> None:
+        target = self._current_write()
+        if target is None:
+            self._flag(ERRM_W_NO_OUTSTANDING, "")
+            return
+        target.beats_seen += 1
+        if beat.last:
+            if target.beats_seen != target.beats:
+                self._flag(
+                    ERRM_WLAST_POSITION,
+                    f"wlast at beat {target.beats_seen} of {target.beats}",
+                )
+            target.wlast_seen = True
+        elif target.beats_seen >= target.beats:
+            self._flag(
+                ERRM_W_EXTRA_BEATS,
+                f"beat {target.beats_seen} of {target.beats} without wlast",
+            )
+            target.wlast_seen = True  # resynchronize
+
+    # -- responses ------------------------------------------------------------
+    def _on_b(self, beat) -> None:
+        if beat.resp not in tuple(Resp):
+            self._flag(ERRS_BRESP_LEGAL, f"resp={beat.resp}")
+        queue = self._writes.get(beat.id)
+        if not queue:
+            self._flag(ERRS_B_UNREQUESTED, f"id={beat.id}")
+            return
+        head = queue[0]
+        if not head.wlast_seen:
+            self._flag(ERRS_B_BEFORE_WLAST, f"id={beat.id}")
+            return
+        queue.popleft()
+        if not queue:
+            del self._writes[beat.id]
+
+    def _on_r(self, beat) -> None:
+        if beat.resp not in tuple(Resp):
+            self._flag(ERRS_RRESP_LEGAL, f"resp={beat.resp}")
+        queue = self._reads.get(beat.id)
+        if not queue:
+            self._flag(ERRS_R_UNREQUESTED, f"id={beat.id}")
+            return
+        head = queue[0]
+        head.beats_seen += 1
+        if beat.last:
+            if head.beats_seen != head.beats:
+                self._flag(
+                    ERRS_RLAST_POSITION,
+                    f"rlast at beat {head.beats_seen} of {head.beats}",
+                )
+            queue.popleft()
+            if not queue:
+                del self._reads[beat.id]
+        elif head.beats_seen >= head.beats:
+            self._flag(
+                ERRS_RLAST_POSITION,
+                f"beat {head.beats_seen} of {head.beats} without rlast",
+            )
+
+    def reset(self) -> None:
+        self.violations.clear()
+        self._cycle = 0
+        self._stab = {ch: _Stability() for ch in ("aw", "w", "b", "ar", "r")}
+        self._writes.clear()
+        self._write_order.clear()
+        self._reads.clear()

@@ -1,0 +1,380 @@
+"""Memory-backed AXI4 subordinate with latency knobs and fault hooks.
+
+The subordinate models a generic endpoint (memory controller, peripheral)
+with configurable handshake delays and response latencies.  A mutable
+:class:`SubordinateFaults` block lets fault-injection campaigns make the
+device misbehave in exactly the ways the paper's Fig. 9 enumerates —
+going deaf on a request channel, going mute on a response channel,
+corrupting response IDs, dropping ``last``, or emitting unrequested
+responses.  A hardware reset input (driven by the external reset unit)
+clears internal state and, by default, the fault block — modelling the
+paper's recovery path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..sim.component import Component
+from ..sim.signal import Wire
+from .channels import ArBeat, AwBeat, BBeat, RBeat
+from .interface import AxiInterface
+from .memory import SparseMemory
+from .types import Resp, burst_addresses, bytes_per_beat
+
+
+@dataclasses.dataclass
+class SubordinateFaults:
+    """Mutable fault switches, toggled by injectors mid-simulation.
+
+    Each flag corresponds to an error class from the paper's
+    fault-injection campaign (§III-A3):
+
+    * ``deaf_aw`` — AW Stage Error: missing ``aw_ready`` acknowledgment.
+    * ``deaf_w`` — W Datapath Error: ``w_ready`` failure during transfer.
+    * ``deaf_ar`` — AR stage error (read-side mirror of ``deaf_aw``).
+    * ``mute_b`` — ``w_last``-to-``b_valid`` error: response never comes.
+    * ``mute_r`` — R channel goes silent (mid-burst stall).
+    * ``corrupt_b_id`` / ``corrupt_r_id`` — ID mismatch on B / R.
+    * ``drop_r_last`` — final R beat arrives without ``last``.
+    * ``spurious_b`` / ``spurious_r`` — unrequested response with that ID.
+    * ``error_resp`` — respond with SLVERR instead of OKAY.
+    """
+
+    deaf_aw: bool = False
+    deaf_w: bool = False
+    deaf_ar: bool = False
+    mute_b: bool = False
+    mute_r: bool = False
+    corrupt_b_id: Optional[int] = None
+    corrupt_r_id: Optional[int] = None
+    drop_r_last: bool = False
+    spurious_b: Optional[int] = None
+    spurious_r: Optional[int] = None
+    error_resp: bool = False
+
+    def clear(self) -> None:
+        self.deaf_aw = False
+        self.deaf_w = False
+        self.deaf_ar = False
+        self.mute_b = False
+        self.mute_r = False
+        self.corrupt_b_id = None
+        self.corrupt_r_id = None
+        self.drop_r_last = False
+        self.spurious_b = None
+        self.spurious_r = None
+        self.error_resp = False
+
+    @property
+    def any_active(self) -> bool:
+        return any(
+            (
+                self.deaf_aw,
+                self.deaf_w,
+                self.deaf_ar,
+                self.mute_b,
+                self.mute_r,
+                self.corrupt_b_id is not None,
+                self.corrupt_r_id is not None,
+                self.drop_r_last,
+                self.spurious_b is not None,
+                self.spurious_r is not None,
+                self.error_resp,
+            )
+        )
+
+
+@dataclasses.dataclass
+class _WriteJob:
+    aw: AwBeat
+    addrs: List[int]
+    index: int = 0
+    w_wait: int = 0
+
+
+@dataclasses.dataclass
+class _ReadJob:
+    ar: ArBeat
+    addrs: List[int]
+    index: int = 0
+    countdown: int = 0
+    gap: int = 0
+
+
+class Subordinate(Component):
+    """Generic memory-backed AXI4 subordinate.
+
+    Parameters
+    ----------
+    bus:
+        Interface whose response channels this subordinate sources.
+    memory:
+        Backing store; a private :class:`SparseMemory` if omitted.
+    aw_ready_delay / ar_ready_delay:
+        Cycles of ``valid`` observed before asserting address ``ready``.
+    w_ready_delay:
+        Per-beat delay before accepting each W beat.
+    b_latency:
+        Cycles from the last W beat to ``b_valid``.
+    r_latency:
+        Cycles from AR acceptance to the first R beat.
+    r_gap:
+        Idle cycles between consecutive R beats.
+    max_outstanding:
+        Accepted-but-unfinished transaction cap per direction.
+    reset_clears_faults:
+        Whether a hardware reset repairs the fault block (the paper's
+        recovery model).
+    interleave_reads:
+        Serve R beats round-robin across outstanding reads of
+        *different* IDs (AXI4 permits interleaving read data between
+        transactions with different IDs; same-ID order is preserved).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bus: AxiInterface,
+        memory: Optional[SparseMemory] = None,
+        aw_ready_delay: int = 0,
+        w_ready_delay: int = 0,
+        b_latency: int = 1,
+        ar_ready_delay: int = 0,
+        r_latency: int = 1,
+        r_gap: int = 0,
+        max_outstanding: int = 64,
+        reset_clears_faults: bool = True,
+        interleave_reads: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.bus = bus
+        self.memory = memory if memory is not None else SparseMemory()
+        self.aw_ready_delay = aw_ready_delay
+        self.w_ready_delay = w_ready_delay
+        self.b_latency = b_latency
+        self.ar_ready_delay = ar_ready_delay
+        self.r_latency = r_latency
+        self.r_gap = r_gap
+        self.max_outstanding = max_outstanding
+        self.reset_clears_faults = reset_clears_faults
+        self.interleave_reads = interleave_reads
+        self._r_rr = 0
+
+        self.faults = SubordinateFaults()
+        #: hardware reset request input, driven by an external reset unit.
+        self.hw_reset = Wire(f"{name}.hw_reset", False)
+
+        self._aw_wait = 0
+        self._ar_wait = 0
+        self._writes: Deque[_WriteJob] = deque()
+        self._b_queue: Deque[List[int]] = deque()  # [id, countdown]
+        self._reads: Deque[_ReadJob] = deque()
+        self._in_reset = False
+        self.resets_taken = 0
+        self.writes_done = 0
+        self.reads_done = 0
+
+    # ------------------------------------------------------------------
+    # Component protocol
+    # ------------------------------------------------------------------
+    def wires(self):
+        yield from self.bus.wires()
+        yield self.hw_reset
+
+    def _write_capacity(self) -> bool:
+        return len(self._writes) + len(self._b_queue) < self.max_outstanding
+
+    def drive(self) -> None:
+        bus = self.bus
+        if self.hw_reset.value:
+            bus.aw.ready.value = False
+            bus.w.ready.value = False
+            bus.ar.ready.value = False
+            bus.b.idle()
+            bus.r.idle()
+            return
+
+        faults = self.faults
+        bus.aw.ready.value = (
+            not faults.deaf_aw
+            and self._write_capacity()
+            and self._aw_wait >= self.aw_ready_delay
+        )
+        bus.ar.ready.value = (
+            not faults.deaf_ar
+            and len(self._reads) < self.max_outstanding
+            and self._ar_wait >= self.ar_ready_delay
+        )
+        job = self._writes[0] if self._writes else None
+        bus.w.ready.value = (
+            job is not None
+            and not faults.deaf_w
+            and job.w_wait >= self.w_ready_delay
+        )
+        self._drive_b()
+        self._drive_r()
+
+    def _drive_b(self) -> None:
+        bus, faults = self.bus, self.faults
+        if faults.spurious_b is not None:
+            bus.b.drive(BBeat(id=faults.spurious_b, resp=Resp.OKAY))
+            return
+        if faults.mute_b or not self._b_queue or self._b_queue[0][1] > 0:
+            bus.b.idle()
+            return
+        txn_id = self._b_queue[0][0]
+        if faults.corrupt_b_id is not None:
+            txn_id = faults.corrupt_b_id
+        resp = Resp.SLVERR if faults.error_resp else Resp.OKAY
+        bus.b.drive(BBeat(id=txn_id, resp=resp))
+
+    def _select_r_job(self) -> Optional[_ReadJob]:
+        """Deterministic choice of the read job to serve this cycle.
+
+        Pure function of registered state, so drive() and update() can
+        both call it and agree.  Without interleaving the oldest job is
+        served; with it, the round-robin pointer picks among the heads
+        of each ID's in-order stream.
+        """
+        if not self._reads:
+            return None
+        if not self.interleave_reads:
+            job = self._reads[0]
+            return job if job.countdown == 0 and job.gap == 0 else None
+        heads = []
+        seen_ids = set()
+        for job in self._reads:
+            if job.ar.id in seen_ids:
+                continue  # same-ID reads stay in order
+            seen_ids.add(job.ar.id)
+            if job.countdown == 0 and job.gap == 0:
+                heads.append(job)
+        if not heads:
+            return None
+        return heads[self._r_rr % len(heads)]
+
+    def _drive_r(self) -> None:
+        bus, faults = self.bus, self.faults
+        if faults.spurious_r is not None:
+            bus.r.drive(
+                RBeat(id=faults.spurious_r, data=0, resp=Resp.OKAY, last=True)
+            )
+            return
+        job = self._select_r_job()
+        if faults.mute_r or job is None:
+            bus.r.idle()
+            return
+        width = bytes_per_beat(job.ar.size)
+        data = self.memory.read_word(job.addrs[job.index], width)
+        is_last = job.index == len(job.addrs) - 1
+        txn_id = job.ar.id
+        if faults.corrupt_r_id is not None:
+            txn_id = faults.corrupt_r_id
+        if faults.drop_r_last:
+            is_last = False
+        resp = Resp.SLVERR if faults.error_resp else Resp.OKAY
+        bus.r.drive(RBeat(id=txn_id, data=data, resp=resp, last=is_last))
+
+    def update(self) -> None:
+        bus = self.bus
+        if self.hw_reset.value:
+            if not self._in_reset:
+                self._take_reset()
+                self.resets_taken += 1
+                self._in_reset = True
+            return
+        self._in_reset = False
+
+        self._aw_wait = self._aw_wait + 1 if bus.aw.valid.value else 0
+        self._ar_wait = self._ar_wait + 1 if bus.ar.valid.value else 0
+        if self._writes:
+            self._writes[0].w_wait += 1
+        for entry in self._b_queue:
+            if entry[1] > 0:
+                entry[1] -= 1
+                break
+        for job in self._reads:
+            if job.countdown > 0:
+                job.countdown -= 1
+            elif job.gap > 0:
+                job.gap -= 1
+
+        if bus.aw.fired():
+            self._aw_wait = 0
+            aw = bus.aw.payload.value
+            self._writes.append(
+                _WriteJob(aw, burst_addresses(aw.addr, aw.len, aw.size, aw.burst))
+            )
+        if bus.ar.fired():
+            self._ar_wait = 0
+            ar = bus.ar.payload.value
+            self._reads.append(
+                _ReadJob(
+                    ar,
+                    burst_addresses(ar.addr, ar.len, ar.size, ar.burst),
+                    countdown=self.r_latency,
+                )
+            )
+        if bus.w.fired():
+            self._on_w_fired(bus.w.payload.value)
+        if bus.b.fired():
+            self._on_b_fired()
+        if bus.r.fired():
+            self._on_r_fired()
+
+    def _on_w_fired(self, beat) -> None:
+        if not self._writes:
+            return  # W beat with no accepted AW; protocol checker's domain
+        job = self._writes[0]
+        width = bytes_per_beat(job.aw.size)
+        self.memory.write_masked(job.addrs[job.index], beat.data, beat.strb, width)
+        job.w_wait = 0
+        job.index += 1
+        if beat.last or job.index >= len(job.addrs):
+            self._writes.popleft()
+            self._b_queue.append([job.aw.id, self.b_latency])
+            self.writes_done += 1
+
+    def _on_b_fired(self) -> None:
+        if self.faults.spurious_b is not None:
+            self.faults.spurious_b = None
+            return
+        if self._b_queue:
+            self._b_queue.popleft()
+
+    def _on_r_fired(self) -> None:
+        if self.faults.spurious_r is not None:
+            self.faults.spurious_r = None
+            return
+        job = self._select_r_job()
+        if job is None:
+            return
+        job.index += 1
+        if self.interleave_reads:
+            self._r_rr += 1
+        if job.index >= len(job.addrs):
+            self._reads.remove(job)
+            self.reads_done += 1
+        else:
+            job.gap = self.r_gap
+
+    def _take_reset(self) -> None:
+        self._aw_wait = 0
+        self._ar_wait = 0
+        self._writes.clear()
+        self._b_queue.clear()
+        self._reads.clear()
+        self._r_rr = 0
+        if self.reset_clears_faults:
+            self.faults.clear()
+
+    def reset(self) -> None:
+        self._take_reset()
+        self._in_reset = False
+        self.resets_taken = 0
+        self.writes_done = 0
+        self.reads_done = 0
+        self.faults.clear()

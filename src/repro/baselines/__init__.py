@@ -1,0 +1,27 @@
+"""Baseline monitors from the paper's Table II comparison."""
+
+from .axichecker import AxiChecker
+from .features import (
+    TABLE2_COLUMNS,
+    MonitorProfile,
+    implemented_profiles,
+    table2_profiles,
+)
+from .firewall import AxiFirewall, FirewallRule
+from .perf_monitor import AxiPerfMonitor, TrafficCounters
+from .watchdog import Sp805Watchdog
+from .xilinx_timeout import XilinxStyleTimeout
+
+__all__ = [
+    "AxiChecker",
+    "AxiFirewall",
+    "AxiPerfMonitor",
+    "FirewallRule",
+    "MonitorProfile",
+    "Sp805Watchdog",
+    "TABLE2_COLUMNS",
+    "TrafficCounters",
+    "XilinxStyleTimeout",
+    "implemented_profiles",
+    "table2_profiles",
+]

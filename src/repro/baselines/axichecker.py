@@ -1,0 +1,57 @@
+"""AXIChecker-class baseline (paper ref. [13], Chen, Ju and Huang).
+
+A rule-based protocol checker: it logs violations for debugging but has
+no timing metrics, no timeout counters, and no recovery action — the
+Table II profile of the original.  It wraps the reusable rule library in
+:mod:`repro.axi.protocol`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..axi.interface import AxiInterface
+from ..axi.protocol import ProtocolChecker, RuleViolation
+from ..sim.component import Component
+from ..sim.signal import Wire
+
+
+class AxiChecker(Component):
+    """Protocol-rule checker with a violation log and an error flag."""
+
+    def __init__(self, name: str, bus: AxiInterface, log_depth: int = 64) -> None:
+        super().__init__(name)
+        self._checker = ProtocolChecker(f"{name}.rules", bus)
+        self.log_depth = log_depth
+        self.error = Wire(f"{name}.error", False)
+        self._error_state = False
+
+    def wires(self):
+        yield from self._checker.wires()
+        yield self.error
+
+    def drive(self) -> None:
+        self.error.value = self._error_state
+
+    def update(self) -> None:
+        before = len(self._checker.violations)
+        self._checker.update()
+        if len(self._checker.violations) > before:
+            self._error_state = True
+            # Bounded log, as in the synthesizable original.
+            del self._checker.violations[self.log_depth:]
+
+    @property
+    def violations(self) -> List[RuleViolation]:
+        return self._checker.violations
+
+    @property
+    def clean(self) -> bool:
+        return self._checker.clean
+
+    def clear_error(self) -> None:
+        self._error_state = False
+
+    def reset(self) -> None:
+        self._checker.reset()
+        self._error_state = False

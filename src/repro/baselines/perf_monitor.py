@@ -1,0 +1,105 @@
+"""AXI performance-monitor baseline (paper refs. [7], [8], [10], [12], [14]).
+
+Represents the AMD AXI Performance Monitor / Synopsys Smart Monitor
+class of IP: rich transaction-level statistics — counts, byte volumes,
+latency min/max/mean, windowed throughput — but **no** fault detection,
+protocol checking, or recovery hooks (their Table II profile).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, List
+
+from ..axi.interface import AxiInterface
+from ..sim.component import Component
+from ..tmu.perf import LatencyStat
+
+
+@dataclasses.dataclass
+class TrafficCounters:
+    """Aggregate statistics for one direction."""
+
+    transactions: int = 0
+    beats: int = 0
+    bytes: int = 0
+    latency: LatencyStat = dataclasses.field(default_factory=LatencyStat)
+
+
+class AxiPerfMonitor(Component):
+    """Statistics-only observer on one AXI interface."""
+
+    def __init__(
+        self, name: str, bus: AxiInterface, window: int = 1024
+    ) -> None:
+        super().__init__(name)
+        self.bus = bus
+        self.window = window
+        self.write = TrafficCounters()
+        self.read = TrafficCounters()
+        self._cycle = 0
+        # Per-ID FIFO of (start_cycle, bytes_per_beat) for latency pairing.
+        self._w_pending: Dict[int, Deque[int]] = {}
+        self._r_pending: Dict[int, Deque[int]] = {}
+        self._window_beats: Deque[int] = deque()
+        self.window_history: List[float] = []
+
+    def wires(self):
+        yield from self.bus.wires()
+
+    def update(self) -> None:
+        self._cycle += 1
+        bus = self.bus
+        beats_this_cycle = 0
+        if bus.aw.fired():
+            beat = bus.aw.payload.value
+            self._w_pending.setdefault(beat.id, deque()).append(self._cycle)
+            self.write.transactions += 1
+        if bus.ar.fired():
+            beat = bus.ar.payload.value
+            self._r_pending.setdefault(beat.id, deque()).append(self._cycle)
+            self.read.transactions += 1
+        if bus.w.fired():
+            beat = bus.w.payload.value
+            self.write.beats += 1
+            self.write.bytes += bin(beat.strb).count("1")
+            beats_this_cycle += 1
+        if bus.b.fired():
+            beat = bus.b.payload.value
+            queue = self._w_pending.get(beat.id)
+            if queue:
+                self.write.latency.record(self._cycle - queue.popleft())
+        if bus.r.fired():
+            beat = bus.r.payload.value
+            self.read.beats += 1
+            beats_this_cycle += 1
+            if beat.last:
+                queue = self._r_pending.get(beat.id)
+                if queue:
+                    self.read.latency.record(self._cycle - queue.popleft())
+        self._window_beats.append(beats_this_cycle)
+        if len(self._window_beats) >= self.window:
+            self.window_history.append(
+                sum(self._window_beats) / len(self._window_beats)
+            )
+            self._window_beats.clear()
+
+    @property
+    def total_transactions(self) -> int:
+        return self.write.transactions + self.read.transactions
+
+    def throughput(self) -> float:
+        """Beats per cycle observed so far."""
+        if self._cycle == 0:
+            return 0.0
+        return (self.write.beats + self.read.beats) / self._cycle
+
+    def reset(self) -> None:
+        self.write = TrafficCounters()
+        self.read = TrafficCounters()
+        self._cycle = 0
+        self._w_pending.clear()
+        self._r_pending.clear()
+        self._window_beats.clear()
+        self.window_history.clear()

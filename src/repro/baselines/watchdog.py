@@ -1,0 +1,72 @@
+"""ARM SP805-class watchdog baseline (paper ref. [6]).
+
+A software-kicked countdown: the first expiry raises an interrupt, a
+second expiry with the interrupt still pending asserts the reset output.
+It observes no bus signals at all — which is precisely its Table II
+profile (fault detection ✓ through liveness only, everything else ✗).
+"""
+
+from __future__ import annotations
+
+from ..sim.component import Component
+from ..sim.signal import Wire
+
+
+class Sp805Watchdog(Component):
+    """Two-stage (interrupt, then reset) software watchdog."""
+
+    def __init__(self, name: str, load: int = 1000) -> None:
+        super().__init__(name)
+        if load <= 0:
+            raise ValueError("load must be positive")
+        self.load = load
+        self.irq = Wire(f"{name}.irq", False)
+        self.reset_out = Wire(f"{name}.reset_out", False)
+        self.enabled = True
+        self._counter = load
+        self._irq_state = False
+        self._reset_state = False
+        self.interrupts_raised = 0
+        self.resets_raised = 0
+
+    def wires(self):
+        yield self.irq
+        yield self.reset_out
+
+    # ------------------------------------------------------------------
+    # Software interface
+    # ------------------------------------------------------------------
+    def kick(self) -> None:
+        """Reload the counter (the periodic software 'pet')."""
+        self._counter = self.load
+
+    def clear_irq(self) -> None:
+        self._irq_state = False
+        self._counter = self.load
+
+    # ------------------------------------------------------------------
+    def drive(self) -> None:
+        self.irq.value = self._irq_state
+        self.reset_out.value = self._reset_state
+
+    def update(self) -> None:
+        if not self.enabled or self._reset_state:
+            return
+        self._counter -= 1
+        if self._counter > 0:
+            return
+        if not self._irq_state:
+            self._irq_state = True
+            self.interrupts_raised += 1
+            self._counter = self.load
+        else:
+            # Second expiry with the interrupt unserviced: assert reset.
+            self._reset_state = True
+            self.resets_raised += 1
+
+    def reset(self) -> None:
+        self._counter = self.load
+        self._irq_state = False
+        self._reset_state = False
+        self.interrupts_raised = 0
+        self.resets_raised = 0

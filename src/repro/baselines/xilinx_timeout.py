@@ -1,0 +1,81 @@
+"""Xilinx AXI Timeout Block-class baseline (paper ref. [5]).
+
+Detects *stalls*: whenever transactions are outstanding and the response
+channels make no progress for a programmable window, it flags an error
+and raises an interrupt.  Faithful to the limitations Table II lists —
+no phase-level latency metrics, no protocol checks, no per-transaction
+tracking (a single shared window timer), and no notion of multiple
+outstanding transactions beyond a counter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..axi.interface import AxiInterface
+from ..sim.component import Component
+from ..sim.signal import Wire
+
+
+class XilinxStyleTimeout(Component):
+    """Single-window stall detector on one AXI interface."""
+
+    def __init__(self, name: str, bus: AxiInterface, window: int = 256) -> None:
+        super().__init__(name)
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.bus = bus
+        self.window = window
+        self.irq = Wire(f"{name}.irq", False)
+        self._outstanding_w = 0
+        self._outstanding_r = 0
+        self._stall_timer = 0
+        self._irq_state = False
+        self.timeouts: List[int] = []
+        self._cycle = 0
+
+    def wires(self):
+        yield from self.bus.wires()
+        yield self.irq
+
+    def drive(self) -> None:
+        self.irq.value = self._irq_state
+
+    def update(self) -> None:
+        self._cycle += 1
+        bus = self.bus
+        if bus.aw.fired():
+            self._outstanding_w += 1
+        if bus.ar.fired():
+            self._outstanding_r += 1
+        progress = False
+        if bus.b.fired():
+            self._outstanding_w = max(0, self._outstanding_w - 1)
+            progress = True
+        if bus.r.fired():
+            progress = True
+            beat = bus.r.payload.value
+            if beat is not None and beat.last:
+                self._outstanding_r = max(0, self._outstanding_r - 1)
+        # One shared timer: any response progress rewinds it, which is
+        # exactly why this block cannot attribute stalls per transaction.
+        if self._outstanding_w + self._outstanding_r > 0 and not progress:
+            self._stall_timer += 1
+            if self._stall_timer >= self.window:
+                if not self._irq_state:
+                    self.timeouts.append(self._cycle)
+                self._irq_state = True
+        else:
+            self._stall_timer = 0
+
+    def clear_irq(self) -> None:
+        self._irq_state = False
+        self._stall_timer = 0
+
+    def reset(self) -> None:
+        self._outstanding_w = 0
+        self._outstanding_r = 0
+        self._stall_timer = 0
+        self._irq_state = False
+        self.timeouts.clear()
+        self._cycle = 0

@@ -1,0 +1,237 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro area --variant tiny --outstanding 32 --step 32
+    python -m repro inject --variant full --stage wlast_bvalid_error
+    python -m repro fig7
+    python -m repro fig8 --variant tiny
+    python -m repro fig11
+    python -m repro table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import render_series, render_table
+from .area.gf12 import REFERENCE_PRESCALE_STEP
+from .area.model import estimate_area, prescaler_saving
+from .baselines.features import TABLE2_COLUMNS, table2_profiles
+from .faults.campaign import measure_stall_detection_latency, run_injection
+from .faults.types import InjectionStage
+from .soc.experiment import FIG11_LABELS, FIG11_STAGES, run_system_injection
+from .tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
+from .tmu.config import TmuConfig, Variant
+
+
+def _variant(value: str) -> Variant:
+    try:
+        return Variant(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"variant must be 'tiny' or 'full', got {value!r}"
+        )
+
+
+def _stage(value: str) -> InjectionStage:
+    try:
+        return InjectionStage(value)
+    except ValueError:
+        choices = ", ".join(stage.value for stage in InjectionStage)
+        raise argparse.ArgumentTypeError(
+            f"unknown stage {value!r}; choose from: {choices}"
+        )
+
+
+def cmd_area(args) -> int:
+    report = estimate_area(
+        args.variant, args.outstanding, args.step, sticky=not args.no_sticky
+    )
+    rows = [[name, f"{value:.1f}"] for name, value in report.breakdown().items()]
+    print(
+        render_table(
+            ["component", "um^2"],
+            rows,
+            title=(
+                f"{args.variant.value} TMU, {args.outstanding} outstanding, "
+                f"prescale step {args.step} (GF12 model)"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_inject(args) -> int:
+    config = TmuConfig(variant=args.variant)
+    result = run_injection(config, args.stage, beats=args.beats)
+    rows = [
+        ["detected", result.detected],
+        ["latency from injection", result.latency_from_injection],
+        ["latency from txn start", result.latency_from_start],
+        ["fault kind", result.fault_kind],
+        ["attributed phase", result.fault_phase],
+        ["recovered", result.recovered],
+        ["subordinate resets", result.resets_taken],
+    ]
+    print(
+        render_table(
+            ["metric", "value"],
+            rows,
+            title=f"{args.stage.value} on {args.variant.value}, {args.beats} beats",
+        )
+    )
+    return 0 if result.detected and result.recovered else 1
+
+
+def cmd_fig7(args) -> int:
+    capacities = [1, 2, 4, 8, 16, 32, 64, 128]
+    series = []
+    for variant, label in ((Variant.TINY, "Tc"), (Variant.FULL, "Fc")):
+        series.append(
+            (label, [estimate_area(variant, n).total_um2 for n in capacities])
+        )
+        series.append(
+            (
+                f"{label}+Pre",
+                [
+                    estimate_area(
+                        variant, n, REFERENCE_PRESCALE_STEP, sticky=True
+                    ).total_um2
+                    for n in capacities
+                ],
+            )
+        )
+    print(
+        render_series(
+            "outstanding",
+            capacities,
+            series,
+            title="Fig. 7: area [um^2] vs outstanding transactions",
+        )
+    )
+    for variant, label in ((Variant.TINY, "Tc"), (Variant.FULL, "Fc")):
+        save16 = prescaler_saving(variant, 16) * 100
+        save32 = prescaler_saving(variant, 32) * 100
+        print(f"{label} prescaler saving @16/32 outstanding: "
+              f"{save16:.1f}% / {save32:.1f}%")
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    steps = [1, 2, 4, 8, 16, 32, 64, 128]
+    budget = args.budget
+    budgets = AdaptiveBudgetPolicy(
+        PhaseBudgets(aw_handshake=budget), SpanBudgets(base=budget, per_beat=0)
+    )
+    areas, latencies = [], []
+    for step in steps:
+        areas.append(
+            estimate_area(
+                args.variant, 128, step, sticky=True, budget_cycles=budget
+            ).total_um2
+        )
+        config = TmuConfig(
+            variant=args.variant,
+            max_uniq_ids=4,
+            txn_per_id=32,
+            prescale_step=step,
+            budgets=budgets,
+            max_txn_cycles=budget,
+        )
+        latencies.append(
+            measure_stall_detection_latency(config, offsets=range(min(step, 8)))
+        )
+    print(
+        render_series(
+            "step",
+            steps,
+            [("area_um2", areas), ("worst_detect_latency", latencies)],
+            title=(
+                f"Fig. 8 ({args.variant.value}): 128 outstanding, "
+                f"{budget}-cycle budget, total stall"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_fig11(args) -> int:
+    rows = []
+    for label, stage in zip(FIG11_LABELS, FIG11_STAGES):
+        fc = run_system_injection(Variant.FULL, stage)
+        tc = run_system_injection(Variant.TINY, stage)
+        rows.append(
+            [label, fc.fig11_latency, tc.latency_from_start,
+             "ok" if fc.recovered and tc.recovered else "FAILED"]
+        )
+    print(
+        render_table(
+            ["stage", "Fc latency", "Tc latency", "recovery"],
+            rows,
+            title="Fig. 11: system-level detection latency (250-beat frame)",
+        )
+    )
+    return 0
+
+
+def cmd_table2(args) -> int:
+    print(
+        render_table(
+            TABLE2_COLUMNS,
+            [profile.row() for profile in table2_profiles()],
+            title="Table II: comparison of AXI transaction monitors",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AXI4 TMU reproduction: run the paper's experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_area = sub.add_parser("area", help="GF12 area estimate for a TMU config")
+    p_area.add_argument("--variant", type=_variant, default=Variant.TINY)
+    p_area.add_argument("--outstanding", type=int, default=32)
+    p_area.add_argument("--step", type=int, default=1)
+    p_area.add_argument("--no-sticky", action="store_true")
+    p_area.set_defaults(func=cmd_area)
+
+    p_inject = sub.add_parser("inject", help="run one fault injection")
+    p_inject.add_argument("--variant", type=_variant, default=Variant.FULL)
+    p_inject.add_argument(
+        "--stage", type=_stage, default=InjectionStage.WLAST_TO_BVALID
+    )
+    p_inject.add_argument("--beats", type=int, default=8)
+    p_inject.set_defaults(func=cmd_inject)
+
+    p_fig7 = sub.add_parser("fig7", help="area scaling sweep")
+    p_fig7.set_defaults(func=cmd_fig7)
+
+    p_fig8 = sub.add_parser("fig8", help="prescaler area/latency trade-off")
+    p_fig8.add_argument("--variant", type=_variant, default=Variant.FULL)
+    p_fig8.add_argument("--budget", type=int, default=256)
+    p_fig8.set_defaults(func=cmd_fig8)
+
+    p_fig11 = sub.add_parser("fig11", help="system-level latency series")
+    p_fig11.set_defaults(func=cmd_fig11)
+
+    p_table2 = sub.add_parser("table2", help="monitor comparison matrix")
+    p_table2.set_defaults(func=cmd_table2)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

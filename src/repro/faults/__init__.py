@@ -1,0 +1,26 @@
+"""Fault injection: stages, signal forcing, campaign runner."""
+
+from .campaign import (
+    InjectionResult,
+    IpHarness,
+    apply_stage_fault,
+    measure_stall_detection_latency,
+    run_campaign,
+    run_injection,
+)
+from .injector import ChannelForce, FaultInjector
+from .types import FIG9_WRITE_STAGES, FaultSite, InjectionStage
+
+__all__ = [
+    "ChannelForce",
+    "FIG9_WRITE_STAGES",
+    "FaultInjector",
+    "FaultSite",
+    "InjectionResult",
+    "InjectionStage",
+    "IpHarness",
+    "apply_stage_fault",
+    "measure_stall_detection_latency",
+    "run_campaign",
+    "run_injection",
+]

@@ -1,0 +1,327 @@
+"""Fault-injection campaigns (paper §III-A3 and Fig. 9).
+
+:class:`IpHarness` wires the canonical IP-level test bench — traffic
+manager ↔ TMU ↔ subordinate, plus the external reset unit — and the
+campaign runner injects one :class:`~repro.faults.types.InjectionStage`
+per run, timestamps the fault's first manifestation on the interface,
+and measures when the TMU raises its interrupt.
+
+Two latencies are reported per injection, because the paper quotes both
+conventions in Fig. 11: ``latency_from_injection`` (phase-budget-shaped
+for the Full-Counter) and ``latency_from_start`` (whole-budget-shaped
+for the Tiny-Counter).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, List, Optional
+
+from ..axi.interface import AxiInterface
+from ..axi.manager import Manager
+from ..axi.subordinate import Subordinate
+from ..axi.traffic import read_spec, write_spec
+from ..axi.types import AxiDir
+from ..sim.kernel import Simulator
+from ..soc.reset_unit import ResetUnit
+from ..tmu.config import TmuConfig
+from ..tmu.unit import TransactionMonitoringUnit
+from .types import FaultSite, InjectionStage
+
+
+class IpHarness:
+    """Manager ↔ TMU ↔ subordinate closed loop with a reset unit."""
+
+    def __init__(
+        self,
+        config: TmuConfig,
+        b_latency: int = 1,
+        r_latency: int = 1,
+        reset_duration: int = 4,
+        with_reset_unit: bool = True,
+    ) -> None:
+        self.sim = Simulator()
+        self.host = AxiInterface("host")
+        self.device = AxiInterface("device")
+        self.manager = Manager("manager", self.host)
+        self.tmu = TransactionMonitoringUnit(
+            "tmu",
+            self.host,
+            self.device,
+            config,
+            standalone_ack_after=None if with_reset_unit else reset_duration,
+        )
+        self.subordinate = Subordinate(
+            "subordinate", self.device, b_latency=b_latency, r_latency=r_latency
+        )
+        self.sim.add(self.manager)
+        self.sim.add(self.tmu)
+        self.sim.add(self.subordinate)
+        self.reset_unit: Optional[ResetUnit] = None
+        if with_reset_unit:
+            self.reset_unit = ResetUnit(
+                "reset_unit",
+                self.tmu.reset_req,
+                self.tmu.reset_ack,
+                self.subordinate,
+                reset_duration=reset_duration,
+            )
+            self.sim.add(self.reset_unit)
+        # Interface-event counters used by stage triggers.
+        self.w_beats_fired = 0
+        self.r_beats_fired = 0
+        self.aw_fired_cycle: Optional[int] = None
+        self.ar_fired_cycle: Optional[int] = None
+        self.wlast_cycle: Optional[int] = None
+
+    def step(self) -> None:
+        self.sim.step()
+        if self.device.w.fired():
+            self.w_beats_fired += 1
+            beat = self.device.w.payload.value
+            if beat is not None and beat.last:
+                self.wlast_cycle = self.sim.cycle
+        if self.device.r.fired():
+            self.r_beats_fired += 1
+        if self.device.aw.fired() and self.aw_fired_cycle is None:
+            self.aw_fired_cycle = self.sim.cycle
+        if self.device.ar.fired() and self.ar_fired_cycle is None:
+            self.ar_fired_cycle = self.sim.cycle
+
+    @property
+    def cycle(self) -> int:
+        return self.sim.cycle
+
+
+@dataclasses.dataclass
+class InjectionResult:
+    """Outcome of one fault injection."""
+
+    stage: InjectionStage
+    variant: str
+    txn_start_cycle: int
+    inject_cycle: Optional[int]
+    detect_cycle: Optional[int]
+    fault_kind: Optional[str]
+    fault_phase: Optional[str]
+    recovered: bool
+    resets_taken: int
+
+    @property
+    def detected(self) -> bool:
+        return self.detect_cycle is not None
+
+    @property
+    def latency_from_injection(self) -> Optional[int]:
+        if self.detect_cycle is None or self.inject_cycle is None:
+            return None
+        return self.detect_cycle - self.inject_cycle
+
+    @property
+    def latency_from_start(self) -> Optional[int]:
+        if self.detect_cycle is None:
+            return None
+        return self.detect_cycle - self.txn_start_cycle
+
+
+def apply_stage_fault(sub_faults, mgr_faults, corrupt_id: int, stage: InjectionStage) -> None:
+    """Arm the fault switches that realize *stage* on a manager/subordinate pair."""
+    if stage == InjectionStage.AW_READY_MISSING:
+        sub_faults.deaf_aw = True
+    elif stage == InjectionStage.W_VALID_MISSING:
+        mgr_faults.freeze_w = True
+    elif stage in (InjectionStage.W_READY_MISSING, InjectionStage.DATA_TRANSFER_STALL):
+        sub_faults.deaf_w = True
+    elif stage == InjectionStage.WLAST_TO_BVALID:
+        sub_faults.mute_b = True
+    elif stage == InjectionStage.B_ID_MISMATCH:
+        sub_faults.corrupt_b_id = corrupt_id
+    elif stage == InjectionStage.B_READY_MISSING:
+        mgr_faults.deaf_b = True
+    elif stage == InjectionStage.AR_READY_MISSING:
+        sub_faults.deaf_ar = True
+    elif stage in (InjectionStage.R_VALID_MISSING, InjectionStage.R_MID_BURST_STALL):
+        sub_faults.mute_r = True
+    elif stage == InjectionStage.R_ID_MISMATCH:
+        sub_faults.corrupt_r_id = corrupt_id
+    elif stage == InjectionStage.R_LAST_DROPPED:
+        sub_faults.drop_r_last = True
+    elif stage == InjectionStage.R_READY_MISSING:
+        mgr_faults.deaf_r = True
+    else:  # pragma: no cover - exhaustive over the enum
+        raise ValueError(f"unhandled stage {stage}")
+
+
+def _apply_fault(harness: IpHarness, stage: InjectionStage) -> None:
+    apply_stage_fault(
+        harness.subordinate.faults,
+        harness.manager.faults,
+        harness.tmu.config.max_uniq_ids + 1,
+        stage,
+    )
+
+
+def _injection_deferred(stage: InjectionStage, beats: int) -> Optional[Callable]:
+    """Trigger predicate for stages applied mid-transaction, else None.
+
+    Single-beat bursts have no "middle": the mid-burst stages degenerate
+    to their apply-at-start counterparts.
+    """
+    if beats < 2:
+        return None
+    if stage == InjectionStage.DATA_TRANSFER_STALL:
+        threshold = beats // 2
+        return lambda harness: harness.w_beats_fired >= threshold
+    if stage == InjectionStage.R_MID_BURST_STALL:
+        threshold = beats // 2
+        return lambda harness: harness.r_beats_fired >= threshold
+    return None
+
+
+def _manifest_predicate(stage: InjectionStage) -> Callable[[IpHarness], bool]:
+    """When the injected fault first becomes observable on the interface."""
+    device = lambda harness: harness.device  # noqa: E731 - local alias
+    table = {
+        InjectionStage.AW_READY_MISSING: lambda h: bool(h.device.aw.valid.value),
+        InjectionStage.W_VALID_MISSING: lambda h: h.aw_fired_cycle is not None,
+        InjectionStage.W_READY_MISSING: lambda h: bool(h.device.w.valid.value),
+        InjectionStage.DATA_TRANSFER_STALL: lambda h: bool(
+            h.subordinate.faults.deaf_w
+        ),
+        InjectionStage.WLAST_TO_BVALID: lambda h: h.wlast_cycle is not None,
+        InjectionStage.B_ID_MISMATCH: lambda h: bool(h.device.b.valid.value),
+        InjectionStage.B_READY_MISSING: lambda h: bool(h.device.b.valid.value),
+        InjectionStage.AR_READY_MISSING: lambda h: bool(h.device.ar.valid.value),
+        InjectionStage.R_VALID_MISSING: lambda h: h.ar_fired_cycle is not None,
+        InjectionStage.R_MID_BURST_STALL: lambda h: bool(
+            h.subordinate.faults.mute_r
+        ),
+        InjectionStage.R_ID_MISMATCH: lambda h: bool(h.device.r.valid.value),
+        InjectionStage.R_LAST_DROPPED: lambda h: h.r_beats_fired > 0,
+        InjectionStage.R_READY_MISSING: lambda h: bool(h.device.r.valid.value),
+    }
+    del device
+    return table[stage]
+
+
+def run_injection(
+    config: TmuConfig,
+    stage: InjectionStage,
+    beats: int = 8,
+    detect_timeout: int = 10_000,
+    recovery_timeout: int = 2_000,
+    harness_kwargs: Optional[dict] = None,
+) -> InjectionResult:
+    """Inject one fault and measure detection and recovery.
+
+    The workload is a single transaction of *beats* beats in the stage's
+    direction.  After detection, manager-side faults are cleared (the
+    software recovery routine the paper's interrupt triggers) and the
+    run continues until the manager has drained, the subordinate has
+    been reset, and the TMU is monitoring again.
+    """
+    harness = IpHarness(config, **(harness_kwargs or {}))
+    spec_fn = write_spec if stage.direction == AxiDir.WRITE else read_spec
+    harness.manager.submit(spec_fn(0, 0x1000, beats=beats))
+
+    deferred = _injection_deferred(stage, beats)
+    if deferred is None:
+        _apply_fault(harness, stage)
+    manifest = _manifest_predicate(stage)
+
+    txn_start: Optional[int] = None
+    inject_cycle: Optional[int] = None
+    detect_cycle: Optional[int] = None
+    for _ in range(detect_timeout):
+        harness.step()
+        if txn_start is None and (
+            harness.host.aw.valid.value or harness.host.ar.valid.value
+        ):
+            txn_start = harness.cycle
+        if deferred is not None and inject_cycle is None and deferred(harness):
+            _apply_fault(harness, stage)
+            deferred = None
+            inject_cycle = harness.cycle
+        if inject_cycle is None and manifest(harness):
+            inject_cycle = harness.cycle
+        if harness.tmu.irq.value:
+            detect_cycle = harness.cycle
+            break
+
+    fault = harness.tmu.last_fault
+    recovered = False
+    if detect_cycle is not None:
+        harness.manager.faults.clear()  # software recovery routine
+        harness.tmu.clear_irq()
+        for _ in range(recovery_timeout):
+            harness.step()
+            if (
+                harness.manager.idle
+                and harness.tmu.state.value == "monitor"
+                and not harness.tmu.irq.value
+            ):
+                recovered = True
+                break
+
+    return InjectionResult(
+        stage=stage,
+        variant=config.variant.value,
+        txn_start_cycle=txn_start if txn_start is not None else 0,
+        inject_cycle=inject_cycle,
+        detect_cycle=detect_cycle,
+        fault_kind=fault.kind.value if fault else None,
+        fault_phase=fault.phase_label if fault else None,
+        recovered=recovered,
+        resets_taken=harness.subordinate.resets_taken,
+    )
+
+
+def run_campaign(
+    configs: Iterable[TmuConfig],
+    stages: Iterable[InjectionStage],
+    beats: int = 8,
+    **kwargs,
+) -> List[InjectionResult]:
+    """Cross-product campaign over configurations and stages."""
+    stages = list(stages)
+    results: List[InjectionResult] = []
+    for config in configs:
+        for stage in stages:
+            results.append(run_injection(config, stage, beats=beats, **kwargs))
+    return results
+
+
+def measure_stall_detection_latency(
+    config: TmuConfig,
+    offsets: Optional[Iterable[int]] = None,
+    timeout: int = 100_000,
+) -> int:
+    """Worst-case detection latency for a total-stall fault (Fig. 8).
+
+    Models the paper's measurement scenario: "the datapath never asserts
+    a valid signal, effectively modelling a total stall".  The stall
+    onset is swept across prescaler phase *offsets* and the worst
+    detection latency (cycles from ``aw_valid`` assertion to the TMU
+    interrupt) is returned.
+    """
+    if offsets is None:
+        offsets = range(min(config.prescale_step, 8))
+    worst = 0
+    for offset in offsets:
+        harness = IpHarness(config)
+        harness.subordinate.faults.deaf_aw = True
+        harness.manager.submit(write_spec(0, 0x1000, issue_delay=offset))
+        start: Optional[int] = None
+        for _ in range(timeout):
+            harness.step()
+            if start is None and harness.host.aw.valid.value:
+                start = harness.cycle
+            if harness.tmu.irq.value:
+                assert start is not None
+                worst = max(worst, harness.cycle - start)
+                break
+        else:
+            raise RuntimeError(
+                f"stall not detected within {timeout} cycles at offset {offset}"
+            )
+    return worst

@@ -1,0 +1,135 @@
+"""Signal-level fault injector: a forcing passthrough between interfaces.
+
+:class:`FaultInjector` sits on an AXI link and forwards all five
+channels transparently until a force is applied.  Forces override
+individual handshake signals (``valid``/``ready``) or rewrite payloads,
+modelling pin-level fault injection exactly as the paper's testbench
+does.  Because it is an ordinary component, it can be placed on either
+side of the TMU: upstream to model manager faults, downstream to model
+subordinate faults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Optional
+
+from ..axi.interface import AxiInterface
+from ..sim.component import Component
+
+PayloadMutator = Callable[[Any], Any]
+
+
+@dataclasses.dataclass
+class ChannelForce:
+    """Active overrides on one channel.
+
+    ``None`` means "pass through unchanged".
+    """
+
+    valid: Optional[bool] = None
+    ready: Optional[bool] = None
+    mutate: Optional[PayloadMutator] = None
+
+    def clear(self) -> None:
+        self.valid = None
+        self.ready = None
+        self.mutate = None
+
+    @property
+    def any_active(self) -> bool:
+        return (
+            self.valid is not None
+            or self.ready is not None
+            or self.mutate is not None
+        )
+
+
+class FaultInjector(Component):
+    """Transparent AXI passthrough with per-channel signal forcing.
+
+    Parameters
+    ----------
+    upstream:
+        Interface toward the manager/TMU side.
+    downstream:
+        Interface toward the subordinate side.
+    """
+
+    CHANNELS = ("aw", "w", "b", "ar", "r")
+    _REQUEST_CHANNELS = ("aw", "w", "ar")
+
+    def __init__(
+        self, name: str, upstream: AxiInterface, downstream: AxiInterface
+    ) -> None:
+        super().__init__(name)
+        self.upstream = upstream
+        self.downstream = downstream
+        self.forces: Dict[str, ChannelForce] = {
+            channel: ChannelForce() for channel in self.CHANNELS
+        }
+        self.forced_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Force API
+    # ------------------------------------------------------------------
+    def force(
+        self,
+        channel: str,
+        valid: Optional[bool] = None,
+        ready: Optional[bool] = None,
+        mutate: Optional[PayloadMutator] = None,
+    ) -> None:
+        """Apply overrides to *channel* (one of aw/w/b/ar/r)."""
+        if channel not in self.forces:
+            raise KeyError(f"unknown channel {channel!r}")
+        entry = self.forces[channel]
+        entry.valid = valid
+        entry.ready = ready
+        entry.mutate = mutate
+
+    def release(self, channel: Optional[str] = None) -> None:
+        """Remove overrides from *channel*, or from all channels."""
+        if channel is None:
+            for entry in self.forces.values():
+                entry.clear()
+        else:
+            self.forces[channel].clear()
+
+    @property
+    def any_force_active(self) -> bool:
+        return any(entry.any_active for entry in self.forces.values())
+
+    # ------------------------------------------------------------------
+    # Component protocol
+    # ------------------------------------------------------------------
+    def wires(self):
+        yield from self.upstream.wires()
+        yield from self.downstream.wires()
+
+    def drive(self) -> None:
+        for channel in self.CHANNELS:
+            src_if, dst_if = (
+                (self.upstream, self.downstream)
+                if channel in self._REQUEST_CHANNELS
+                else (self.downstream, self.upstream)
+            )
+            src = getattr(src_if, channel)
+            dst = getattr(dst_if, channel)
+            force = self.forces[channel]
+            valid = src.valid.value if force.valid is None else force.valid
+            payload = src.payload.value
+            if force.mutate is not None and payload is not None:
+                payload = force.mutate(payload)
+            dst.valid.value = bool(valid)
+            dst.payload.value = payload if valid else None
+            ready = dst.ready.value if force.ready is None else force.ready
+            src.ready.value = bool(ready)
+
+    def update(self) -> None:
+        if self.any_force_active:
+            self.forced_cycles += 1
+
+    def reset(self) -> None:
+        self.release()
+        self.forced_cycles = 0

@@ -1,0 +1,20 @@
+"""Two-phase synchronous simulation kernel.
+
+The kernel models synchronous digital hardware: every cycle, component
+``drive()`` methods settle combinational wire values to a fixed point,
+then ``update()`` methods advance registered state at the clock edge.
+"""
+
+from .component import Component
+from .kernel import SettleError, Simulator
+from .signal import Channel, Wire
+from .vcd import VcdWriter
+
+__all__ = [
+    "Channel",
+    "Component",
+    "SettleError",
+    "Simulator",
+    "VcdWriter",
+    "Wire",
+]

@@ -1,0 +1,53 @@
+"""Component base class for the two-phase synchronous simulation kernel.
+
+Every hardware block in this reproduction — managers, subordinates, the
+TMU, crossbars, reset units — subclasses :class:`Component` and follows a
+strict discipline:
+
+* :meth:`drive` is the *combinational* phase.  It may read any wire and
+  any of the component's registered state, and may write only the wires
+  the component sources.  It must be idempotent: the kernel calls it
+  repeatedly until all wires reach a fixed point.
+* :meth:`update` is the *sequential* phase (the clock edge).  It may read
+  the settled wires and mutate registered state, but must not write
+  wires.
+
+This mirrors how synthesizable RTL separates combinational logic from
+flip-flops and is what makes the TMU's cycle-level detection latencies
+directly comparable with the paper's RTL measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .signal import Wire
+
+
+class Component:
+    """Base class for synchronous hardware models."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def wires(self) -> Iterable[Wire]:
+        """Wires sourced or observed by this component.
+
+        The kernel uses these for fixed-point detection and tracing.
+        Subclasses should yield every wire of every interface they touch;
+        duplicates across components are harmless (deduplicated by
+        identity).
+        """
+        return ()
+
+    def drive(self) -> None:
+        """Combinational phase: compute outputs from inputs + state."""
+
+    def update(self) -> None:
+        """Sequential phase: commit registered state at the clock edge."""
+
+    def reset(self) -> None:
+        """Synchronous reset: restore registered state to power-on values."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,127 @@
+"""The simulation kernel: a two-phase (settle / update) synchronous engine.
+
+One simulated clock cycle proceeds as:
+
+1. **Settle** — every component's ``drive()`` runs; the kernel repeats
+   the sweep until no wire changes value.  This resolves combinational
+   chains (e.g. a subordinate asserting ``ready`` in response to a
+   manager's ``valid`` routed through a crossbar and a TMU passthrough)
+   exactly as a delta-cycle RTL simulator would.
+2. **Update** — every component's ``update()`` runs once against the
+   settled wire values; registered state advances.  Handshakes "fire"
+   here: both endpoints of a channel observe ``valid & ready``.
+
+A combinational loop (no fixed point) raises :class:`SettleError` rather
+than silently oscillating.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .component import Component
+from .signal import Wire
+
+
+class SettleError(RuntimeError):
+    """Raised when the combinational phase fails to reach a fixed point."""
+
+
+class Simulator:
+    """Owns components and advances simulated time cycle by cycle.
+
+    Parameters
+    ----------
+    max_settle_iterations:
+        Upper bound on drive sweeps per cycle before declaring a
+        combinational loop.  Deep hierarchies (manager → crossbar → TMU →
+        fault injector → subordinate and back) need one sweep per level;
+        the default is generous.
+    """
+
+    def __init__(self, max_settle_iterations: int = 64) -> None:
+        self.components: List[Component] = []
+        self.cycle = 0
+        self.max_settle_iterations = max_settle_iterations
+        self._wires: Dict[int, Wire] = {}
+        self._probes: List[Callable[["Simulator"], None]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, component: Component) -> Component:
+        """Register *component* (and its wires) with the simulator."""
+        self.components.append(component)
+        for wire in component.wires():
+            self._wires[id(wire)] = wire
+        return component
+
+    def add_probe(self, probe: Callable[["Simulator"], None]) -> None:
+        """Register a callable invoked after every cycle's update phase.
+
+        Probes are for measurement only (detection-latency probes, VCD
+        writers); they must not mutate simulation state.
+        """
+        self._probes.append(probe)
+
+    @property
+    def wires(self) -> List[Wire]:
+        return list(self._wires.values())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Synchronously reset every wire and component; rewind the clock."""
+        for wire in self._wires.values():
+            wire.reset()
+        for component in self.components:
+            component.reset()
+        self.cycle = 0
+
+    def _snapshot(self) -> Tuple[Any, ...]:
+        return tuple(wire.value for wire in self._wires.values())
+
+    def _settle(self) -> None:
+        previous = self._snapshot()
+        for _ in range(self.max_settle_iterations):
+            for component in self.components:
+                component.drive()
+            current = self._snapshot()
+            if current == previous:
+                return
+            previous = current
+        raise SettleError(
+            f"combinational loop: wires did not settle within "
+            f"{self.max_settle_iterations} iterations at cycle {self.cycle}"
+        )
+
+    def step(self) -> None:
+        """Advance simulated time by one clock cycle."""
+        self._settle()
+        for component in self.components:
+            component.update()
+        self.cycle += 1
+        for probe in self._probes:
+            probe(self)
+
+    def run(self, cycles: int) -> None:
+        """Advance by *cycles* clock cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def run_until(
+        self,
+        condition: Callable[["Simulator"], bool],
+        timeout: int = 100_000,
+    ) -> Optional[int]:
+        """Step until *condition* holds; return the cycle it first held.
+
+        Returns ``None`` if *timeout* cycles elapse first.  The condition
+        is evaluated after each cycle's update phase.
+        """
+        for _ in range(timeout):
+            self.step()
+            if condition(self):
+                return self.cycle
+        return None

@@ -1,0 +1,99 @@
+"""Wires: the atomic state elements of the two-phase simulation kernel.
+
+A :class:`Wire` carries a value driven combinationally during the *drive*
+phase of a cycle.  The kernel re-runs every component's ``drive`` until no
+wire changes value (a fixed point), which lets ``ready`` depend on
+``valid`` within the same cycle exactly like combinational RTL.  Wires are
+deliberately dumb containers; all semantics live in components.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class Wire:
+    """A named, typed value container driven during the combinational phase.
+
+    Parameters
+    ----------
+    name:
+        Hierarchical name used for tracing and VCD dumps.
+    init:
+        Reset value.  ``reset()`` restores it.
+    width:
+        Bit width hint for waveform dumps (bools are width 1).
+    """
+
+    __slots__ = ("name", "value", "init", "width")
+
+    def __init__(self, name: str, init: Any = False, width: int = 1) -> None:
+        self.name = name
+        self.init = init
+        self.value = init
+        self.width = width
+
+    def reset(self) -> None:
+        self.value = self.init
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Wire({self.name!r}, value={self.value!r})"
+
+
+class Channel:
+    """A valid/ready-handshaked channel carrying one payload per transfer.
+
+    The *source* drives ``valid`` and ``payload``; the *sink* drives
+    ``ready``.  A transfer *fires* in a cycle where both are asserted at
+    the clock edge; components observe :meth:`fired` during their
+    ``update`` phase.
+
+    AXI4 semantics encoded here:
+
+    * the source must keep ``valid`` asserted (with stable payload) until
+      the handshake completes — enforcement is the protocol checker's
+      job, not the channel's;
+    * ``ready`` may be asserted combinationally in response to ``valid``.
+    """
+
+    __slots__ = ("name", "valid", "ready", "payload")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.valid = Wire(f"{name}.valid", False)
+        self.ready = Wire(f"{name}.ready", False)
+        self.payload = Wire(f"{name}.payload", None, width=64)
+
+    def wires(self) -> Iterator[Wire]:
+        yield self.valid
+        yield self.ready
+        yield self.payload
+
+    def drive(self, payload: Any) -> None:
+        """Source-side helper: assert valid with *payload*."""
+        self.valid.value = True
+        self.payload.value = payload
+
+    def idle(self) -> None:
+        """Source-side helper: deassert valid."""
+        self.valid.value = False
+        self.payload.value = None
+
+    def fired(self) -> bool:
+        """True when a transfer completes this cycle (valid and ready)."""
+        return bool(self.valid.value and self.ready.value)
+
+    def beat(self) -> Optional[Any]:
+        """The payload transferred this cycle, or None if no transfer."""
+        return self.payload.value if self.fired() else None
+
+    def reset(self) -> None:
+        self.valid.reset()
+        self.ready.reset()
+        self.payload.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel({self.name!r}, valid={self.valid.value}, "
+            f"ready={self.ready.value})"
+        )

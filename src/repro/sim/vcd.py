@@ -1,0 +1,94 @@
+"""Minimal VCD (Value Change Dump) writer for debugging simulations.
+
+The writer traces a chosen set of :class:`~repro.sim.signal.Wire` objects
+and emits a standards-compliant VCD file viewable in GTKWave.  Boolean
+wires dump as 1-bit scalars; integer wires as binary vectors; anything
+else (e.g. channel payload dataclasses) dumps presence as a 1-bit scalar
+so stalls and bubbles remain visible without serialising payloads.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Dict, List, Optional
+
+from .kernel import Simulator
+from .signal import Wire
+
+_IDENT_ALPHABET = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Map an integer to a compact VCD identifier string."""
+    if index < 0:
+        raise ValueError("identifier index must be non-negative")
+    chars: List[str] = []
+    base = len(_IDENT_ALPHABET)
+    while True:
+        chars.append(_IDENT_ALPHABET[index % base])
+        index //= base
+        if index == 0:
+            break
+    return "".join(reversed(chars))
+
+
+class VcdWriter:
+    """Streams value changes of selected wires to a VCD file.
+
+    Usage::
+
+        writer = VcdWriter(open("trace.vcd", "w"), wires)
+        sim.add_probe(writer.sample)
+        ...
+        writer.close()
+    """
+
+    def __init__(
+        self,
+        stream: IO[str],
+        wires: List[Wire],
+        timescale: str = "1ns",
+        module: str = "top",
+    ) -> None:
+        self._stream = stream
+        self._wires = wires
+        self._idents: Dict[int, str] = {
+            id(w): _identifier(i) for i, w in enumerate(wires)
+        }
+        self._last: Dict[int, Optional[str]] = {id(w): None for w in wires}
+        self._write_header(timescale, module)
+
+    def _write_header(self, timescale: str, module: str) -> None:
+        out = self._stream
+        out.write(f"$timescale {timescale} $end\n")
+        out.write(f"$scope module {module} $end\n")
+        for wire in self._wires:
+            ident = self._idents[id(wire)]
+            width = wire.width if isinstance(wire.value, int) else 1
+            safe = wire.name.replace(" ", "_")
+            out.write(f"$var wire {width} {ident} {safe} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+
+    def _format(self, wire: Wire) -> str:
+        ident = self._idents[id(wire)]
+        value = wire.value
+        if isinstance(value, bool):
+            return f"{int(value)}{ident}"
+        if isinstance(value, int):
+            return f"b{value:b} {ident}"
+        return f"{0 if value is None else 1}{ident}"
+
+    def sample(self, sim: Simulator) -> None:
+        """Probe callback: emit changes for the just-completed cycle."""
+        changes: List[str] = []
+        for wire in self._wires:
+            formatted = self._format(wire)
+            if formatted != self._last[id(wire)]:
+                self._last[id(wire)] = formatted
+                changes.append(formatted)
+        if changes:
+            self._stream.write(f"#{sim.cycle}\n")
+            for change in changes:
+                self._stream.write(change + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()

@@ -1,0 +1,65 @@
+"""System-level substrate: the Cheshire-like SoC of the paper's Fig. 10."""
+
+from .cheshire import (
+    BOOTROM_BASE,
+    DRAM_BASE,
+    ETHERNET_BASE,
+    SYSTEM_FC_BUDGETS,
+    SYSTEM_TC_BUDGET,
+    CheshireSoC,
+    system_budget_policy,
+    system_tmu_config,
+)
+from .cpu import RecoveryCpu, RecoveryRecord
+from .dma import DmaDescriptor, DmaEngine
+from .ethernet import EthernetMac
+from .plic import Plic
+from .reset_unit import ResetUnit
+
+__all__ = [
+    "BOOTROM_BASE",
+    "CheshireSoC",
+    "DRAM_BASE",
+    "DmaDescriptor",
+    "DmaEngine",
+    "ETHERNET_BASE",
+    "EthernetMac",
+    "Plic",
+    "RecoveryCpu",
+    "RecoveryRecord",
+    "ResetUnit",
+    "SYSTEM_FC_BUDGETS",
+    "SYSTEM_TC_BUDGET",
+    "system_budget_policy",
+    "system_tmu_config",
+]
+
+from .experiment import (  # noqa: E402 - appended exports
+    FIG11_LABELS,
+    FIG11_STAGES,
+    SystemInjectionResult,
+    run_fig11,
+    run_system_injection,
+)
+from .regbus import (  # noqa: E402
+    RegBusDemux,
+    RegBusMaster,
+    RegBusPort,
+    RegRequest,
+    RegResponse,
+    TmuRegbusAdapter,
+)
+
+__all__ += [
+    "FIG11_LABELS",
+    "FIG11_STAGES",
+    "RegBusDemux",
+    "RegBusMaster",
+    "RegBusPort",
+    "RegRequest",
+    "RegResponse",
+    "SystemInjectionResult",
+    "TmuRegbusAdapter",
+    "run_fig11",
+    "run_system_injection",
+]

@@ -1,0 +1,159 @@
+"""Recovery-software model: the hart servicing TMU interrupts.
+
+The paper's flow (§II-B): on a TMU interrupt "the processor runs
+software-based recovery routines".  This component models that handler:
+it claims the interrupt from the PLIC after a configurable ISR entry
+latency, reads the TMU's fault registers the way a driver would, clears
+the interrupt, and logs the episode.
+
+Register access runs either directly against the register file or — when
+a :class:`~repro.soc.regbus.RegBusMaster` is supplied — through the
+Regbus, taking one bus round-trip per access exactly like Cheshire's
+configuration path (Fig. 10's "Regbus Demux").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional
+
+from ..sim.component import Component
+from ..tmu.registers import REG_FAULT_KIND, REG_IRQ_CLEAR, REG_STATUS, TmuRegisters
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryRecord:
+    """One serviced TMU interrupt."""
+
+    claim_cycle: int
+    source: str
+    fault_kind_code: int
+    status: int
+
+
+class _IsrState(enum.Enum):
+    IDLE = "idle"
+    ENTRY = "entry"
+    READ_STATUS = "read_status"
+    READ_KIND = "read_kind"
+    CLEAR = "clear"
+
+
+class RecoveryCpu(Component):
+    """Polls the PLIC and services TMU interrupts via the register file."""
+
+    def __init__(
+        self,
+        name: str,
+        plic,
+        tmu_regs,
+        isr_latency: int = 5,
+        regbus=None,
+        regbus_bases: Optional[dict] = None,
+    ) -> None:
+        super().__init__(name)
+        self.plic = plic
+        # One register file per interrupt source; a bare TmuRegisters is
+        # shorthand for a single source named "tmu".
+        if isinstance(tmu_regs, TmuRegisters):
+            tmu_regs = {"tmu": tmu_regs}
+        self.tmu_regs = tmu_regs
+        self.isr_latency = isr_latency
+        self.regbus = regbus
+        self.regbus_bases = regbus_bases if regbus_bases is not None else {"tmu": 0}
+        self.recoveries: List[RecoveryRecord] = []
+        self._cycle = 0
+        self._servicing: Optional[int] = None
+        self._countdown = 0
+        self._state = _IsrState.IDLE
+        self._status = 0
+        self._kind = 0
+        self._awaiting_bus = False
+
+    # ------------------------------------------------------------------
+    # Register access, direct or through the Regbus
+    # ------------------------------------------------------------------
+    def _source_name(self) -> str:
+        return self.plic.source_name(self._servicing)
+
+    def _current_regs(self) -> TmuRegisters:
+        return self.tmu_regs[self._source_name()]
+
+    def _bus_read(self, offset: int, store: str) -> None:
+        self._awaiting_bus = True
+
+        def done(response):
+            setattr(self, store, response.rdata)
+            self._awaiting_bus = False
+
+        base = self.regbus_bases[self._source_name()]
+        self.regbus.read(base + offset, done)
+
+    def _bus_write(self, offset: int, value: int) -> None:
+        self._awaiting_bus = True
+
+        def done(_response):
+            self._awaiting_bus = False
+
+        base = self.regbus_bases[self._source_name()]
+        self.regbus.write(base + offset, value, done)
+
+    # ------------------------------------------------------------------
+    def update(self) -> None:
+        self._cycle += 1
+        if self._state == _IsrState.IDLE:
+            source = self.plic.claim()
+            if source is not None:
+                self._servicing = source
+                self._countdown = self.isr_latency
+                self._state = _IsrState.ENTRY
+            return
+        if self._state == _IsrState.ENTRY:
+            if self._countdown > 0:
+                self._countdown -= 1
+                return
+            if self.regbus is None:
+                # Direct access: the whole handler body in one cycle.
+                regs = self._current_regs()
+                self._status = regs.read(REG_STATUS)
+                self._kind = regs.read(REG_FAULT_KIND)
+                regs.write(REG_IRQ_CLEAR, 1)
+                self._finish()
+                return
+            self._bus_read(REG_STATUS, "_status")
+            self._state = _IsrState.READ_STATUS
+            return
+        if self._awaiting_bus:
+            return
+        if self._state == _IsrState.READ_STATUS:
+            self._bus_read(REG_FAULT_KIND, "_kind")
+            self._state = _IsrState.READ_KIND
+        elif self._state == _IsrState.READ_KIND:
+            self._bus_write(REG_IRQ_CLEAR, 1)
+            self._state = _IsrState.CLEAR
+        elif self._state == _IsrState.CLEAR:
+            self._finish()
+
+    def _finish(self) -> None:
+        self.recoveries.append(
+            RecoveryRecord(
+                claim_cycle=self._cycle,
+                source=self.plic.source_name(self._servicing),
+                fault_kind_code=self._kind,
+                status=self._status,
+            )
+        )
+        self.plic.complete(self._servicing)
+        self._servicing = None
+        self._state = _IsrState.IDLE
+
+    def reset(self) -> None:
+        self.recoveries.clear()
+        self._cycle = 0
+        self._servicing = None
+        self._countdown = 0
+        self._state = _IsrState.IDLE
+        self._status = 0
+        self._kind = 0
+        self._awaiting_bus = False

@@ -1,0 +1,75 @@
+"""RGMII-Ethernet-like AXI subordinate (paper §III-B).
+
+The system-level experiment monitors "an RGMII Ethernet peripheral"
+whose AXI window receives frame data for transmission.  This model is a
+memory-mapped MAC: writes land in a TX buffer and are drained to the
+(virtual) line at a configurable rate; reads return RX/status data.
+What matters for the TMU is the AXI-side timing — handshake delays,
+a frame-sized transfer of hundreds of beats, and fault hooks — all of
+which the base :class:`~repro.axi.subordinate.Subordinate` provides.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..axi.interface import AxiInterface
+from ..axi.memory import SparseMemory
+from ..axi.subordinate import Subordinate
+
+
+class EthernetMac(Subordinate):
+    """Ethernet MAC endpoint with TX-drain bookkeeping.
+
+    Parameters
+    ----------
+    line_rate_beats_per_cycle:
+        How many buffered TX beats the (virtual) RGMII line drains per
+        clock cycle; only statistics depend on it.
+    """
+
+    # AXI window layout (offsets into the peripheral's range).
+    TX_BUFFER_OFFSET = 0x0000
+    TX_BUFFER_SIZE = 0x4000
+    RX_BUFFER_OFFSET = 0x4000
+    STATUS_OFFSET = 0x8000
+
+    def __init__(
+        self,
+        name: str,
+        bus: AxiInterface,
+        memory: Optional[SparseMemory] = None,
+        line_rate_beats_per_cycle: float = 0.25,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("b_latency", 2)
+        kwargs.setdefault("r_latency", 2)
+        kwargs.setdefault("max_outstanding", 8)
+        super().__init__(name, bus, memory, **kwargs)
+        self.line_rate = line_rate_beats_per_cycle
+        self.tx_beats_buffered = 0.0
+        self.frames_sent = 0
+        self.beats_received = 0
+
+    def _on_w_fired(self, beat) -> None:
+        super()._on_w_fired(beat)
+        self.beats_received += 1
+        self.tx_beats_buffered += 1
+        if beat.last:
+            self.frames_sent += 1
+
+    def update(self) -> None:
+        super().update()
+        if self.tx_beats_buffered > 0:
+            self.tx_beats_buffered = max(
+                0.0, self.tx_beats_buffered - self.line_rate
+            )
+
+    def _take_reset(self) -> None:
+        super()._take_reset()
+        self.tx_beats_buffered = 0.0
+
+    def reset(self) -> None:
+        super().reset()
+        self.frames_sent = 0
+        self.beats_received = 0

@@ -1,0 +1,223 @@
+"""System-level fault-injection experiment (paper §III-B, Fig. 11).
+
+Runs the paper's Ethernet scenario on the Cheshire model: a 250-beat
+write on a 64-bit bus, with a fault injected at the beginning, middle or
+end of the transaction.  The Tiny-Counter uses a single 320-cycle budget
+for the whole transaction; the Full-Counter uses the per-phase budgets
+(10 for AW, 250 for W, etc.), so it detects early faults near-immediately
+while Tc always reports at the end of the full budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..faults.types import InjectionStage
+from ..tmu.config import Variant
+from .cheshire import CheshireSoC, system_tmu_config
+
+#: The six write-direction stages of Fig. 11, in the figure's order.
+FIG11_STAGES = (
+    InjectionStage.AW_READY_MISSING,    # AWVLD_AWRDY
+    InjectionStage.W_VALID_MISSING,     # AWRDY_WVLD
+    InjectionStage.W_READY_MISSING,     # WVLD_WRDY (WFIRST)
+    InjectionStage.DATA_TRANSFER_STALL, # WFIRST_WLAST
+    InjectionStage.WLAST_TO_BVALID,     # WLAST_BVLD
+    InjectionStage.B_READY_MISSING,     # BVLD_BRDY
+)
+
+#: Fig. 11 x-axis labels for the six stages.
+FIG11_LABELS = (
+    "AWVLD_AWRDY",
+    "AWRDY_WVLD",
+    "WVLD_WRDY(WFIRST)",
+    "WFIRST_WLAST",
+    "WLAST_BVLD",
+    "BVLD_BRDY",
+)
+
+
+@dataclasses.dataclass
+class SystemInjectionResult:
+    """Outcome of one system-level injection."""
+
+    stage: InjectionStage
+    variant: str
+    txn_start_cycle: Optional[int]
+    inject_cycle: Optional[int]
+    w_first_cycle: Optional[int]
+    detect_cycle: Optional[int]
+    fault_phase: Optional[str]
+    fault_kind: Optional[str]
+    ethernet_resets: int
+    cpu_recoveries: int
+    recovered: bool
+
+    @property
+    def latency_from_injection(self) -> Optional[int]:
+        if self.detect_cycle is None or self.inject_cycle is None:
+            return None
+        return self.detect_cycle - self.inject_cycle
+
+    @property
+    def latency_from_start(self) -> Optional[int]:
+        if self.detect_cycle is None or self.txn_start_cycle is None:
+            return None
+        return self.detect_cycle - self.txn_start_cycle
+
+    @property
+    def fig11_latency(self) -> Optional[int]:
+        """Latency in Fig. 11's convention.
+
+        The figure quotes the Full-Counter bar for the ``WFIRST_WLAST``
+        stage as the full W-phase budget (250), i.e. measured from the
+        phase start (the first W beat) rather than from the mid-burst
+        injection point; all other stages coincide with
+        ``latency_from_injection``.
+        """
+        if self.detect_cycle is None:
+            return None
+        if (
+            self.stage == InjectionStage.DATA_TRANSFER_STALL
+            and self.w_first_cycle is not None
+        ):
+            return self.detect_cycle - self.w_first_cycle
+        return self.latency_from_injection
+
+
+def run_system_injection(
+    variant: Variant,
+    stage: InjectionStage,
+    beats: int = 250,
+    background: int = 0,
+    detect_timeout: int = 20_000,
+    recovery_timeout: int = 5_000,
+) -> SystemInjectionResult:
+    """One Fig. 11 data point: inject *stage* during the Ethernet frame."""
+    # Imported here: repro.faults.campaign builds IP harnesses with the
+    # reset unit from this package, so a module-level import would cycle.
+    from ..faults.campaign import apply_stage_fault
+
+    soc = CheshireSoC(system_tmu_config(variant, frame_beats=beats))
+    soc.send_ethernet_frame(beats)
+    if background:
+        soc.submit_background_traffic(background)
+
+    deferred_threshold = None
+    if stage == InjectionStage.DATA_TRANSFER_STALL:
+        deferred_threshold = beats // 2
+    elif stage == InjectionStage.R_MID_BURST_STALL:
+        deferred_threshold = beats // 2
+    else:
+        apply_stage_fault(
+            soc.ethernet.faults,
+            soc.dma.faults,
+            soc.tmu.config.max_uniq_ids + 1,
+            stage,
+        )
+
+    txn_start: Optional[int] = None
+    inject_cycle: Optional[int] = None
+    detect_cycle: Optional[int] = None
+    w_first_cycle: Optional[int] = None
+    w_beats = 0
+    wlast_seen = False
+    for _ in range(detect_timeout):
+        soc.sim.step()
+        dev = soc.eth_dev_bus
+        if txn_start is None and soc.eth_host_bus.aw.valid.value:
+            txn_start = soc.sim.cycle
+        if dev.w.fired():
+            if w_first_cycle is None:
+                w_first_cycle = soc.sim.cycle
+            w_beats += 1
+            beat = dev.w.payload.value
+            if beat is not None and beat.last:
+                wlast_seen = True
+        if (
+            deferred_threshold is not None
+            and inject_cycle is None
+            and w_beats >= deferred_threshold
+        ):
+            apply_stage_fault(
+                soc.ethernet.faults,
+                soc.dma.faults,
+                soc.tmu.config.max_uniq_ids + 1,
+                stage,
+            )
+            inject_cycle = soc.sim.cycle
+            deferred_threshold = None
+        if inject_cycle is None and _manifested(soc, stage, wlast_seen):
+            inject_cycle = soc.sim.cycle
+        if soc.tmu.irq.value:
+            detect_cycle = soc.sim.cycle
+            break
+
+    fault = soc.tmu.last_fault
+    recovered = False
+    if detect_cycle is not None:
+        soc.dma.faults.clear()  # software recovery clears the manager fault
+        for _ in range(recovery_timeout):
+            soc.sim.step()
+            if (
+                soc.all_idle
+                and soc.tmu.state.value == "monitor"
+                and not soc.tmu.irq.value
+                and soc.cpu.recoveries
+            ):
+                recovered = True
+                break
+
+    return SystemInjectionResult(
+        stage=stage,
+        variant=variant.value,
+        txn_start_cycle=txn_start,
+        inject_cycle=inject_cycle,
+        w_first_cycle=w_first_cycle,
+        detect_cycle=detect_cycle,
+        fault_phase=fault.phase_label if fault else None,
+        fault_kind=fault.kind.value if fault else None,
+        ethernet_resets=soc.ethernet.resets_taken,
+        cpu_recoveries=len(soc.cpu.recoveries),
+        recovered=recovered,
+    )
+
+
+def _manifested(soc: CheshireSoC, stage: InjectionStage, wlast_seen: bool) -> bool:
+    dev = soc.eth_dev_bus
+    if stage == InjectionStage.AW_READY_MISSING:
+        return bool(dev.aw.valid.value)
+    if stage == InjectionStage.W_VALID_MISSING:
+        return bool(dev.aw.fired()) or bool(soc.tmu.write_guard.ott.occupancy)
+    if stage == InjectionStage.W_READY_MISSING:
+        return bool(dev.w.valid.value)
+    if stage == InjectionStage.WLAST_TO_BVALID:
+        return wlast_seen
+    if stage in (InjectionStage.B_ID_MISMATCH, InjectionStage.B_READY_MISSING):
+        return bool(dev.b.valid.value)
+    if stage == InjectionStage.AR_READY_MISSING:
+        return bool(dev.ar.valid.value)
+    if stage == InjectionStage.R_VALID_MISSING:
+        return bool(dev.ar.fired()) or bool(soc.tmu.read_guard.ott.occupancy)
+    if stage in (
+        InjectionStage.R_ID_MISMATCH,
+        InjectionStage.R_LAST_DROPPED,
+        InjectionStage.R_READY_MISSING,
+    ):
+        return bool(dev.r.valid.value)
+    return False
+
+
+def run_fig11(
+    beats: int = 250, background: int = 0
+) -> Dict[str, List[SystemInjectionResult]]:
+    """All Fig. 11 series: both variants across the six write stages."""
+    results: Dict[str, List[SystemInjectionResult]] = {}
+    for variant in (Variant.FULL, Variant.TINY):
+        series = [
+            run_system_injection(variant, stage, beats=beats, background=background)
+            for stage in FIG11_STAGES
+        ]
+        results[variant.value] = series
+    return results

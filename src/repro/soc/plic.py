@@ -1,0 +1,75 @@
+"""PLIC-like platform interrupt collector (paper Fig. 10).
+
+Latches level interrupts from source wires (the TMU's ``irq`` among
+them) into pending bits that a hart claims and completes — the shape of
+the RISC-V PLIC claim/complete flow, reduced to what the recovery
+software model needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.component import Component
+from ..sim.signal import Wire
+
+
+class Plic(Component):
+    """Level-sensitive interrupt collector with claim/complete."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._sources: List[Wire] = []
+        self._names: List[str] = []
+        self._pending: List[bool] = []
+        self._claimed: List[bool] = []
+        self.irq_counts: Dict[str, int] = {}
+
+    def connect(self, source: Wire, name: str) -> int:
+        """Register an interrupt source; returns its source ID."""
+        self._sources.append(source)
+        self._names.append(name)
+        self._pending.append(False)
+        self._claimed.append(False)
+        self.irq_counts[name] = 0
+        return len(self._sources) - 1
+
+    def wires(self):
+        yield from self._sources
+
+    def update(self) -> None:
+        for i, source in enumerate(self._sources):
+            if source.value and not self._pending[i] and not self._claimed[i]:
+                self._pending[i] = True
+                self.irq_counts[self._names[i]] += 1
+
+    # ------------------------------------------------------------------
+    # Hart-facing API
+    # ------------------------------------------------------------------
+    def claim(self) -> Optional[int]:
+        """Claim the highest-priority (lowest-ID) pending interrupt."""
+        for i, pending in enumerate(self._pending):
+            if pending:
+                self._pending[i] = False
+                self._claimed[i] = True
+                return i
+        return None
+
+    def complete(self, source_id: int) -> None:
+        """Signal end of handling; the source may re-raise afterwards."""
+        if not 0 <= source_id < len(self._claimed):
+            raise ValueError(f"unknown interrupt source {source_id}")
+        self._claimed[source_id] = False
+
+    def source_name(self, source_id: int) -> str:
+        return self._names[source_id]
+
+    @property
+    def any_pending(self) -> bool:
+        return any(self._pending)
+
+    def reset(self) -> None:
+        self._pending = [False] * len(self._sources)
+        self._claimed = [False] * len(self._sources)
+        for name in self.irq_counts:
+            self.irq_counts[name] = 0

@@ -1,0 +1,94 @@
+"""External hardware reset unit (paper §II-B, ref. [6]).
+
+On a TMU ``reset_req`` the unit holds the monitored subordinate in reset
+for a configurable number of cycles, then acknowledges back to the TMU.
+The handshake is four-phase: req↑ → (reset pulse) → ack↑ → req↓ → ack↓.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from ..axi.subordinate import Subordinate
+from ..sim.component import Component
+from ..sim.signal import Wire
+
+
+class _ResetState(enum.Enum):
+    IDLE = "idle"
+    RESETTING = "resetting"
+    ACK = "ack"
+
+
+class ResetUnit(Component):
+    """Drives a subordinate's hardware reset on TMU request.
+
+    Parameters
+    ----------
+    req:
+        The TMU's ``reset_req`` output wire.
+    ack:
+        The TMU's ``reset_ack`` input wire (this unit drives it).
+    subordinate:
+        The device whose ``hw_reset`` line this unit controls; may be
+        ``None`` for IP-level setups where only the handshake matters.
+    reset_duration:
+        Cycles the reset line is held asserted.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        req: Wire,
+        ack: Wire,
+        subordinate: Optional[Subordinate] = None,
+        reset_duration: int = 4,
+    ) -> None:
+        super().__init__(name)
+        if reset_duration <= 0:
+            raise ValueError("reset_duration must be positive")
+        self.req = req
+        self.ack = ack
+        self.subordinate = subordinate
+        self.reset_duration = reset_duration
+        self._state = _ResetState.IDLE
+        self._countdown = 0
+        self.resets_issued = 0
+        self.reset_log: List[int] = []
+        self._cycle = 0
+
+    def wires(self):
+        yield self.req
+        yield self.ack
+        if self.subordinate is not None:
+            yield self.subordinate.hw_reset
+
+    def drive(self) -> None:
+        in_reset = self._state == _ResetState.RESETTING
+        if self.subordinate is not None:
+            self.subordinate.hw_reset.value = in_reset
+        self.ack.value = self._state == _ResetState.ACK
+
+    def update(self) -> None:
+        self._cycle += 1
+        if self._state == _ResetState.IDLE:
+            if self.req.value:
+                self._state = _ResetState.RESETTING
+                self._countdown = self.reset_duration
+                self.resets_issued += 1
+                self.reset_log.append(self._cycle)
+        elif self._state == _ResetState.RESETTING:
+            self._countdown -= 1
+            if self._countdown <= 0:
+                self._state = _ResetState.ACK
+        elif self._state == _ResetState.ACK:
+            if not self.req.value:
+                self._state = _ResetState.IDLE
+
+    def reset(self) -> None:
+        self._state = _ResetState.IDLE
+        self._countdown = 0
+        self.resets_issued = 0
+        self.reset_log.clear()
+        self._cycle = 0

@@ -1,0 +1,50 @@
+"""Transaction Monitoring Unit — the paper's primary contribution."""
+
+from .budget import (
+    AdaptiveBudgetPolicy,
+    FixedBudgetPolicy,
+    PhaseBudgets,
+    SpanBudgets,
+)
+from .config import TmuConfig, Variant, full_config, tiny_config
+from .counters import Prescaler, PrescaledCounter, counter_width, units_for
+from .events import ErrorLog, FaultEvent, FaultKind
+from .ott import LdEntry, OttFullError, OutstandingTransactionTable
+from .perf import LatencyHistogram, LatencyStat, PerfLog
+from .phases import ReadPhase, TxnSpan, WritePhase
+from .read_guard import ReadGuard
+from .registers import TmuRegisters
+from .unit import TmuState, TransactionMonitoringUnit
+from .write_guard import WriteGuard
+
+__all__ = [
+    "AdaptiveBudgetPolicy",
+    "ErrorLog",
+    "FaultEvent",
+    "FaultKind",
+    "FixedBudgetPolicy",
+    "LatencyHistogram",
+    "LatencyStat",
+    "LdEntry",
+    "OttFullError",
+    "OutstandingTransactionTable",
+    "PerfLog",
+    "PhaseBudgets",
+    "Prescaler",
+    "PrescaledCounter",
+    "ReadGuard",
+    "ReadPhase",
+    "SpanBudgets",
+    "TmuConfig",
+    "TmuRegisters",
+    "TmuState",
+    "TransactionMonitoringUnit",
+    "TxnSpan",
+    "Variant",
+    "WriteGuard",
+    "WritePhase",
+    "counter_width",
+    "full_config",
+    "tiny_config",
+    "units_for",
+]

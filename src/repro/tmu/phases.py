@@ -1,0 +1,71 @@
+"""Transaction phase definitions (paper Figs. 4-6).
+
+The Full-Counter (Fc) variant times each transaction *phase* with its own
+counter; the Tiny-Counter (Tc) variant times the whole transaction with a
+single counter.  Phase members carry the paper's waveform labels
+(``AWVLD_AWRDY`` etc.) so logs and benches read like the figures.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class WritePhase(enum.IntEnum):
+    """The six monitored phases of a write transaction (Fig. 4)."""
+
+    AW_HANDSHAKE = 0  # aw_valid -> aw_ready
+    W_ENTRY = 1       # aw_ready -> first w_valid
+    W_FIRST_HS = 2    # w_valid -> w_ready (first beat)
+    W_DATA = 3        # w_first -> w_last
+    B_WAIT = 4        # w_last -> b_valid (incl. ID / correctness checks)
+    B_HANDSHAKE = 5   # b_valid -> b_ready
+
+    @property
+    def label(self) -> str:
+        return _WRITE_LABELS[self]
+
+
+class ReadPhase(enum.IntEnum):
+    """The four monitored phases of a read transaction (Fig. 5)."""
+
+    AR_HANDSHAKE = 0  # ar_valid -> ar_ready
+    R_ENTRY = 1       # ar_ready -> first r_valid
+    R_FIRST_HS = 2    # r_valid -> r_ready (first beat)
+    R_DATA = 3        # r_first (r_valid) -> r_last
+
+    @property
+    def label(self) -> str:
+        return _READ_LABELS[self]
+
+
+class TxnSpan(enum.Enum):
+    """Tiny-Counter whole-transaction spans (Fig. 6)."""
+
+    WRITE = "AWVALID_BRESP"
+    READ = "ARVALID_RLAST"
+
+    @property
+    def label(self) -> str:
+        return self.value
+
+
+_WRITE_LABELS = {
+    WritePhase.AW_HANDSHAKE: "AWVLD_AWRDY",
+    WritePhase.W_ENTRY: "AWRDY_WVLD",
+    WritePhase.W_FIRST_HS: "WVLD_WRDY",
+    WritePhase.W_DATA: "WFIRST_WLAST",
+    WritePhase.B_WAIT: "WLAST_BVLD",
+    WritePhase.B_HANDSHAKE: "BVLD_BRDY",
+}
+
+_READ_LABELS = {
+    ReadPhase.AR_HANDSHAKE: "ARVLD_ARRDY",
+    ReadPhase.R_ENTRY: "ARRDY_RVLD",
+    ReadPhase.R_FIRST_HS: "RVLD_RRDY",
+    ReadPhase.R_DATA: "RVLD_RLAST",
+}
+
+#: Phase count per direction, used by the area model (counter replication).
+WRITE_PHASE_COUNT = len(WritePhase)
+READ_PHASE_COUNT = len(ReadPhase)

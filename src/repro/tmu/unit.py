@@ -1,0 +1,337 @@
+"""Transaction Monitoring Unit top level (paper Figs. 1-2).
+
+The TMU sits between the AXI4 interconnect (the *host* side) and the
+subordinate device (the *device* side).  Under normal operation it is a
+transparent wire — transactions traverse with **zero added latency**
+while the ID remapper compacts the ID space and the Write/Read Guards
+listen in parallel.  On a detected fault it:
+
+1. **severs** both request and response paths to stop error propagation,
+2. **aborts** every outstanding transaction by answering the manager
+   with ``SLVERR`` responses (and accepting/discarding any in-flight
+   request traffic so the manager never deadlocks),
+3. raises an **interrupt** for software recovery routines, and
+4. requests the external **reset unit** to reinitialize the subordinate;
+   on acknowledgment it clears its tables and resumes monitoring.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..axi.channels import BBeat, RBeat, remap_id
+from ..axi.id_remap import IdRemapTable
+from ..axi.interface import AxiInterface
+from ..axi.types import Resp
+from ..sim.component import Component
+from ..sim.signal import Wire
+from .config import TmuConfig
+from .events import FaultEvent
+from .read_guard import ReadGuard
+from .write_guard import WriteGuard
+
+
+class TmuState(enum.Enum):
+    """Top-level fault-handling FSM."""
+
+    MONITOR = "monitor"
+    RECOVER = "recover"
+
+
+class TransactionMonitoringUnit(Component):
+    """Drop-in AXI4 transaction monitor (Tiny- or Full-Counter).
+
+    Parameters
+    ----------
+    host:
+        Interface toward the AXI4 interconnect / manager.
+    device:
+        Interface toward the monitored subordinate.
+    config:
+        Variant, capacity, budgets, prescaler — see :class:`TmuConfig`.
+    standalone_ack_after:
+        When set, the TMU self-acknowledges its reset request after this
+        many cycles — convenient for IP-level setups without an external
+        reset unit.  System-level setups leave this ``None`` and wire
+        ``reset_req``/``reset_ack`` to a real reset unit.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: AxiInterface,
+        device: AxiInterface,
+        config: Optional[TmuConfig] = None,
+        standalone_ack_after: Optional[int] = None,
+    ) -> None:
+        super().__init__(name)
+        self.host = host
+        self.device = device
+        self.config = config if config is not None else TmuConfig()
+        self.standalone_ack_after = standalone_ack_after
+
+        self.write_guard = WriteGuard(self.config)
+        self.read_guard = ReadGuard(self.config)
+        self.remap_w = IdRemapTable(self.config.max_uniq_ids)
+        self.remap_r = IdRemapTable(self.config.max_uniq_ids)
+
+        #: interrupt request to the platform interrupt controller.
+        self.irq = Wire(f"{name}.irq", False)
+        #: reset request to the external reset unit.
+        self.reset_req = Wire(f"{name}.reset_req", False)
+        #: reset acknowledgment from the external reset unit (input).
+        self.reset_ack = Wire(f"{name}.reset_ack", False)
+
+        self.state = TmuState.MONITOR
+        self.cycle = 0
+        self.fault_events: List[FaultEvent] = []
+        self.faults_handled = 0
+        self._irq_pending = False
+        self._req_state = False
+        self._ack_seen = False
+        self._self_ack_countdown: Optional[int] = None
+        self._abort_b: Deque[int] = deque()
+        self._abort_r: Deque[int] = deque()
+        self._w_drain_remaining = 0
+
+    # ------------------------------------------------------------------
+    # Introspection / software API (used by the register file)
+    # ------------------------------------------------------------------
+    @property
+    def fault_active(self) -> bool:
+        return self.state == TmuState.RECOVER
+
+    @property
+    def irq_pending(self) -> bool:
+        return self._irq_pending
+
+    def clear_irq(self) -> None:
+        """Software interrupt acknowledgment (register write)."""
+        self._irq_pending = False
+
+    @property
+    def last_fault(self) -> Optional[FaultEvent]:
+        return self.fault_events[-1] if self.fault_events else None
+
+    # ------------------------------------------------------------------
+    # Component protocol
+    # ------------------------------------------------------------------
+    def wires(self):
+        yield from self.host.wires()
+        yield from self.device.wires()
+        yield self.irq
+        yield self.reset_req
+        yield self.reset_ack
+
+    def drive(self) -> None:
+        self.irq.value = self._irq_pending
+        self.reset_req.value = self._req_state
+        if not self.config.enabled:
+            self._drive_passthrough_raw()
+        elif self.state == TmuState.MONITOR:
+            self._drive_monitor()
+        else:
+            self._drive_recover()
+
+    # -- drive helpers ---------------------------------------------------
+    def _drive_passthrough_raw(self) -> None:
+        """Disabled TMU: a pure wire, no remapping, no monitoring."""
+        host, device = self.host, self.device
+        for src, dst in ((host.aw, device.aw), (host.w, device.w), (host.ar, device.ar)):
+            dst.valid.value = src.valid.value
+            dst.payload.value = src.payload.value
+            src.ready.value = dst.ready.value
+        for src, dst in ((device.b, host.b), (device.r, host.r)):
+            dst.valid.value = src.valid.value
+            dst.payload.value = src.payload.value
+            src.ready.value = dst.ready.value
+
+    def _drive_monitor(self) -> None:
+        host, device = self.host, self.device
+        # AW: remap + capacity stall.
+        self._drive_request_addr(
+            host.aw, device.aw, self.remap_w, self.write_guard
+        )
+        # W: straight passthrough (no ID on the W channel).
+        device.w.valid.value = host.w.valid.value
+        device.w.payload.value = host.w.payload.value
+        host.w.ready.value = device.w.ready.value
+        # AR: remap + capacity stall.
+        self._drive_request_addr(
+            host.ar, device.ar, self.remap_r, self.read_guard
+        )
+        # B / R: un-remap; sink responses whose ID is not live.
+        self._drive_response(device.b, host.b, self.remap_w)
+        self._drive_response(device.r, host.r, self.remap_r)
+
+    def _drive_request_addr(self, src, dst, remap, guard) -> None:
+        beat = src.payload.value
+        stall = True
+        slot = None
+        if src.valid.value and beat is not None:
+            slot = remap.probe(beat.id)
+            stall = slot is None or not guard.can_accept(slot)
+        forward = bool(src.valid.value and not stall)
+        dst.valid.value = forward
+        dst.payload.value = remap_id(beat, slot) if forward else None
+        src.ready.value = bool(dst.ready.value and forward)
+
+    def _drive_response(self, src, dst, remap) -> None:
+        beat = src.payload.value
+        if src.valid.value and beat is not None:
+            orig = remap.orig_of(beat.id)
+            if orig is None:
+                # Unrequested response: never propagate toward the host.
+                dst.idle()
+                src.ready.value = True
+                return
+            dst.drive(remap_id(beat, orig))
+            src.ready.value = dst.ready.value
+        else:
+            dst.idle()
+            src.ready.value = dst.ready.value
+
+    def _drive_recover(self) -> None:
+        host, device = self.host, self.device
+        # Device side severed: no requests forwarded, responses drained.
+        device.aw.valid.value = False
+        device.aw.payload.value = None
+        device.w.valid.value = False
+        device.w.payload.value = None
+        device.ar.valid.value = False
+        device.ar.payload.value = None
+        device.b.ready.value = True
+        device.r.ready.value = True
+        # Host side: act as a default error subordinate.
+        host.aw.ready.value = True
+        host.w.ready.value = True
+        host.ar.ready.value = True
+        if self._abort_b:
+            host.b.drive(BBeat(id=self._abort_b[0], resp=Resp.SLVERR))
+        else:
+            host.b.idle()
+        if self._abort_r:
+            host.r.drive(
+                RBeat(id=self._abort_r[0], data=0, resp=Resp.SLVERR, last=True)
+            )
+        else:
+            host.r.idle()
+
+    # -- update ------------------------------------------------------------
+    def update(self) -> None:
+        self.cycle += 1
+        if not self.config.enabled:
+            return
+        if self.state == TmuState.MONITOR:
+            self._update_monitor()
+        else:
+            self._update_recover()
+
+    def _update_monitor(self) -> None:
+        host, device = self.host, self.device
+        # Commit ID-remap references on accepted addresses.
+        if device.aw.fired():
+            self.remap_w.acquire(host.aw.payload.value.id)
+        if device.ar.fired():
+            self.remap_r.acquire(host.ar.payload.value.id)
+
+        events = self.write_guard.observe(
+            device.aw,
+            device.w,
+            device.b,
+            cycle=self.cycle,
+            orig_id_of=self.remap_w.orig_of,
+        )
+        events += self.read_guard.observe(
+            device.ar,
+            device.r,
+            cycle=self.cycle,
+            orig_id_of=self.remap_r.orig_of,
+        )
+        # Release remap references for transactions the guards completed.
+        for tid in self.write_guard.drain_completed():
+            self.remap_w.release(tid)
+        for tid in self.read_guard.drain_completed():
+            self.remap_r.release(tid)
+
+        tripping = [
+            event
+            for event in events
+            if (
+                self.write_guard
+                if event.direction.value == "write"
+                else self.read_guard
+            ).should_trip(event)
+        ]
+        if tripping:
+            self._enter_recover(tripping)
+
+    def _enter_recover(self, tripping: List[FaultEvent]) -> None:
+        self.fault_events.extend(tripping)
+        self.faults_handled += 1
+        self._abort_b = deque(self.write_guard.outstanding_orig_ids())
+        self._abort_r = deque(self.read_guard.outstanding_orig_ids())
+        self._w_drain_remaining = self.write_guard.unfinished_write_bursts()
+        self.write_guard.clear()
+        self.read_guard.clear()
+        self.remap_w.clear()
+        self.remap_r.clear()
+        self._irq_pending = True
+        self._req_state = True
+        self._ack_seen = False
+        self._self_ack_countdown = self.standalone_ack_after
+        self.state = TmuState.RECOVER
+
+    def _update_recover(self) -> None:
+        host = self.host
+        # Requests arriving during recovery are accepted and aborted.
+        if host.aw.fired():
+            self._abort_b.append(host.aw.payload.value.id)
+            self._w_drain_remaining += 1
+        if host.ar.fired():
+            self._abort_r.append(host.ar.payload.value.id)
+        if host.w.fired():
+            beat = host.w.payload.value
+            if beat is not None and beat.last and self._w_drain_remaining > 0:
+                self._w_drain_remaining -= 1
+        if host.b.fired() and self._abort_b:
+            self._abort_b.popleft()
+        if host.r.fired() and self._abort_r:
+            self._abort_r.popleft()
+
+        # Reset handshake with the external (or standalone) reset unit.
+        if self._self_ack_countdown is not None:
+            if self._self_ack_countdown > 0:
+                self._self_ack_countdown -= 1
+            ack = self._self_ack_countdown == 0
+        else:
+            ack = bool(self.reset_ack.value)
+        if ack and self._req_state:
+            self._req_state = False
+            self._ack_seen = True
+        if (
+            self._ack_seen
+            and not self._abort_b
+            and not self._abort_r
+            and self._w_drain_remaining == 0
+        ):
+            self.state = TmuState.MONITOR
+
+    def reset(self) -> None:
+        self.write_guard = WriteGuard(self.config)
+        self.read_guard = ReadGuard(self.config)
+        self.remap_w.clear()
+        self.remap_r.clear()
+        self.state = TmuState.MONITOR
+        self.cycle = 0
+        self.fault_events.clear()
+        self.faults_handled = 0
+        self._irq_pending = False
+        self._req_state = False
+        self._ack_seen = False
+        self._self_ack_countdown = None
+        self._abort_b.clear()
+        self._abort_r.clear()
+        self._w_drain_remaining = 0

@@ -1,0 +1,68 @@
+"""Tests for structured result export."""
+
+import json
+
+from tests.conftest import build_loop, fast_budgets
+
+from repro.analysis.export import (
+    area_report_dict,
+    injection_result_dict,
+    perf_log_dict,
+    to_json,
+)
+from repro.area.model import estimate_area
+from repro.axi.traffic import write_spec
+from repro.faults.campaign import run_injection
+from repro.faults.types import InjectionStage
+from repro.tmu.config import Variant, full_config
+
+
+def test_area_report_roundtrips_through_json():
+    report = estimate_area(Variant.TINY, 32, 32, sticky=True)
+    payload = area_report_dict(report)
+    parsed = json.loads(to_json(payload))
+    assert parsed["variant"] == "tiny"
+    assert parsed["outstanding"] == 32
+    assert parsed["total_um2"] == report.total_um2
+    assert sum(parsed["breakdown_um2"].values()) == report.total_um2
+
+
+def test_perf_log_export_after_traffic():
+    env = build_loop()
+    env.manager.submit_all([write_spec(0, 0x100 * i, beats=4) for i in range(1, 6)])
+    assert env.sim.run_until(lambda s: env.manager.idle, timeout=5_000)
+    payload = perf_log_dict(env.tmu.write_guard.perf, window_cycles=env.sim.cycle)
+    parsed = json.loads(to_json(payload))
+    assert parsed["completed"] == 5
+    assert parsed["beats"] == 20
+    assert parsed["latency"]["max"] >= parsed["latency"]["min"]
+    assert sum(parsed["latency_histogram"].values()) == 5
+    assert "WFIRST_WLAST" in parsed["phases"]
+    assert parsed["throughput_beats_per_cycle"] > 0
+
+
+def test_injection_result_export():
+    result = run_injection(
+        full_config(budgets=fast_budgets()), InjectionStage.WLAST_TO_BVALID, beats=4
+    )
+    parsed = json.loads(to_json(injection_result_dict(result)))
+    assert parsed["detected"] is True
+    assert parsed["recovered"] is True
+    assert parsed["fault_phase"] == "WLAST_BVLD"
+    assert parsed["stage"] == "wlast_bvalid_error"
+
+
+def test_export_list_of_results():
+    results = [
+        injection_result_dict(
+            run_injection(
+                full_config(budgets=fast_budgets()), stage, beats=4
+            )
+        )
+        for stage in (InjectionStage.AW_READY_MISSING, InjectionStage.R_VALID_MISSING)
+    ]
+    parsed = json.loads(to_json(results))
+    assert len(parsed) == 2
+    assert {entry["stage"] for entry in parsed} == {
+        "aw_stage_error", "r_stage_timeout",
+    }

@@ -1,0 +1,122 @@
+"""Tests for the GF12-calibrated area model (paper §III-A2 anchors)."""
+
+import pytest
+
+from repro.area import gf12
+from repro.area.model import (
+    detection_latency_bound,
+    estimate_area,
+    prescaler_saving,
+    tmu_area,
+)
+from repro.tmu.config import TmuConfig, Variant
+
+
+def area(variant, n, step=1, sticky=False):
+    return estimate_area(variant, n, step, sticky=sticky).total_um2
+
+
+def test_paper_anchor_tiny_16_32():
+    assert area(Variant.TINY, 16) == pytest.approx(1330.0)
+    assert area(Variant.TINY, 32) == pytest.approx(2616.0)
+
+
+def test_paper_anchor_full_16_32():
+    assert area(Variant.FULL, 16) == pytest.approx(3452.0)
+    assert area(Variant.FULL, 32) == pytest.approx(6787.0)
+
+
+def test_tc_is_about_38_percent_of_fc():
+    """§III-A2: 'On average, Tc requires about 38% of Fc's area.'"""
+    ratios = [area(Variant.TINY, n) / area(Variant.FULL, n) for n in (16, 32, 64, 128)]
+    mean = sum(ratios) / len(ratios)
+    assert 0.35 < mean < 0.42
+
+
+def test_area_linear_in_outstanding():
+    a16, a32, a64 = (area(Variant.TINY, n) for n in (16, 32, 64))
+    assert (a64 - a32) == pytest.approx(2 * (a32 - a16), rel=1e-6)
+
+
+def test_fig7_configuration_ordering():
+    """Fig. 7: Fc > Fc+Pre > Tc > Tc+Pre for all capacities >= 2."""
+    for n in (2, 4, 8, 16, 32, 64, 128):
+        fc = area(Variant.FULL, n)
+        fc_pre = area(Variant.FULL, n, 32, sticky=True)
+        tc = area(Variant.TINY, n)
+        tc_pre = area(Variant.TINY, n, 32, sticky=True)
+        assert fc > fc_pre > tc > tc_pre, f"ordering broken at n={n}"
+
+
+def test_prescaled_never_larger():
+    """Fig. 7: 'Tc+Pre consistently consumes the least area.'"""
+    for variant in (Variant.TINY, Variant.FULL):
+        for n in (1, 2, 4, 8, 16, 32, 64, 128):
+            assert area(variant, n, 32, sticky=True) <= area(variant, n)
+
+
+def test_prescaler_savings_in_paper_band_at_anchor_capacities():
+    # Quoted bands: 18-39% (Tc), 19-32% (Fc); our structural model lands
+    # inside slightly tighter bands at the published 16-32 capacities.
+    for n in (16, 32):
+        assert 0.18 <= prescaler_saving(Variant.TINY, n) <= 0.39
+        assert 0.19 <= prescaler_saving(Variant.FULL, n) <= 0.32
+
+
+def test_area_monotone_decreasing_in_prescale_step():
+    steps = (1, 2, 4, 8, 16, 32, 64, 128)
+    for variant in (Variant.TINY, Variant.FULL):
+        areas = [area(variant, 128, step, sticky=True) for step in steps[1:]]
+        assert areas == sorted(areas, reverse=True)
+        assert area(variant, 128) > areas[0]
+
+
+def test_sticky_bit_costs_area():
+    with_sticky = area(Variant.TINY, 32, 32, sticky=True)
+    without = area(Variant.TINY, 32, 32, sticky=False)
+    assert with_sticky == pytest.approx(without + 32 * gf12.STICKY_BIT_UM2)
+
+
+def test_sticky_free_without_prescaler():
+    assert area(Variant.TINY, 32, 1, sticky=True) == area(
+        Variant.TINY, 32, 1, sticky=False
+    )
+
+
+def test_breakdown_sums_to_total():
+    report = estimate_area(Variant.FULL, 32, 32, sticky=True)
+    breakdown = report.breakdown()
+    parts = sum(v for k, v in breakdown.items() if k != "total")
+    assert parts == pytest.approx(breakdown["total"])
+
+
+def test_tmu_area_uses_config():
+    config = TmuConfig(
+        variant=Variant.TINY, max_uniq_ids=4, txn_per_id=8, prescale_step=32
+    )
+    report = tmu_area(config)
+    assert report.outstanding == 32
+    assert report.prescale_step == 32
+    assert report.total_um2 == pytest.approx(
+        area(Variant.TINY, 32, 32, sticky=True)
+    )
+
+
+def test_counter_bits_shrink_with_step():
+    widths = [gf12.counter_bits(256, step) for step in (1, 32, 256)]
+    assert widths[0] > widths[1] > 0
+    assert widths[2] == 1
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        estimate_area(Variant.TINY, 0)
+    with pytest.raises(ValueError):
+        gf12.counter_bits(0, 1)
+
+
+def test_detection_latency_bound_shape():
+    bounds = [detection_latency_bound(256, step) for step in (1, 4, 32, 128)]
+    assert bounds[0] == 256
+    assert all(b >= 256 for b in bounds)
+    assert bounds[-1] >= bounds[1]

@@ -1,0 +1,99 @@
+"""End-to-end tests for FIXED and WRAP burst modes."""
+
+from types import SimpleNamespace
+
+from repro.axi.interface import AxiInterface
+from repro.axi.manager import Manager
+from repro.axi.protocol import ProtocolChecker
+from repro.axi.subordinate import Subordinate
+from repro.axi.traffic import TransactionSpec
+from repro.axi.types import AxiDir, BurstType
+from repro.sim.kernel import Simulator
+
+
+def loop():
+    sim = Simulator()
+    bus = AxiInterface("bus")
+    manager = Manager("manager", bus)
+    subordinate = Subordinate("subordinate", bus)
+    checker = ProtocolChecker("checker", bus)
+    for component in (manager, subordinate, checker):
+        sim.add(component)
+    return SimpleNamespace(
+        sim=sim, manager=manager, sub=subordinate, checker=checker
+    )
+
+
+def drain(env):
+    assert env.sim.run_until(lambda s: env.manager.idle, timeout=5_000)
+
+
+def test_fixed_burst_writes_same_address():
+    env = loop()
+    env.manager.submit(
+        TransactionSpec(
+            AxiDir.WRITE, 0, 0x100, len=3, burst=BurstType.FIXED,
+            data=[1, 2, 3, 4],
+        )
+    )
+    drain(env)
+    # FIXED: every beat lands on the same address; last write wins.
+    assert env.sub.memory.read_word(0x100, 8) == 4
+    assert env.sub.memory.read_word(0x108, 8) == 0
+    assert env.checker.clean
+
+
+def test_fixed_burst_read_replays_same_address():
+    env = loop()
+    env.sub.memory.write_word(0x200, 0xAA, 8)
+    env.manager.submit(
+        TransactionSpec(AxiDir.READ, 1, 0x200, len=2, burst=BurstType.FIXED)
+    )
+    drain(env)
+    assert env.manager.completed[0].data == [0xAA, 0xAA, 0xAA]
+
+
+def test_wrap_burst_wraps_within_window():
+    env = loop()
+    # 4-beat x 8-byte WRAP starting mid-window (0x110 in the 0x100-0x11F window).
+    env.manager.submit(
+        TransactionSpec(
+            AxiDir.WRITE, 0, 0x110, len=3, burst=BurstType.WRAP,
+            data=[0xD0, 0xD1, 0xD2, 0xD3],
+        )
+    )
+    drain(env)
+    assert env.sub.memory.read_word(0x110, 8) == 0xD0
+    assert env.sub.memory.read_word(0x118, 8) == 0xD1
+    assert env.sub.memory.read_word(0x100, 8) == 0xD2  # wrapped
+    assert env.sub.memory.read_word(0x108, 8) == 0xD3
+    assert env.checker.clean
+
+
+def test_wrap_burst_read_roundtrip():
+    env = loop()
+    for i in range(4):
+        env.sub.memory.write_word(0x300 + 8 * i, 0x50 + i, 8)
+    env.manager.submit(
+        TransactionSpec(AxiDir.READ, 2, 0x310, len=3, burst=BurstType.WRAP)
+    )
+    drain(env)
+    assert env.manager.completed[0].data == [0x52, 0x53, 0x50, 0x51]
+
+
+def test_wrap_bursts_through_tmu_no_false_positives():
+    from tests.conftest import build_loop
+
+    env = build_loop()
+    env.manager.submit(
+        TransactionSpec(
+            AxiDir.WRITE, 0, 0x110, len=3, burst=BurstType.WRAP,
+            data=[1, 2, 3, 4],
+        )
+    )
+    env.manager.submit(
+        TransactionSpec(AxiDir.READ, 1, 0x110, len=3, burst=BurstType.WRAP)
+    )
+    assert env.sim.run_until(lambda s: env.manager.idle, timeout=5_000)
+    assert env.tmu.faults_handled == 0
+    assert len(env.manager.completed) == 2

@@ -1,0 +1,84 @@
+"""Unit tests for the AXI ID remap table."""
+
+import pytest
+
+from repro.axi.id_remap import IdRemapTable
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        IdRemapTable(0)
+
+
+def test_probe_proposes_lowest_free_slot():
+    table = IdRemapTable(4)
+    assert table.probe(100) == 0
+    table.acquire(100)
+    assert table.probe(200) == 1
+
+
+def test_probe_is_pure():
+    table = IdRemapTable(4)
+    assert table.probe(7) == table.probe(7) == 0
+    assert table.orig_of(0) is None  # probing commits nothing
+
+
+def test_acquire_existing_mapping_reuses_slot():
+    table = IdRemapTable(4)
+    slot = table.acquire(55)
+    assert table.acquire(55) == slot
+    assert table.refs(slot) == 2
+
+
+def test_release_recycles_at_zero_refs():
+    table = IdRemapTable(2)
+    slot = table.acquire(9)
+    table.acquire(9)
+    table.release(slot)
+    assert table.orig_of(slot) == 9  # still one reference
+    table.release(slot)
+    assert table.orig_of(slot) is None
+    assert table.probe(1234) == slot or table.probe(1234) == 0
+
+
+def test_full_table_probe_returns_none():
+    table = IdRemapTable(2)
+    table.acquire(1)
+    table.acquire(2)
+    assert table.probe(3) is None
+    # An already-mapped ID still resolves.
+    assert table.probe(1) == 0
+
+
+def test_acquire_on_full_table_raises():
+    table = IdRemapTable(1)
+    table.acquire(1)
+    with pytest.raises(RuntimeError):
+        table.acquire(2)
+
+
+def test_release_unbound_slot_is_noop():
+    table = IdRemapTable(2)
+    table.release(0)
+    assert table.refs(0) == 0
+
+
+def test_release_out_of_range_raises():
+    table = IdRemapTable(2)
+    with pytest.raises(ValueError):
+        table.release(5)
+
+
+def test_clear_drops_all_mappings():
+    table = IdRemapTable(4)
+    for orig in (10, 20, 30):
+        table.acquire(orig)
+    table.clear()
+    assert table.live_mappings == {}
+    assert table.probe(99) == 0
+
+
+def test_distinct_ids_get_distinct_slots():
+    table = IdRemapTable(8)
+    slots = [table.acquire(orig) for orig in range(0, 800, 100)]
+    assert len(set(slots)) == len(slots)

@@ -1,0 +1,179 @@
+"""Integration tests: manager ↔ subordinate directly (no TMU)."""
+
+from types import SimpleNamespace
+
+from repro.axi.interface import AxiInterface
+from repro.axi.manager import Manager
+from repro.axi.subordinate import Subordinate
+from repro.axi.traffic import RandomTraffic, read_spec, write_spec
+from repro.axi.types import AxiDir, Resp
+from repro.sim.kernel import Simulator
+
+
+def direct_loop(**sub_kwargs):
+    sim = Simulator()
+    bus = AxiInterface("bus")
+    manager = Manager("manager", bus)
+    subordinate = Subordinate("subordinate", bus, **sub_kwargs)
+    sim.add(manager)
+    sim.add(subordinate)
+    return SimpleNamespace(sim=sim, bus=bus, manager=manager, subordinate=subordinate)
+
+
+def run_to_idle(env, timeout=5000):
+    result = env.sim.run_until(lambda s: env.manager.idle, timeout=timeout)
+    assert result is not None, "manager did not drain"
+    return result
+
+
+def test_single_write_completes_okay():
+    env = direct_loop()
+    env.manager.submit(write_spec(0, 0x100, beats=4))
+    run_to_idle(env)
+    assert len(env.manager.completed) == 1
+    txn = env.manager.completed[0]
+    assert txn.resp == Resp.OKAY
+    assert txn.direction == AxiDir.WRITE
+    assert txn.beats == 4
+
+
+def test_write_data_lands_in_memory():
+    env = direct_loop()
+    spec = write_spec(0, 0x100, beats=2, data=[0xDEAD, 0xBEEF])
+    env.manager.submit(spec)
+    run_to_idle(env)
+    assert env.subordinate.memory.read_word(0x100, 8) == 0xDEAD
+    assert env.subordinate.memory.read_word(0x108, 8) == 0xBEEF
+
+
+def test_read_returns_written_data():
+    env = direct_loop()
+    env.subordinate.memory.write_word(0x200, 0xCAFE, 8)
+    env.manager.submit(read_spec(1, 0x200, beats=1))
+    run_to_idle(env)
+    txn = env.manager.completed[0]
+    assert txn.data == [0xCAFE]
+
+
+def test_write_then_read_roundtrip():
+    env = direct_loop()
+    env.manager.submit(write_spec(0, 0x300, beats=4, data=[1, 2, 3, 4]))
+    run_to_idle(env)
+    env.manager.submit(read_spec(0, 0x300, beats=4))
+    run_to_idle(env)
+    read_txn = [t for t in env.manager.completed if t.direction == AxiDir.READ][0]
+    assert read_txn.data == [1, 2, 3, 4]
+
+
+def test_phase_cycle_stamps_are_ordered():
+    env = direct_loop(aw_ready_delay=2, w_ready_delay=1, b_latency=3)
+    env.manager.submit(write_spec(0, 0x100, beats=4))
+    run_to_idle(env)
+    txn = env.manager.completed[0]
+    assert txn.issue_cycle < txn.addr_cycle
+    assert txn.addr_cycle < txn.first_data_cycle
+    assert txn.first_data_cycle <= txn.last_data_cycle
+    assert txn.last_data_cycle < txn.resp_cycle
+    assert txn.latency == txn.resp_cycle - txn.addr_cycle
+
+
+def test_subordinate_latency_knobs_extend_latency():
+    fast = direct_loop()
+    fast.manager.submit(write_spec(0, 0x100, beats=2))
+    run_to_idle(fast)
+    slow = direct_loop(aw_ready_delay=4, b_latency=10)
+    slow.manager.submit(write_spec(0, 0x100, beats=2))
+    run_to_idle(slow)
+    assert slow.manager.completed[0].latency > fast.manager.completed[0].latency
+
+
+def test_same_id_writes_complete_in_order():
+    env = direct_loop()
+    env.manager.submit(write_spec(2, 0x100, beats=1))
+    env.manager.submit(write_spec(2, 0x200, beats=1))
+    env.manager.submit(write_spec(2, 0x300, beats=1))
+    run_to_idle(env)
+    addrs = [t.addr for t in env.manager.completed]
+    assert addrs == [0x100, 0x200, 0x300]
+
+
+def test_mixed_random_traffic_drains_cleanly():
+    env = direct_loop(aw_ready_delay=1, b_latency=2, r_latency=3, r_gap=1)
+    env.manager.submit_all(RandomTraffic(seed=3, max_beats=8).take(40))
+    run_to_idle(env, timeout=20_000)
+    assert len(env.manager.completed) == 40
+    assert env.manager.surprises == []
+    assert all(t.resp == Resp.OKAY for t in env.manager.completed)
+
+
+def test_max_outstanding_cap_respected():
+    env = direct_loop(b_latency=10)
+    env.manager.max_outstanding = 2
+    for i in range(6):
+        env.manager.submit(write_spec(0, 0x100 * i, beats=1))
+    peak = 0
+    while not env.manager.idle:
+        env.sim.step()
+        peak = max(peak, env.manager.inflight)
+        assert env.manager.inflight <= 2
+        if env.sim.cycle > 5000:
+            raise AssertionError("did not drain")
+    assert peak == 2
+    assert len(env.manager.completed) == 6
+
+
+def test_w_gap_stretches_burst():
+    dense = direct_loop()
+    dense.manager.submit(write_spec(0, 0x100, beats=8))
+    run_to_idle(dense)
+    gappy = direct_loop()
+    gappy.manager.submit(write_spec(0, 0x100, beats=8, w_gap=3))
+    run_to_idle(gappy)
+    dense_txn = dense.manager.completed[0]
+    gappy_txn = gappy.manager.completed[0]
+    dense_span = dense_txn.last_data_cycle - dense_txn.first_data_cycle
+    gappy_span = gappy_txn.last_data_cycle - gappy_txn.first_data_cycle
+    assert gappy_span >= dense_span + 7 * 3
+
+
+def test_resp_ready_delay_defers_completion():
+    quick = direct_loop()
+    quick.manager.submit(write_spec(0, 0x100))
+    run_to_idle(quick)
+    slow = direct_loop()
+    slow.manager.submit(write_spec(0, 0x100, resp_ready_delay=5))
+    run_to_idle(slow)
+    assert (
+        slow.manager.completed[0].resp_cycle
+        >= quick.manager.completed[0].resp_cycle + 5
+    )
+
+
+def test_error_resp_fault_reported_in_scoreboard():
+    env = direct_loop()
+    env.subordinate.faults.error_resp = True
+    env.manager.submit(write_spec(0, 0x100))
+    run_to_idle(env)
+    assert env.manager.completed[0].resp == Resp.SLVERR
+    assert env.manager.failures
+
+
+def test_hw_reset_clears_subordinate_state_and_faults():
+    env = direct_loop(b_latency=50)
+    env.subordinate.faults.mute_b = True
+    env.manager.submit(write_spec(0, 0x100))
+    env.sim.run(20)
+    env.subordinate.hw_reset.value = True
+    env.sim.run(2)
+    env.subordinate.hw_reset.value = False
+    env.sim.run(1)
+    assert env.subordinate.resets_taken == 1
+    assert not env.subordinate.faults.any_active
+
+
+def test_spurious_b_consumed_once():
+    env = direct_loop()
+    env.subordinate.faults.spurious_b = 5
+    env.sim.run(10)
+    assert env.subordinate.faults.spurious_b is None
+    assert env.manager.surprises  # scoreboard saw an unexpected response

@@ -1,0 +1,63 @@
+"""Unit tests for the sparse memory model."""
+
+import pytest
+
+from repro.axi.memory import SparseMemory
+
+
+def test_unwritten_reads_return_fill():
+    mem = SparseMemory(fill=0xAB)
+    assert mem.read_byte(0x1234) == 0xAB
+    assert mem.read(0, 4) == b"\xab\xab\xab\xab"
+    assert mem.allocated_pages == 0  # reads allocate nothing
+
+
+def test_fill_must_be_byte():
+    with pytest.raises(ValueError):
+        SparseMemory(fill=256)
+
+
+def test_write_read_roundtrip():
+    mem = SparseMemory()
+    mem.write(0x100, b"hello")
+    assert mem.read(0x100, 5) == b"hello"
+
+
+def test_write_across_page_boundary():
+    mem = SparseMemory(page_bits=4)  # 16-byte pages
+    mem.write(14, b"abcd")
+    assert mem.read(14, 4) == b"abcd"
+    assert mem.allocated_pages == 2
+
+
+def test_word_roundtrip_little_endian():
+    mem = SparseMemory()
+    mem.write_word(0x40, 0x1122334455667788, 8)
+    assert mem.read_word(0x40, 8) == 0x1122334455667788
+    assert mem.read_byte(0x40) == 0x88  # little-endian low byte first
+
+
+def test_word_write_truncates_to_width():
+    mem = SparseMemory()
+    mem.write_word(0, 0x1FF, 1)
+    assert mem.read_word(0, 1) == 0xFF
+
+
+def test_masked_write_touches_enabled_lanes_only():
+    mem = SparseMemory(fill=0)
+    mem.write_word(0, 0xFFFFFFFFFFFFFFFF, 8)
+    mem.write_masked(0, 0, strb=0x0F, width=8)
+    assert mem.read_word(0, 8) == 0xFFFFFFFF00000000
+
+
+def test_masked_write_single_lane():
+    mem = SparseMemory(fill=0)
+    mem.write_masked(0, 0xAABBCCDD, strb=0b0100, width=4)
+    assert mem.read(0, 4) == bytes([0, 0, 0xBB, 0])
+
+
+def test_pages_allocated_lazily_on_write():
+    mem = SparseMemory(page_bits=12)
+    mem.write_byte(0x0, 1)
+    mem.write_byte(0x1000_0000, 2)
+    assert mem.allocated_pages == 2

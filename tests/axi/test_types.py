@@ -1,0 +1,107 @@
+"""Unit tests for AXI4 types and burst arithmetic."""
+
+import pytest
+
+from repro.axi.types import (
+    BOUNDARY_4K,
+    MAX_BURST_LEN,
+    BurstType,
+    Resp,
+    aligned,
+    axlen_of,
+    axsize_of,
+    beats_of,
+    burst_addresses,
+    burst_bytes,
+    bytes_per_beat,
+    crosses_4k_boundary,
+    is_legal_wrap_len,
+    wrap_boundary,
+)
+
+
+def test_beats_axlen_roundtrip():
+    for beats in (1, 2, 16, 256):
+        assert beats_of(axlen_of(beats)) == beats
+
+
+def test_beats_of_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        beats_of(-1)
+    with pytest.raises(ValueError):
+        beats_of(MAX_BURST_LEN)
+
+
+def test_axlen_of_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        axlen_of(0)
+    with pytest.raises(ValueError):
+        axlen_of(MAX_BURST_LEN + 1)
+
+
+def test_bytes_per_beat_powers_of_two():
+    assert [bytes_per_beat(s) for s in range(8)] == [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def test_axsize_roundtrip():
+    for size in range(8):
+        assert axsize_of(bytes_per_beat(size)) == size
+
+
+def test_axsize_of_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        axsize_of(3)
+    with pytest.raises(ValueError):
+        axsize_of(0)
+
+
+def test_burst_bytes():
+    assert burst_bytes(axlen_of(4), 3) == 32
+
+
+def test_4k_crossing_detection():
+    # 8 beats x 8 bytes starting 32 bytes below the boundary: crosses.
+    addr = BOUNDARY_4K - 32
+    assert crosses_4k_boundary(addr, axlen_of(8), 3, BurstType.INCR)
+    assert not crosses_4k_boundary(addr, axlen_of(4), 3, BurstType.INCR)
+    # FIXED bursts never cross.
+    assert not crosses_4k_boundary(addr, axlen_of(8), 3, BurstType.FIXED)
+
+
+def test_wrap_boundary_aligns_to_burst_size():
+    # 4 beats x 8 bytes = 32-byte window.
+    assert wrap_boundary(0x48, axlen_of(4), 3) == 0x40
+
+
+def test_legal_wrap_lengths():
+    legal = [axlen_of(b) for b in (2, 4, 8, 16)]
+    for axlen in legal:
+        assert is_legal_wrap_len(axlen)
+    assert not is_legal_wrap_len(axlen_of(3))
+    assert not is_legal_wrap_len(axlen_of(32))
+
+
+def test_aligned():
+    assert aligned(0x40, 3)
+    assert not aligned(0x41, 3)
+
+
+def test_burst_addresses_incr():
+    assert burst_addresses(0x100, axlen_of(4), 3, BurstType.INCR) == [
+        0x100, 0x108, 0x110, 0x118,
+    ]
+
+
+def test_burst_addresses_fixed():
+    assert burst_addresses(0x100, axlen_of(3), 3, BurstType.FIXED) == [0x100] * 3
+
+
+def test_burst_addresses_wrap():
+    # 4-beat x 8-byte WRAP starting mid-window wraps to the window base.
+    addrs = burst_addresses(0x110, axlen_of(4), 3, BurstType.WRAP)
+    assert addrs == [0x110, 0x118, 0x100, 0x108]
+
+
+def test_resp_error_classification():
+    assert Resp.SLVERR.is_error and Resp.DECERR.is_error
+    assert not Resp.OKAY.is_error and not Resp.EXOKAY.is_error

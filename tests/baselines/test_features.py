@@ -1,0 +1,63 @@
+"""Tests for the Table II capability matrix."""
+
+from repro.baselines.features import (
+    TABLE2_COLUMNS,
+    implemented_profiles,
+    table2_profiles,
+)
+
+
+def test_all_thirteen_rows_present():
+    profiles = table2_profiles()
+    assert len(profiles) == 13  # 11 literature + 2 TMU variants
+
+
+def test_tmu_rows_dominant_feature_set():
+    """Table II's thesis: only the TMU offers M.O. support + scalability
+    + fault detection + protocol checks together."""
+    profiles = table2_profiles()
+    tmu_rows = [p for p in profiles if p.name.startswith("This work")]
+    other_rows = [p for p in profiles if not p.name.startswith("This work")]
+    assert len(tmu_rows) == 2
+    for row in tmu_rows:
+        assert row.multiple_outstanding and row.scalable
+        assert row.fault_detection and row.protocol_check
+    for row in other_rows:
+        assert not (row.multiple_outstanding and row.scalable)
+
+
+def test_tiny_vs_full_granularity_split():
+    by_name = {p.name: p for p in table2_profiles()}
+    tc = by_name["This work: Tiny-Counter"]
+    fc = by_name["This work: Full-Counter"]
+    assert tc.transaction_level and not tc.phase_level
+    assert fc.phase_level and not fc.transaction_level
+
+
+def test_edelman_is_the_only_software_monitor():
+    sw_rows = [p for p in table2_profiles() if not p.hw_based]
+    assert [p.name for p in sw_rows] == ["Edelman Transac. Mon. [15]"]
+
+
+def test_implemented_profiles_reference_real_classes():
+    import repro.baselines as baselines
+
+    for profile in implemented_profiles():
+        if profile.name.startswith("This work"):
+            continue
+        class_name = profile.implemented_as.rsplit(".", 1)[1]
+        assert hasattr(baselines, class_name), profile.implemented_as
+
+
+def test_row_rendering_matches_columns():
+    for profile in table2_profiles():
+        assert len(profile.row()) == len(TABLE2_COLUMNS)
+        assert set(profile.row()[3:]) <= {"Y", "x"}
+
+
+def test_watchdog_row_matches_paper():
+    by_name = {p.name: p for p in table2_profiles()}
+    dog = by_name["ARM Watchdog [6]"]
+    assert dog.target_protocol == "APB"
+    assert dog.fault_detection
+    assert not dog.perf_metrics and not dog.protocol_check

@@ -1,0 +1,90 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.axi.interface import AxiInterface
+from repro.axi.manager import Manager
+from repro.axi.subordinate import Subordinate
+from repro.sim.kernel import Simulator
+from repro.soc.reset_unit import ResetUnit
+from repro.tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
+from repro.tmu.config import TmuConfig
+from repro.tmu.unit import TransactionMonitoringUnit
+
+
+def fast_budgets() -> AdaptiveBudgetPolicy:
+    """Small budgets so timeout tests run in tens of cycles."""
+    return AdaptiveBudgetPolicy(
+        PhaseBudgets(
+            aw_handshake=10,
+            w_entry=20,
+            w_first_hs=10,
+            w_data_base=4,
+            w_data_per_beat=4,
+            b_wait=10,
+            b_handshake=20,
+            ar_handshake=10,
+            r_entry=20,
+            r_first_hs=10,
+            r_data_base=4,
+            r_data_per_beat=4,
+            queue_factor=8,
+        ),
+        SpanBudgets(base=60, per_beat=2, queue_factor=8),
+    )
+
+
+def build_loop(
+    config: TmuConfig = None,
+    with_reset_unit: bool = True,
+    reset_duration: int = 4,
+    **sub_kwargs,
+) -> SimpleNamespace:
+    """Canonical manager ↔ TMU ↔ subordinate closed loop."""
+    if config is None:
+        config = TmuConfig(budgets=fast_budgets())
+    sim = Simulator()
+    host = AxiInterface("host")
+    device = AxiInterface("device")
+    manager = Manager("manager", host)
+    tmu = TransactionMonitoringUnit(
+        "tmu",
+        host,
+        device,
+        config,
+        standalone_ack_after=None if with_reset_unit else reset_duration,
+    )
+    subordinate = Subordinate("subordinate", device, **sub_kwargs)
+    sim.add(manager)
+    sim.add(tmu)
+    sim.add(subordinate)
+    reset_unit = None
+    if with_reset_unit:
+        reset_unit = ResetUnit(
+            "reset_unit",
+            tmu.reset_req,
+            tmu.reset_ack,
+            subordinate,
+            reset_duration=reset_duration,
+        )
+        sim.add(reset_unit)
+    return SimpleNamespace(
+        sim=sim,
+        host=host,
+        device=device,
+        manager=manager,
+        tmu=tmu,
+        subordinate=subordinate,
+        reset_unit=reset_unit,
+        config=config,
+    )
+
+
+@pytest.fixture
+def loop():
+    """Factory fixture: build a closed TMU loop with optional overrides."""
+    return build_loop

@@ -1,0 +1,94 @@
+"""Tests for the signal-level fault injector."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.axi.interface import AxiInterface
+from repro.axi.manager import Manager
+from repro.axi.subordinate import Subordinate
+from repro.axi.traffic import read_spec, write_spec
+from repro.axi.types import Resp
+from repro.faults.injector import ChannelForce, FaultInjector
+from repro.sim.kernel import Simulator
+
+
+def injected_loop(**sub_kwargs):
+    sim = Simulator()
+    upstream = AxiInterface("up")
+    downstream = AxiInterface("down")
+    manager = Manager("manager", upstream)
+    injector = FaultInjector("injector", upstream, downstream)
+    subordinate = Subordinate("subordinate", downstream, **sub_kwargs)
+    for component in (manager, injector, subordinate):
+        sim.add(component)
+    return SimpleNamespace(
+        sim=sim,
+        manager=manager,
+        injector=injector,
+        subordinate=subordinate,
+        up=upstream,
+        down=downstream,
+    )
+
+
+def test_transparent_when_no_force():
+    env = injected_loop()
+    env.manager.submit_all([write_spec(0, 0x100, beats=4), read_spec(1, 0x100)])
+    assert env.sim.run_until(lambda s: env.manager.idle, timeout=2_000)
+    assert len(env.manager.completed) == 2
+    assert all(t.resp == Resp.OKAY for t in env.manager.completed)
+    assert env.injector.forced_cycles == 0
+
+
+def test_force_ready_low_stalls_aw():
+    env = injected_loop()
+    env.injector.force("aw", ready=False)
+    env.manager.submit(write_spec(0, 0x100))
+    env.sim.run(50)
+    assert len(env.manager.completed) == 0
+    assert env.injector.forced_cycles > 0
+    env.injector.release("aw")
+    assert env.sim.run_until(lambda s: env.manager.idle, timeout=2_000)
+
+
+def test_force_valid_low_hides_requests_from_subordinate():
+    env = injected_loop()
+    env.injector.force("aw", valid=False)
+    env.manager.submit(write_spec(0, 0x100))
+    env.sim.run(50)
+    assert env.subordinate.writes_done == 0
+
+
+def test_payload_mutation_corrupts_response_id():
+    import dataclasses
+
+    env = injected_loop()
+    env.injector.force("b", mutate=lambda beat: dataclasses.replace(beat, id=9))
+    env.manager.submit(write_spec(0, 0x100))
+    env.sim.run(100)
+    assert env.manager.surprises  # response with unknown ID 9
+
+
+def test_release_all_channels():
+    env = injected_loop()
+    env.injector.force("aw", ready=False)
+    env.injector.force("r", valid=False)
+    assert env.injector.any_force_active
+    env.injector.release()
+    assert not env.injector.any_force_active
+
+
+def test_unknown_channel_rejected():
+    env = injected_loop()
+    with pytest.raises(KeyError):
+        env.injector.force("x", valid=False)
+
+
+def test_channel_force_flags():
+    force = ChannelForce()
+    assert not force.any_active
+    force.ready = False
+    assert force.any_active
+    force.clear()
+    assert not force.any_active

@@ -1,0 +1,89 @@
+"""Property-based tests for prescaled counters (paper §II-G).
+
+The central guarantee: with the sticky bit, prescaling bounds the extra
+detection latency by one prescaler period, and never loses a sustained
+stall.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tmu.counters import Prescaler, PrescaledCounter, counter_width, units_for
+
+budgets = st.integers(1, 512)
+steps = st.sampled_from([1, 2, 3, 4, 8, 16, 32, 64, 128])
+phases = st.integers(0, 127)
+
+
+@given(budgets, steps, phases)
+@settings(max_examples=150, deadline=None)
+def test_sustained_stall_always_detected_within_bound(budget, step, phase):
+    """Detection latency ∈ [budget - step, units*step + step) for any
+    prescaler phase alignment."""
+    prescaler = Prescaler(step, phase=phase % step)
+    counter = PrescaledCounter(budget, step=step)
+    limit = units_for(budget, step) * step + step
+    for cycle in range(limit + 1):
+        if counter.tick(True, prescaler.advance()):
+            latency = cycle + 1
+            assert latency <= limit
+            assert latency >= min(budget, units_for(budget, step) * step) - step
+            return
+    raise AssertionError("sustained stall never detected")
+
+
+@given(budgets, steps)
+@settings(max_examples=100, deadline=None)
+def test_no_prescaler_is_exact(budget, step):
+    prescaler = Prescaler(1)
+    counter = PrescaledCounter(budget, step=1)
+    for cycle in range(budget + 1):
+        if counter.tick(True, prescaler.advance()):
+            assert cycle + 1 == budget
+            return
+    raise AssertionError("never expired")
+
+
+@given(budgets, steps, st.lists(st.booleans(), min_size=1, max_size=400))
+@settings(max_examples=100, deadline=None)
+def test_sticky_counter_dominates_plain_counter(budget, step, enables):
+    """For identical enable traces, the sticky counter's count is always
+    >= the plain counter's: the sticky bit can only catch MORE events."""
+    prescaler_a, prescaler_b = Prescaler(step), Prescaler(step)
+    sticky = PrescaledCounter(budget, step=step, sticky=True)
+    plain = PrescaledCounter(budget, step=step, sticky=False)
+    for enabled in enables:
+        sticky.tick(enabled, prescaler_a.advance())
+        plain.tick(enabled, prescaler_b.advance())
+        assert sticky.count >= plain.count
+
+
+@given(budgets, steps, st.lists(st.booleans(), min_size=1, max_size=400))
+@settings(max_examples=100, deadline=None)
+def test_counter_never_overcounts_enabled_cycles(budget, step, enables):
+    """count * step never exceeds (enabled cycles) + step slack."""
+    prescaler = Prescaler(step)
+    counter = PrescaledCounter(budget, step=step, sticky=False)
+    enabled_cycles = 0
+    for enabled in enables:
+        counter.tick(enabled, prescaler.advance())
+        enabled_cycles += int(enabled)
+        assert counter.count <= enabled_cycles
+
+
+@given(budgets, steps)
+@settings(max_examples=150, deadline=None)
+def test_width_sufficient_for_units(budget, step):
+    width = counter_width(budget, step)
+    assert (1 << width) >= units_for(budget, step)
+    # And never absurdly wide: one extra bit at most.
+    assert (1 << (width - 1)) <= max(1, units_for(budget, step))
+
+
+@given(budgets, st.integers(1, 32))
+@settings(max_examples=100, deadline=None)
+def test_units_cover_budget(budget, step):
+    assert units_for(budget, step) * step >= budget
+    assert (units_for(budget, step) - 1) * step < budget

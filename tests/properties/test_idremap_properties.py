@@ -1,0 +1,82 @@
+"""Property-based tests for the ID remap table (paper §II-A).
+
+Invariants: injectivity over live IDs (two live original IDs never share
+a slot), reverse-mapping consistency, and reference-count conservation
+under arbitrary acquire/release interleavings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.axi.id_remap import IdRemapTable
+
+CAPACITY = 4
+
+# Operation stream over a small original-ID universe.
+operations = st.lists(
+    st.tuples(st.integers(0, 1), st.integers(0, 9)), max_size=200
+)
+
+
+def replay(ops):
+    table = IdRemapTable(CAPACITY)
+    live = {}  # orig -> refcount
+    for op, orig in ops:
+        if op == 0:
+            if table.probe(orig) is not None:
+                table.acquire(orig)
+                live[orig] = live.get(orig, 0) + 1
+        else:
+            if orig in live:
+                slot = table.probe(orig)
+                table.release(slot)
+                live[orig] -= 1
+                if live[orig] == 0:
+                    del live[orig]
+    return table, live
+
+
+@given(operations)
+@settings(max_examples=80, deadline=None)
+def test_injectivity_over_live_ids(ops):
+    table, live = replay(ops)
+    slots = [table.probe(orig) for orig in live]
+    assert len(set(slots)) == len(slots)
+
+
+@given(operations)
+@settings(max_examples=80, deadline=None)
+def test_reverse_mapping_consistent(ops):
+    table, live = replay(ops)
+    for orig in live:
+        slot = table.probe(orig)
+        assert table.orig_of(slot) == orig
+
+
+@given(operations)
+@settings(max_examples=80, deadline=None)
+def test_live_count_never_exceeds_capacity(ops):
+    table, live = replay(ops)
+    assert len(live) <= CAPACITY
+    assert len(table.live_mappings) == len(live)
+
+
+@given(operations)
+@settings(max_examples=80, deadline=None)
+def test_refcounts_match_reference(ops):
+    table, live = replay(ops)
+    for orig, refs in live.items():
+        assert table.refs(table.probe(orig)) == refs
+
+
+@given(operations)
+@settings(max_examples=50, deadline=None)
+def test_full_drain_frees_every_slot(ops):
+    table, live = replay(ops)
+    for orig, refs in list(live.items()):
+        slot = table.probe(orig)
+        for _ in range(refs):
+            table.release(slot)
+    assert table.live_mappings == {}
+    for slot in range(CAPACITY):
+        assert table.refs(slot) == 0

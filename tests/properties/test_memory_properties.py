@@ -1,0 +1,71 @@
+"""Property-based tests for the sparse memory model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.axi.memory import SparseMemory
+
+addresses = st.integers(0, 1 << 20)
+payloads = st.binary(min_size=1, max_size=64)
+
+
+@given(addresses, payloads)
+@settings(max_examples=100, deadline=None)
+def test_read_after_write(addr, data):
+    mem = SparseMemory()
+    mem.write(addr, data)
+    assert mem.read(addr, len(data)) == data
+
+
+@given(addresses, payloads, payloads)
+@settings(max_examples=100, deadline=None)
+def test_last_write_wins(addr, first, second):
+    mem = SparseMemory()
+    mem.write(addr, first)
+    mem.write(addr, second)
+    assert mem.read(addr, len(second)) == second
+
+
+@given(
+    st.lists(st.tuples(addresses, payloads), min_size=1, max_size=20)
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_dict_reference_model(writes):
+    mem = SparseMemory()
+    reference = {}
+    for addr, data in writes:
+        mem.write(addr, data)
+        for i, byte in enumerate(data):
+            reference[addr + i] = byte
+    for addr, byte in reference.items():
+        assert mem.read_byte(addr) == byte
+
+
+@given(addresses, st.integers(0, (1 << 64) - 1), st.integers(0, 255))
+@settings(max_examples=100, deadline=None)
+def test_masked_write_equivalent_to_byte_writes(addr, value, strb):
+    masked = SparseMemory()
+    bytewise = SparseMemory()
+    masked.write_masked(addr, value, strb, 8)
+    data = value.to_bytes(8, "little")
+    for lane in range(8):
+        if strb & (1 << lane):
+            bytewise.write_byte(addr + lane, data[lane])
+    assert masked.read(addr, 8) == bytewise.read(addr, 8)
+
+
+@given(addresses, st.integers(0, (1 << 64) - 1))
+@settings(max_examples=100, deadline=None)
+def test_word_roundtrip(addr, value):
+    mem = SparseMemory()
+    mem.write_word(addr, value, 8)
+    assert mem.read_word(addr, 8) == value
+
+
+@given(addresses)
+@settings(max_examples=50, deadline=None)
+def test_disjoint_writes_do_not_interfere(addr):
+    mem = SparseMemory()
+    mem.write(addr, b"\x11\x22")
+    mem.write(addr + 2, b"\x33\x44")
+    assert mem.read(addr, 4) == b"\x11\x22\x33\x44"

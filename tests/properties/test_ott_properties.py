@@ -1,0 +1,98 @@
+"""Property-based tests for the Outstanding Transaction Table.
+
+Invariants (paper §II-C/D): per-ID FIFO ordering, EI acceptance-order
+consistency, free-list conservation, and capacity limits — under
+arbitrary interleavings of enqueues and completions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.axi.types import AxiDir
+from repro.tmu.ott import OutstandingTransactionTable
+
+MAX_IDS = 4
+PER_ID = 4
+
+# An operation stream: (op, tid) where op 0 = enqueue, 1 = dequeue.
+operations = st.lists(
+    st.tuples(st.integers(0, 1), st.integers(0, MAX_IDS - 1)), max_size=200
+)
+
+
+def replay(ops):
+    """Apply an operation stream, tracking a reference model."""
+    table = OutstandingTransactionTable(MAX_IDS, PER_ID)
+    reference = {tid: [] for tid in range(MAX_IDS)}
+    serial = 0
+    for op, tid in ops:
+        if op == 0 and table.can_enqueue(tid):
+            entry = table.enqueue(
+                tid, orig_id=serial, direction=AxiDir.WRITE, addr=serial,
+                beats=1, cycle=serial,
+            )
+            reference[tid].append(entry.orig_id)
+            serial += 1
+        elif op == 1 and reference[tid]:
+            entry = table.dequeue_head(tid)
+            expected = reference[tid].pop(0)
+            assert entry.orig_id == expected, "FIFO order violated"
+    return table, reference
+
+
+@given(operations)
+@settings(max_examples=60, deadline=None)
+def test_fifo_order_per_id(ops):
+    replay(ops)  # order asserted inside
+
+
+@given(operations)
+@settings(max_examples=60, deadline=None)
+def test_occupancy_matches_reference(ops):
+    table, reference = replay(ops)
+    assert table.occupancy == sum(len(v) for v in reference.values())
+    for tid in range(MAX_IDS):
+        assert table.id_count(tid) == len(reference[tid])
+
+
+@given(operations)
+@settings(max_examples=60, deadline=None)
+def test_capacity_never_exceeded(ops):
+    table, reference = replay(ops)
+    assert table.occupancy <= table.capacity
+    for tid in range(MAX_IDS):
+        assert table.id_count(tid) <= PER_ID
+
+
+@given(operations)
+@settings(max_examples=60, deadline=None)
+def test_free_list_conservation(ops):
+    """used entries + free entries == capacity, always."""
+    table, _ = replay(ops)
+    live = sum(1 for _ in table.live_entries())
+    assert live == table.occupancy
+    assert live + len(table._free) == table.capacity
+
+
+@given(operations)
+@settings(max_examples=60, deadline=None)
+def test_ei_front_is_oldest_live_entry(ops):
+    table, reference = replay(ops)
+    front = table.ei_front()
+    if front is None:
+        assert table.occupancy == 0
+    else:
+        oldest = min(
+            (entry.enqueue_cycle for entry in table.live_entries()),
+        )
+        assert front.enqueue_cycle == oldest
+
+
+@given(operations)
+@settings(max_examples=40, deadline=None)
+def test_clear_always_restores_full_capacity(ops):
+    table, _ = replay(ops)
+    table.clear()
+    assert table.occupancy == 0
+    for tid in range(MAX_IDS):
+        assert table.can_enqueue(tid)

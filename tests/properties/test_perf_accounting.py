@@ -1,0 +1,70 @@
+"""Property: the Fc per-phase latency log accounts for whole transactions.
+
+For any completed transaction under random legal traffic, the recorded
+phase latencies must tile the transaction: non-negative, and their sum
+within a small constant of the end-to-end latency (phases are measured
+back-to-back at handshake boundaries, so at most ±1 cycle of skew per
+phase boundary).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import build_loop, fast_budgets
+
+from repro.axi.traffic import RandomTraffic
+from repro.axi.types import AxiDir
+from repro.tmu.config import TmuConfig
+from repro.tmu.phases import ReadPhase, WritePhase
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    txns=st.integers(1, 12),
+    b_latency=st.integers(1, 6),
+    r_latency=st.integers(1, 6),
+)
+@settings(max_examples=20, deadline=None)
+def test_phase_latencies_tile_transactions(seed, txns, b_latency, r_latency):
+    env = build_loop(
+        TmuConfig(budgets=fast_budgets()),
+        b_latency=b_latency,
+        r_latency=r_latency,
+    )
+    env.manager.submit_all(
+        RandomTraffic(ids=(0, 1), max_beats=6, seed=seed).take(txns)
+    )
+    assert env.sim.run_until(lambda s: env.manager.idle, timeout=30_000)
+    assert env.tmu.faults_handled == 0
+
+    for guard, phases in (
+        (env.tmu.write_guard, WritePhase),
+        (env.tmu.read_guard, ReadPhase),
+    ):
+        for record in guard.perf.history:
+            assert set(record.phase_latencies) == set(phases)
+            assert all(v >= 0 for v in record.phase_latencies.values())
+            # The address-handshake phase ends where the record's clock
+            # starts, so it is excluded from the tiling sum.
+            first = phases(0)
+            body = sum(
+                v for k, v in record.phase_latencies.items() if k != first
+            )
+            slack = len(phases)  # ±1 cycle per boundary
+            assert abs(body - record.latency) <= slack, (
+                record.phase_latencies,
+                record.latency,
+            )
+
+
+@given(seed=st.integers(0, 100_000))
+@settings(max_examples=10, deadline=None)
+def test_beats_accounted_exactly(seed):
+    env = build_loop(TmuConfig(budgets=fast_budgets()))
+    specs = RandomTraffic(ids=(0, 1, 2), max_beats=8, seed=seed).take(10)
+    env.manager.submit_all(specs)
+    assert env.sim.run_until(lambda s: env.manager.idle, timeout=30_000)
+    expected_w = sum(s.beats for s in specs if s.direction == AxiDir.WRITE)
+    expected_r = sum(s.beats for s in specs if s.direction == AxiDir.READ)
+    assert env.tmu.write_guard.perf.beats_transferred == expected_w
+    assert env.tmu.read_guard.perf.beats_transferred == expected_r

@@ -1,0 +1,86 @@
+"""Property tests over whole-system behaviour.
+
+Randomized legal workloads through the TMU must (a) complete exactly,
+(b) raise no faults, (c) keep the protocol checker silent, and (d) leave
+the TMU's performance log consistent with the manager's scoreboard.
+Randomized *fault* scenarios must always be detected and recovered.
+"""
+
+from types import SimpleNamespace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import fast_budgets
+
+from repro.axi.interface import AxiInterface
+from repro.axi.manager import Manager
+from repro.axi.protocol import ProtocolChecker
+from repro.axi.subordinate import Subordinate
+from repro.axi.traffic import RandomTraffic
+from repro.faults.campaign import run_injection
+from repro.faults.types import InjectionStage
+from repro.sim.kernel import Simulator
+from repro.soc.reset_unit import ResetUnit
+from repro.tmu.config import TmuConfig, Variant
+from repro.tmu.unit import TransactionMonitoringUnit
+
+
+def checked_tmu_loop(variant, seed, txns, sub_latency):
+    config = TmuConfig(variant=variant, budgets=fast_budgets())
+    sim = Simulator()
+    host, device = AxiInterface("host"), AxiInterface("device")
+    manager = Manager("manager", host)
+    tmu = TransactionMonitoringUnit("tmu", host, device, config)
+    subordinate = Subordinate(
+        "subordinate",
+        device,
+        aw_ready_delay=sub_latency % 3,
+        b_latency=1 + sub_latency % 4,
+        r_latency=1 + sub_latency % 4,
+    )
+    checker = ProtocolChecker("checker", host)
+    reset_unit = ResetUnit("reset_unit", tmu.reset_req, tmu.reset_ack, subordinate)
+    for component in (manager, tmu, subordinate, checker, reset_unit):
+        sim.add(component)
+    manager.submit_all(
+        RandomTraffic(ids=(0, 1, 2), max_beats=6, seed=seed).take(txns)
+    )
+    return SimpleNamespace(
+        sim=sim, manager=manager, tmu=tmu, checker=checker
+    )
+
+
+@given(
+    variant=st.sampled_from([Variant.FULL, Variant.TINY]),
+    seed=st.integers(0, 1_000_000),
+    txns=st.integers(1, 20),
+    sub_latency=st.integers(0, 11),
+)
+@settings(max_examples=25, deadline=None)
+def test_legal_traffic_fault_free_and_accounted(variant, seed, txns, sub_latency):
+    env = checked_tmu_loop(variant, seed, txns, sub_latency)
+    done = env.sim.run_until(lambda s: env.manager.idle, timeout=30_000)
+    assert done is not None
+    assert len(env.manager.completed) == txns
+    assert env.tmu.faults_handled == 0
+    assert env.manager.surprises == []
+    assert env.checker.clean, env.checker.violations[:3]
+    completed = (
+        env.tmu.write_guard.perf.completed + env.tmu.read_guard.perf.completed
+    )
+    assert completed == txns
+
+
+@given(
+    variant=st.sampled_from([Variant.FULL, Variant.TINY]),
+    stage=st.sampled_from(list(InjectionStage)),
+    beats=st.integers(1, 12),
+)
+@settings(max_examples=25, deadline=None)
+def test_any_fault_any_geometry_detected_and_recovered(variant, stage, beats):
+    config = TmuConfig(variant=variant, budgets=fast_budgets())
+    result = run_injection(config, stage, beats=beats)
+    assert result.detected
+    assert result.recovered
+    assert result.resets_taken == 1

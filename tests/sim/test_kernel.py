@@ -1,0 +1,170 @@
+"""Unit tests for the two-phase simulation kernel."""
+
+import pytest
+
+from repro.sim.component import Component
+from repro.sim.kernel import SettleError, Simulator
+from repro.sim.signal import Channel, Wire
+
+
+class Counter(Component):
+    """Registered counter driving a wire with its value."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.out = Wire(f"{name}.out", 0, width=32)
+        self.value = 0
+
+    def wires(self):
+        yield self.out
+
+    def drive(self):
+        self.out.value = self.value
+
+    def update(self):
+        self.value += 1
+
+    def reset(self):
+        self.value = 0
+
+
+class Follower(Component):
+    """Combinationally mirrors another wire (tests settle ordering)."""
+
+    def __init__(self, name, source):
+        super().__init__(name)
+        self.source = source
+        self.out = Wire(f"{name}.out", 0, width=32)
+
+    def wires(self):
+        yield self.out
+
+    def drive(self):
+        self.out.value = self.source.value
+
+
+class Oscillator(Component):
+    """Pathological combinational loop: inverts its own output."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.out = Wire(f"{name}.out", False)
+
+    def wires(self):
+        yield self.out
+
+    def drive(self):
+        self.out.value = not self.out.value
+
+
+def test_step_advances_cycle():
+    sim = Simulator()
+    sim.step()
+    sim.step()
+    assert sim.cycle == 2
+
+
+def test_update_runs_once_per_cycle():
+    sim = Simulator()
+    counter = sim.add(Counter("c"))
+    sim.run(5)
+    assert counter.value == 5
+
+
+def test_combinational_chain_settles_regardless_of_add_order():
+    # Follower registered BEFORE its source: needs a second settle sweep.
+    sim = Simulator()
+    counter = Counter("c")
+    follower = Follower("f", counter.out)
+    sim.add(follower)
+    sim.add(counter)
+    sim.step()
+    assert follower.out.value == counter.out.value == 0
+    sim.step()
+    assert follower.out.value == 1
+
+
+def test_deep_combinational_chain_settles():
+    sim = Simulator()
+    counter = Counter("c")
+    chain = [counter]
+    previous = counter.out
+    followers = []
+    for i in range(10):
+        follower = Follower(f"f{i}", previous)
+        followers.append(follower)
+        previous = follower.out
+    # Register in worst-case (reverse) order.
+    for component in reversed(followers):
+        sim.add(component)
+    sim.add(counter)
+    sim.run(3)
+    assert followers[-1].out.value == counter.out.value
+
+
+def test_combinational_loop_raises_settle_error():
+    sim = Simulator(max_settle_iterations=8)
+    sim.add(Oscillator("osc"))
+    with pytest.raises(SettleError):
+        sim.step()
+
+
+def test_reset_restores_wires_and_components():
+    sim = Simulator()
+    counter = sim.add(Counter("c"))
+    sim.run(3)
+    sim.reset()
+    assert sim.cycle == 0
+    assert counter.value == 0
+    assert counter.out.value == 0
+
+
+def test_run_until_returns_cycle_condition_first_held():
+    sim = Simulator()
+    counter = sim.add(Counter("c"))
+    result = sim.run_until(lambda s: counter.value >= 4, timeout=100)
+    assert result == 4
+    assert sim.cycle == 4
+
+
+def test_run_until_times_out_returns_none():
+    sim = Simulator()
+    sim.add(Counter("c"))
+    assert sim.run_until(lambda s: False, timeout=10) is None
+
+
+def test_probe_called_after_each_cycle():
+    sim = Simulator()
+    sim.add(Counter("c"))
+    seen = []
+    sim.add_probe(lambda s: seen.append(s.cycle))
+    sim.run(4)
+    assert seen == [1, 2, 3, 4]
+
+
+def test_channel_fired_requires_both_valid_and_ready():
+    channel = Channel("ch")
+    assert not channel.fired()
+    channel.valid.value = True
+    assert not channel.fired()
+    channel.ready.value = True
+    assert channel.fired()
+    assert channel.beat() is None  # payload never driven
+    channel.payload.value = "beat"
+    assert channel.beat() == "beat"
+
+
+def test_channel_idle_clears_valid_and_payload():
+    channel = Channel("ch")
+    channel.drive("payload")
+    assert channel.valid.value and channel.payload.value == "payload"
+    channel.idle()
+    assert not channel.valid.value
+    assert channel.payload.value is None
+
+
+def test_wire_reset_restores_init():
+    wire = Wire("w", init=7, width=8)
+    wire.value = 99
+    wire.reset()
+    assert wire.value == 7

@@ -1,0 +1,108 @@
+"""System-level tests: the Cheshire assembly and the Fig. 11 experiment."""
+
+import pytest
+
+from repro.faults.types import InjectionStage
+from repro.soc.cheshire import (
+    ETHERNET_BASE,
+    SYSTEM_FC_BUDGETS,
+    SYSTEM_TC_BUDGET,
+    CheshireSoC,
+    system_budget_policy,
+    system_tmu_config,
+)
+from repro.soc.experiment import FIG11_STAGES, run_system_injection
+from repro.tmu.config import Variant
+from repro.tmu.phases import WritePhase
+
+
+def test_system_budget_policy_matches_paper_numbers():
+    policy = system_budget_policy(frame_beats=250)
+    assert policy.span_budget(250) == SYSTEM_TC_BUDGET == 320
+    assert policy.write_phase_budget(WritePhase.AW_HANDSHAKE, 250) == 10
+    assert policy.write_phase_budget(WritePhase.W_ENTRY, 250) == 20
+    assert policy.write_phase_budget(WritePhase.W_FIRST_HS, 250) == 10
+    assert policy.write_phase_budget(WritePhase.W_DATA, 250) == 250
+    assert policy.write_phase_budget(WritePhase.B_WAIT, 250) == 10
+    assert policy.write_phase_budget(WritePhase.B_HANDSHAKE, 250) == 20
+    # Fc per-phase budgets sum to the Tc whole-transaction budget.
+    assert sum(SYSTEM_FC_BUDGETS.values()) == SYSTEM_TC_BUDGET
+
+
+def test_ethernet_frame_healthy_run():
+    soc = CheshireSoC(system_tmu_config(Variant.FULL))
+    soc.send_ethernet_frame(250)
+    done = soc.run_until_idle()
+    assert done is not None
+    assert soc.ethernet.frames_sent == 1
+    assert soc.ethernet.beats_received == 250
+    assert soc.tmu.faults_handled == 0
+    assert soc.dma.completed[0].resp.name == "OKAY"
+
+
+def test_frame_with_background_traffic_no_false_positives():
+    soc = CheshireSoC(system_tmu_config(Variant.FULL))
+    soc.send_ethernet_frame(250)
+    soc.submit_background_traffic(15, manager=0)
+    soc.submit_background_traffic(15, manager=1)
+    assert soc.run_until_idle() is not None
+    assert soc.tmu.faults_handled == 0
+    assert all(m.surprises == [] for m in soc.managers)
+    assert len(soc.cva6[0].completed) == 15
+    assert len(soc.cva6[1].completed) == 15
+
+
+def test_ethernet_address_decode():
+    soc = CheshireSoC()
+    assert soc.xbar.route(ETHERNET_BASE) == 2
+    assert soc.xbar.route(0x8000_0000) == 0
+
+
+@pytest.mark.parametrize(
+    "stage", FIG11_STAGES, ids=[stage.value for stage in FIG11_STAGES]
+)
+def test_fig11_full_counter_latency_matches_phase_budget(stage):
+    expected = {
+        InjectionStage.AW_READY_MISSING: 10,
+        InjectionStage.W_VALID_MISSING: 20,
+        InjectionStage.W_READY_MISSING: 10,
+        InjectionStage.DATA_TRANSFER_STALL: 250,
+        InjectionStage.WLAST_TO_BVALID: 10,
+        InjectionStage.B_READY_MISSING: 20,
+    }[stage]
+    result = run_system_injection(Variant.FULL, stage)
+    assert result.fig11_latency == pytest.approx(expected, abs=2)
+    assert result.recovered
+    assert result.ethernet_resets == 1
+
+
+@pytest.mark.parametrize(
+    "stage", FIG11_STAGES, ids=[stage.value for stage in FIG11_STAGES]
+)
+def test_fig11_tiny_counter_always_full_budget(stage):
+    result = run_system_injection(Variant.TINY, stage)
+    assert result.latency_from_start == pytest.approx(SYSTEM_TC_BUDGET, abs=2)
+    assert result.recovered
+    assert result.ethernet_resets == 1
+
+
+def test_system_recovery_interrupt_serviced_by_cpu():
+    result = run_system_injection(Variant.FULL, InjectionStage.WLAST_TO_BVALID)
+    assert result.cpu_recoveries == 1
+
+
+def test_system_resumes_after_recovery():
+    """After reset + recovery, a second frame transmits cleanly."""
+    soc = CheshireSoC(system_tmu_config(Variant.FULL))
+    soc.ethernet.faults.mute_b = True
+    soc.send_ethernet_frame(250)
+    assert soc.sim.run_until(lambda s: soc.tmu.irq.value, timeout=20_000)
+    assert soc.sim.run_until(
+        lambda s: soc.all_idle and soc.tmu.state.value == "monitor", timeout=5_000
+    )
+    frames_before = soc.ethernet.frames_sent
+    soc.send_ethernet_frame(250)
+    assert soc.run_until_idle() is not None
+    assert soc.ethernet.frames_sent == frames_before + 1
+    assert soc.dma.completed[-1].resp.name == "OKAY"
+    assert soc.ethernet.resets_taken == 1

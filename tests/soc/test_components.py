@@ -1,0 +1,233 @@
+"""Tests for SoC building blocks: reset unit, PLIC, Ethernet MAC, DMA."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.axi.interface import AxiInterface
+from repro.axi.manager import Manager
+from repro.axi.subordinate import Subordinate
+from repro.axi.types import AxiDir
+from repro.sim.kernel import Simulator
+from repro.sim.signal import Wire
+from repro.soc.dma import DmaDescriptor, DmaEngine
+from repro.soc.ethernet import EthernetMac
+from repro.soc.plic import Plic
+from repro.soc.reset_unit import ResetUnit
+
+
+# ---------------------------------------------------------------------------
+# Reset unit
+# ---------------------------------------------------------------------------
+def reset_env(duration=4):
+    sim = Simulator()
+    req = Wire("req", False)
+    ack = Wire("ack", False)
+    bus = AxiInterface("bus")
+    subordinate = Subordinate("subordinate", bus)
+    unit = ResetUnit("unit", req, ack, subordinate, reset_duration=duration)
+    sim.add(subordinate)
+    sim.add(unit)
+    return SimpleNamespace(sim=sim, req=req, ack=ack, sub=subordinate, unit=unit)
+
+
+def test_reset_unit_idle_without_request():
+    env = reset_env()
+    env.sim.run(20)
+    assert env.unit.resets_issued == 0
+    assert not env.ack.value
+
+
+def test_reset_unit_four_phase_handshake():
+    env = reset_env(duration=3)
+    env.req.value = True
+    env.sim.run(1)  # request sampled
+    env.sim.run(3)  # reset held
+    assert env.sub.resets_taken == 1
+    done = env.sim.run_until(lambda s: env.ack.value, timeout=10)
+    assert done is not None
+    env.req.value = False
+    env.sim.run(2)
+    assert not env.ack.value
+    assert env.unit.resets_issued == 1
+
+
+def test_reset_unit_duration_validated():
+    with pytest.raises(ValueError):
+        ResetUnit("bad", Wire("r"), Wire("a"), None, reset_duration=0)
+
+
+def test_reset_unit_without_subordinate_still_acks():
+    sim = Simulator()
+    req, ack = Wire("req", False), Wire("ack", False)
+    unit = ResetUnit("unit", req, ack, None, reset_duration=2)
+    sim.add(unit)
+    req.value = True
+    assert sim.run_until(lambda s: ack.value, timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# PLIC
+# ---------------------------------------------------------------------------
+def test_plic_latches_and_claims():
+    sim = Simulator()
+    plic = Plic("plic")
+    irq = Wire("irq", False)
+    source = plic.connect(irq, "tmu")
+    sim.add(plic)
+    sim.run(3)
+    assert plic.claim() is None
+    irq.value = True
+    sim.run(1)
+    assert plic.any_pending
+    claimed = plic.claim()
+    assert claimed == source
+    assert plic.source_name(claimed) == "tmu"
+    assert plic.irq_counts["tmu"] == 1
+
+
+def test_plic_no_reraise_while_claimed():
+    sim = Simulator()
+    plic = Plic("plic")
+    irq = Wire("irq", False)
+    source = plic.connect(irq, "tmu")
+    sim.add(plic)
+    irq.value = True
+    sim.run(1)
+    plic.claim()
+    sim.run(5)  # level still high, but claimed: no new pend
+    assert not plic.any_pending
+    plic.complete(source)
+    sim.run(1)  # level still high: re-raises after completion
+    assert plic.any_pending
+
+
+def test_plic_priority_lowest_id_first():
+    sim = Simulator()
+    plic = Plic("plic")
+    a, b = Wire("a", False), Wire("b", False)
+    plic.connect(a, "a")
+    plic.connect(b, "b")
+    sim.add(plic)
+    a.value = True
+    b.value = True
+    sim.run(1)
+    assert plic.source_name(plic.claim()) == "a"
+    assert plic.source_name(plic.claim()) == "b"
+
+
+def test_plic_complete_validates_source():
+    plic = Plic("plic")
+    with pytest.raises(ValueError):
+        plic.complete(3)
+
+
+# ---------------------------------------------------------------------------
+# Ethernet MAC
+# ---------------------------------------------------------------------------
+def eth_env():
+    sim = Simulator()
+    bus = AxiInterface("bus")
+    manager = Manager("manager", bus)
+    mac = EthernetMac("mac", bus)
+    sim.add(manager)
+    sim.add(mac)
+    return SimpleNamespace(sim=sim, manager=manager, mac=mac)
+
+
+def test_ethernet_counts_frames_and_beats():
+    from repro.axi.traffic import write_spec
+
+    env = eth_env()
+    env.manager.submit(write_spec(0, EthernetMac.TX_BUFFER_OFFSET, beats=16))
+    assert env.sim.run_until(lambda s: env.manager.idle, timeout=2_000)
+    assert env.mac.frames_sent == 1
+    assert env.mac.beats_received == 16
+
+
+def test_ethernet_tx_buffer_drains_at_line_rate():
+    from repro.axi.traffic import write_spec
+
+    env = eth_env()
+    env.manager.submit(write_spec(0, 0, beats=32))
+    assert env.sim.run_until(lambda s: env.manager.idle, timeout=2_000)
+    buffered = env.mac.tx_beats_buffered
+    assert buffered > 0
+    env.sim.run(int(buffered / env.mac.line_rate) + 2)
+    assert env.mac.tx_beats_buffered == 0
+
+
+def test_ethernet_reset_flushes_tx_buffer():
+    from repro.axi.traffic import write_spec
+
+    env = eth_env()
+    env.manager.submit(write_spec(0, 0, beats=32))
+    assert env.sim.run_until(lambda s: env.manager.idle, timeout=2_000)
+    env.mac.hw_reset.value = True
+    env.sim.run(1)
+    assert env.mac.tx_beats_buffered == 0
+
+
+# ---------------------------------------------------------------------------
+# DMA engine
+# ---------------------------------------------------------------------------
+def dma_env():
+    sim = Simulator()
+    bus = AxiInterface("bus")
+    dma = DmaEngine("dma", bus)
+    subordinate = Subordinate("subordinate", bus)
+    sim.add(dma)
+    sim.add(subordinate)
+    return SimpleNamespace(sim=sim, dma=dma, sub=subordinate)
+
+
+def test_dma_single_burst_descriptor():
+    env = dma_env()
+    bursts = env.dma.enqueue_descriptor(DmaDescriptor(dst=0x1000, length_bytes=128 * 8))
+    assert bursts == 1
+    assert env.sim.run_until(lambda s: env.dma.idle, timeout=2_000)
+    assert env.dma.descriptors_done == 1
+
+
+def test_dma_splits_at_256_beats():
+    env = dma_env()
+    # 300 beats of 8 bytes: must split into >= 2 bursts.
+    bursts = env.dma.enqueue_descriptor(DmaDescriptor(dst=0x0, length_bytes=300 * 8))
+    assert bursts >= 2
+    assert env.sim.run_until(lambda s: env.dma.idle, timeout=5_000)
+    assert env.dma.descriptors_done == 1
+    assert env.sub.writes_done == bursts
+
+
+def test_dma_respects_4k_boundaries():
+    from repro.axi.types import crosses_4k_boundary
+
+    env = dma_env()
+    env.dma.enqueue_descriptor(DmaDescriptor(dst=0xF80, length_bytes=64 * 8))
+    seen = []
+    env.sim.add_probe(
+        lambda sim: seen.append(env.dma.bus.aw.payload.value)
+        if env.dma.bus.aw.fired()
+        else None
+    )
+    assert env.sim.run_until(lambda s: env.dma.idle, timeout=5_000)
+    for beat in seen:
+        assert not crosses_4k_boundary(beat.addr, beat.len, beat.size, beat.burst)
+
+
+def test_dma_validates_length():
+    env = dma_env()
+    with pytest.raises(ValueError):
+        env.dma.enqueue_descriptor(DmaDescriptor(dst=0, length_bytes=13))
+    with pytest.raises(ValueError):
+        env.dma.enqueue_descriptor(DmaDescriptor(dst=0, length_bytes=0))
+
+
+def test_dma_read_descriptor():
+    env = dma_env()
+    env.sub.memory.write_word(0x100, 0xABCD, 8)
+    env.dma.enqueue_descriptor(
+        DmaDescriptor(dst=0x100, length_bytes=8, direction=AxiDir.READ)
+    )
+    assert env.sim.run_until(lambda s: env.dma.idle, timeout=2_000)
+    assert env.dma.completed[0].data == [0xABCD]

@@ -1,0 +1,71 @@
+"""Mixed-criticality deployment: Fc on Ethernet, Tc on DRAM (paper §IV)."""
+
+from repro.soc.cheshire import CheshireSoC, system_tmu_config
+from repro.tmu.config import Variant
+
+
+def dual_soc():
+    return CheshireSoC(
+        system_tmu_config(Variant.FULL),
+        monitor_dram=True,
+        dram_tmu_config=system_tmu_config(Variant.TINY),
+    )
+
+
+def test_dual_monitor_healthy_traffic():
+    soc = dual_soc()
+    soc.send_ethernet_frame(250)
+    soc.submit_background_traffic(20, manager=0)
+    assert soc.run_until_idle() is not None
+    assert soc.tmu.faults_handled == 0
+    assert soc.dram_tmu.faults_handled == 0
+    assert len(soc.cva6[0].completed) == 20
+    assert soc.ethernet.frames_sent == 1
+
+
+def test_dram_fault_detected_by_dram_tmu_only():
+    soc = dual_soc()
+    soc.dram.faults.mute_b = True
+    soc.submit_background_traffic(5, manager=0)
+    soc.send_ethernet_frame(250)
+    assert soc.sim.run_until(lambda s: soc.dram_tmu.irq.value, timeout=20_000)
+    assert soc.dram_tmu.faults_handled == 1
+    # The Ethernet path is unaffected: its frame completes cleanly.
+    assert soc.sim.run_until(lambda s: soc.dma.idle, timeout=20_000)
+    assert soc.dma.completed[-1].resp.name == "OKAY"
+    assert soc.tmu.faults_handled == 0
+    assert soc.sim.run_until(lambda s: soc.dram.resets_taken == 1, timeout=5_000)
+
+
+def test_ethernet_fault_leaves_dram_traffic_untouched():
+    soc = dual_soc()
+    soc.ethernet.faults.deaf_aw = True
+    soc.send_ethernet_frame(250)
+    soc.submit_background_traffic(10, manager=1)
+    assert soc.sim.run_until(lambda s: soc.tmu.irq.value, timeout=20_000)
+    assert soc.sim.run_until(lambda s: soc.cva6[1].idle, timeout=20_000)
+    assert all(t.resp.name == "OKAY" for t in soc.cva6[1].completed)
+    assert soc.dram_tmu.faults_handled == 0
+    assert soc.dram.resets_taken == 0
+
+
+def test_both_domains_fault_and_recover_independently():
+    soc = dual_soc()
+    soc.ethernet.faults.mute_b = True
+    soc.dram.faults.mute_b = True
+    soc.send_ethernet_frame(250)
+    soc.submit_background_traffic(3, manager=0)
+    assert soc.sim.run_until(
+        lambda s: soc.tmu.faults_handled == 1 and soc.dram_tmu.faults_handled == 1,
+        timeout=30_000,
+    )
+    assert soc.sim.run_until(
+        lambda s: soc.ethernet.resets_taken == 1 and soc.dram.resets_taken == 1,
+        timeout=20_000,
+    )
+    assert soc.sim.run_until(lambda s: soc.all_idle, timeout=20_000)
+    # The PLIC saw interrupts from both monitors.
+    assert soc.plic.irq_counts["tmu"] == 1
+    assert soc.plic.irq_counts["dram_tmu"] == 1
+    # The CPU serviced both.
+    assert soc.sim.run_until(lambda s: len(soc.cpu.recoveries) == 2, timeout=10_000)

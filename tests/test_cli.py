@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_area_command(capsys):
+    assert main(["area", "--variant", "tiny", "--outstanding", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "2616.0" in out  # paper anchor for Tc @ 32
+    assert "tiny TMU, 32 outstanding" in out
+
+
+def test_area_with_prescaler(capsys):
+    assert main(["area", "--variant", "full", "--outstanding", "16", "--step", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "prescaler" in out
+    assert "sticky" in out
+
+
+def test_inject_command_success(capsys):
+    code = main(["inject", "--variant", "full", "--stage", "aw_stage_error"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "AWVLD_AWRDY" in out
+    assert "True" in out
+
+
+def test_inject_tiny_variant(capsys):
+    code = main(["inject", "--variant", "tiny", "--stage", "wlast_bvalid_error"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "AWVALID_BRESP" in out
+
+
+def test_inject_rejects_unknown_stage():
+    with pytest.raises(SystemExit):
+        main(["inject", "--stage", "nonsense"])
+
+
+def test_rejects_unknown_variant():
+    with pytest.raises(SystemExit):
+        main(["area", "--variant", "medium"])
+
+
+def test_fig7_command(capsys):
+    assert main(["fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "Tc+Pre" in out and "Fc+Pre" in out
+    assert "1330.0" in out and "6787.0" in out
+
+
+def test_fig8_command(capsys):
+    assert main(["fig8", "--variant", "tiny", "--budget", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "worst_detect_latency" in out
+
+
+def test_table2_command(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "This work: Full-Counter" in out
+    assert "Xilinx AXI Timeout" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,86 @@
+"""Unit tests for adaptive time budgeting."""
+
+from repro.tmu.budget import (
+    AdaptiveBudgetPolicy,
+    FixedBudgetPolicy,
+    PhaseBudgets,
+    SpanBudgets,
+)
+from repro.tmu.phases import ReadPhase, WritePhase
+
+
+def test_data_budget_scales_with_burst_length():
+    policy = AdaptiveBudgetPolicy()
+    short = policy.write_phase_budget(WritePhase.W_DATA, beats=1)
+    long = policy.write_phase_budget(WritePhase.W_DATA, beats=256)
+    assert long > short
+    assert long - short == policy.phases.w_data_per_beat * 255
+
+
+def test_read_data_budget_scales_with_burst_length():
+    policy = AdaptiveBudgetPolicy()
+    assert policy.read_phase_budget(ReadPhase.R_DATA, 64) > policy.read_phase_budget(
+        ReadPhase.R_DATA, 1
+    )
+
+
+def test_handshake_budgets_independent_of_burst_length():
+    policy = AdaptiveBudgetPolicy()
+    for phase in (WritePhase.AW_HANDSHAKE, WritePhase.W_FIRST_HS, WritePhase.B_HANDSHAKE):
+        assert policy.write_phase_budget(phase, 1) == policy.write_phase_budget(
+            phase, 256
+        )
+
+
+def test_queue_factor_adds_waiting_time():
+    policy = AdaptiveBudgetPolicy(PhaseBudgets(queue_factor=5))
+    base = policy.write_phase_budget(WritePhase.W_ENTRY, 4, queued_ahead=0)
+    queued = policy.write_phase_budget(WritePhase.W_ENTRY, 4, queued_ahead=3)
+    assert queued == base + 15
+    # Only waiting phases get the bonus.
+    assert policy.write_phase_budget(
+        WritePhase.W_DATA, 4, queued_ahead=3
+    ) == policy.write_phase_budget(WritePhase.W_DATA, 4, queued_ahead=0)
+
+
+def test_span_budget_scales_with_beats_and_queue():
+    policy = AdaptiveBudgetPolicy(span=SpanBudgets(base=64, per_beat=2, queue_factor=4))
+    assert policy.span_budget(10) == 84
+    assert policy.span_budget(10, queued_ahead=2) == 92
+
+
+def test_span_budget_covers_paper_system_setting():
+    # The paper's 320-cycle Tc budget for a 250-beat transaction.
+    policy = AdaptiveBudgetPolicy(span=SpanBudgets(base=70, per_beat=1))
+    assert policy.span_budget(250) == 320
+
+
+def test_max_budget_dominates_all_phases():
+    policy = AdaptiveBudgetPolicy(
+        PhaseBudgets(queue_factor=2), SpanBudgets(base=64, per_beat=2)
+    )
+    ceiling = policy.max_budget(max_beats=256, max_outstanding=32)
+    for phase in WritePhase:
+        assert policy.write_phase_budget(phase, 256, 32) <= ceiling
+    for phase in ReadPhase:
+        assert policy.read_phase_budget(phase, 256, 32) <= ceiling
+    assert policy.span_budget(256, 32) <= ceiling
+
+
+def test_fixed_policy_ignores_geometry():
+    policy = FixedBudgetPolicy(phase_budget=50, span_budget_cycles=99)
+    for phase in WritePhase:
+        assert policy.write_phase_budget(phase, 256, 32) == 50
+    for phase in ReadPhase:
+        assert policy.read_phase_budget(phase, 1) == 50
+    assert policy.span_budget(1) == policy.span_budget(256) == 99
+    assert policy.max_budget(256, 32) == 99
+
+
+def test_adaptive_avoids_false_timeout_where_fixed_fails():
+    """The ablation premise: a 256-beat burst needs > fixed budget cycles."""
+    adaptive = AdaptiveBudgetPolicy()
+    fixed = FixedBudgetPolicy(phase_budget=64)
+    burst_duration = 256  # one beat per cycle, best case
+    assert adaptive.write_phase_budget(WritePhase.W_DATA, 256) >= burst_duration
+    assert fixed.write_phase_budget(WritePhase.W_DATA, 256) < burst_duration

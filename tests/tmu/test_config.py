@@ -1,0 +1,55 @@
+"""Unit tests for TMU configuration."""
+
+import pytest
+
+from repro.tmu.budget import AdaptiveBudgetPolicy
+from repro.tmu.config import TmuConfig, Variant, full_config, tiny_config
+
+
+def test_max_outstanding_is_product():
+    config = TmuConfig(max_uniq_ids=4, txn_per_id=8)
+    assert config.max_outstanding == 32
+
+
+def test_defaults_are_full_counter():
+    config = TmuConfig()
+    assert config.variant == Variant.FULL
+    assert config.protocol_check_immediate is True
+
+
+def test_tiny_defaults_lenient_protocol_checks():
+    config = tiny_config()
+    assert config.variant == Variant.TINY
+    assert config.protocol_check_immediate is False
+
+
+def test_explicit_protocol_check_override_respected():
+    config = tiny_config(protocol_check_immediate=True)
+    assert config.protocol_check_immediate is True
+    config = full_config(protocol_check_immediate=False)
+    assert config.protocol_check_immediate is False
+
+
+def test_budget_policy_defaulted():
+    assert isinstance(TmuConfig().budgets, AdaptiveBudgetPolicy)
+
+
+def test_has_prescaler():
+    assert not TmuConfig(prescale_step=1).has_prescaler
+    assert TmuConfig(prescale_step=32).has_prescaler
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TmuConfig(max_uniq_ids=0)
+    with pytest.raises(ValueError):
+        TmuConfig(txn_per_id=0)
+    with pytest.raises(ValueError):
+        TmuConfig(prescale_step=0)
+
+
+def test_factory_kwargs_passthrough():
+    config = full_config(max_uniq_ids=8, txn_per_id=2, prescale_step=16)
+    assert config.max_uniq_ids == 8
+    assert config.max_outstanding == 16
+    assert config.prescale_step == 16

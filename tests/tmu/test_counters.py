@@ -1,0 +1,123 @@
+"""Unit tests for prescaled timeout counters and the sticky bit."""
+
+import pytest
+
+from repro.tmu.counters import Prescaler, PrescaledCounter, counter_width, units_for
+
+
+def test_units_rounding_up():
+    assert units_for(256, 1) == 256
+    assert units_for(256, 32) == 8
+    assert units_for(255, 32) == 8
+    assert units_for(257, 32) == 9
+    assert units_for(1, 128) == 1
+
+
+def test_units_validates_inputs():
+    with pytest.raises(ValueError):
+        units_for(0, 1)
+    with pytest.raises(ValueError):
+        units_for(10, 0)
+
+
+def test_counter_width_shrinks_with_step():
+    widths = [counter_width(256, step) for step in (1, 2, 8, 32, 128, 256)]
+    assert widths == sorted(widths, reverse=True)
+    assert counter_width(256, 256) == 1
+
+
+def test_prescaler_edge_every_step_cycles():
+    prescaler = Prescaler(4)
+    edges = [prescaler.advance() for _ in range(12)]
+    assert edges == [False, False, False, True] * 3
+
+
+def test_prescaler_step_one_always_edges():
+    prescaler = Prescaler(1)
+    assert all(prescaler.advance() for _ in range(5))
+
+
+def test_prescaler_phase_offset():
+    prescaler = Prescaler(4, phase=3)
+    assert prescaler.advance() is True
+
+
+def test_prescaler_validates():
+    with pytest.raises(ValueError):
+        Prescaler(0)
+    with pytest.raises(ValueError):
+        Prescaler(4, phase=4)
+
+
+def run_to_expiry(counter, prescaler, enabled_fn=lambda cycle: True, limit=10_000):
+    for cycle in range(limit):
+        if counter.tick(enabled_fn(cycle), prescaler.advance()):
+            return cycle + 1
+    raise AssertionError("counter never expired")
+
+
+def test_expiry_at_budget_without_prescaler():
+    counter = PrescaledCounter(10, step=1)
+    prescaler = Prescaler(1)
+    assert run_to_expiry(counter, prescaler) == 10
+
+
+def test_expiry_bounded_with_prescaler():
+    budget, step = 100, 8
+    counter = PrescaledCounter(budget, step=step)
+    prescaler = Prescaler(step)
+    latency = run_to_expiry(counter, prescaler)
+    assert budget <= latency <= units_for(budget, step) * step + step
+
+
+def test_disabled_counter_never_expires():
+    counter = PrescaledCounter(4, step=1)
+    prescaler = Prescaler(1)
+    for _ in range(100):
+        assert not counter.tick(False, prescaler.advance())
+
+
+def test_sticky_bit_registers_pulses_between_edges():
+    # Enable pulses strictly between edges: only sticky counters see them.
+    step = 4
+    sticky = PrescaledCounter(4 * step, step=step, sticky=True)
+    plain = PrescaledCounter(4 * step, step=step, sticky=False)
+    prescaler_a, prescaler_b = Prescaler(step), Prescaler(step)
+    for cycle in range(64):
+        enabled = cycle % step == 1  # never coincides with the edge (phase 3)
+        sticky.tick(enabled, prescaler_a.advance())
+        plain.tick(enabled, prescaler_b.advance())
+    assert sticky.count > 0
+    assert plain.count == 0
+
+
+def test_rearm_restarts_with_new_budget():
+    counter = PrescaledCounter(4, step=1)
+    prescaler = Prescaler(1)
+    run_to_expiry(counter, prescaler)
+    counter.rearm(2)
+    assert not counter.expired
+    assert run_to_expiry(counter, prescaler) == 2
+
+
+def test_elapsed_estimate_in_cycles():
+    # Conservative counting: the first edge only arms the counter, so
+    # after 24 cycles at step 8 two complete intervals have been counted.
+    counter = PrescaledCounter(64, step=8)
+    prescaler = Prescaler(8)
+    for _ in range(24):
+        counter.tick(True, prescaler.advance())
+    assert counter.elapsed_estimate == 16
+
+
+def test_count_saturates_at_units():
+    counter = PrescaledCounter(4, step=1)
+    prescaler = Prescaler(1)
+    for _ in range(100):
+        counter.tick(True, prescaler.advance())
+    assert counter.count == counter.units
+
+
+def test_width_matches_module_function():
+    counter = PrescaledCounter(256, step=32)
+    assert counter.width == counter_width(256, 32)

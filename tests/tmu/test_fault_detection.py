@@ -1,0 +1,76 @@
+"""Detection matrix: every Fig. 9 fault class, both variants (IP level)."""
+
+import pytest
+
+from tests.conftest import fast_budgets
+
+from repro.faults.campaign import run_injection
+from repro.faults.types import InjectionStage
+from repro.tmu.config import Variant, full_config, tiny_config
+from repro.tmu.phases import TxnSpan
+
+ALL_STAGES = list(InjectionStage)
+
+
+def config_for(variant):
+    if variant == Variant.FULL:
+        return full_config(budgets=fast_budgets())
+    return tiny_config(budgets=fast_budgets())
+
+
+@pytest.mark.parametrize("stage", ALL_STAGES, ids=[s.value for s in ALL_STAGES])
+@pytest.mark.parametrize("variant", [Variant.FULL, Variant.TINY], ids=["fc", "tc"])
+def test_every_stage_detected_and_recovered(variant, stage):
+    result = run_injection(config_for(variant), stage, beats=8)
+    assert result.detected, f"{variant} missed {stage}"
+    assert result.recovered, f"{variant} did not recover from {stage}"
+    assert result.resets_taken == 1
+
+
+@pytest.mark.parametrize("stage", ALL_STAGES, ids=[s.value for s in ALL_STAGES])
+def test_full_counter_attributes_correct_phase(stage):
+    result = run_injection(config_for(Variant.FULL), stage, beats=8)
+    assert result.fault_phase == stage.expected_fc_phase.label
+
+
+@pytest.mark.parametrize("stage", ALL_STAGES, ids=[s.value for s in ALL_STAGES])
+def test_tiny_counter_reports_span_phase(stage):
+    result = run_injection(config_for(Variant.TINY), stage, beats=8)
+    expected = TxnSpan.WRITE if stage.direction.value == "write" else TxnSpan.READ
+    assert result.fault_phase == expected.label
+    assert result.fault_kind == "timeout"
+
+
+@pytest.mark.parametrize("stage", ALL_STAGES, ids=[s.value for s in ALL_STAGES])
+def test_full_counter_never_slower_than_tiny(stage):
+    fc = run_injection(config_for(Variant.FULL), stage, beats=8)
+    tc = run_injection(config_for(Variant.TINY), stage, beats=8)
+    assert fc.latency_from_start <= tc.latency_from_start
+
+
+def test_tiny_counter_detects_at_span_budget():
+    budgets = fast_budgets()
+    result = run_injection(config_for(Variant.TINY), InjectionStage.AW_READY_MISSING, beats=8)
+    expected = budgets.span_budget(8)  # 60 + 2*8 = 76
+    assert result.latency_from_start == pytest.approx(expected, abs=2)
+
+
+def test_full_counter_early_fault_detected_early():
+    result = run_injection(
+        config_for(Variant.FULL), InjectionStage.AW_READY_MISSING, beats=8
+    )
+    assert result.latency_from_injection == fast_budgets().phases.aw_handshake
+
+
+def test_protocol_violation_immediate_in_full_counter():
+    result = run_injection(
+        config_for(Variant.FULL), InjectionStage.B_ID_MISMATCH, beats=4
+    )
+    assert result.fault_kind == "unrequested_response"
+    assert result.latency_from_injection <= 2
+
+
+def test_detection_latency_scales_with_burst_for_tiny():
+    short = run_injection(config_for(Variant.TINY), InjectionStage.WLAST_TO_BVALID, beats=2)
+    long = run_injection(config_for(Variant.TINY), InjectionStage.WLAST_TO_BVALID, beats=16)
+    assert long.latency_from_start > short.latency_from_start

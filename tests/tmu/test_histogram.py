@@ -1,0 +1,75 @@
+"""Tests for the latency histogram (Kyung-PMU-style distributions)."""
+
+import pytest
+
+from tests.conftest import build_loop
+
+from repro.axi.traffic import write_spec
+from repro.tmu.perf import LatencyHistogram
+
+
+def test_bucket_boundaries_power_of_two():
+    hist = LatencyHistogram(buckets=6)
+    assert hist.bucket_bounds(0) == (0, 0)
+    assert hist.bucket_bounds(1) == (1, 1)
+    assert hist.bucket_bounds(2) == (2, 3)
+    assert hist.bucket_bounds(3) == (4, 7)
+    assert hist.bucket_bounds(5) == (16, None)  # overflow bucket
+
+
+def test_record_lands_in_correct_bucket():
+    hist = LatencyHistogram(buckets=6)
+    for value, bucket in ((0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4)):
+        before = hist.counts[bucket]
+        hist.record(value)
+        assert hist.counts[bucket] == before + 1
+
+
+def test_overflow_bucket_catches_huge_values():
+    hist = LatencyHistogram(buckets=4)
+    hist.record(10_000)
+    assert hist.counts[3] == 1
+
+
+def test_total_and_nonzero():
+    hist = LatencyHistogram()
+    for value in (1, 1, 5, 9):
+        hist.record(value)
+    assert hist.total == 4
+    populated = hist.nonzero()
+    assert sum(count for _, count in populated) == 4
+
+
+def test_percentile_monotone():
+    hist = LatencyHistogram()
+    for value in range(1, 101):
+        hist.record(value)
+    p50 = hist.percentile(0.5)
+    p99 = hist.percentile(0.99)
+    assert p50 <= p99
+    assert p99 >= 64  # values up to 100 land in the 64-127 bucket
+
+
+def test_percentile_validation():
+    hist = LatencyHistogram()
+    with pytest.raises(ValueError):
+        hist.percentile(0.0)
+    with pytest.raises(ValueError):
+        hist.percentile(1.5)
+    assert hist.percentile(0.5) == 0  # empty histogram
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        LatencyHistogram().record(-1)
+
+
+def test_perf_log_populates_histogram_end_to_end():
+    env = build_loop(b_latency=4)
+    env.manager.submit_all([write_spec(0, 0x100 * i, beats=2) for i in range(1, 9)])
+    assert env.sim.run_until(lambda s: env.manager.idle, timeout=5_000)
+    hist = env.tmu.write_guard.perf.latency_histogram
+    assert hist.total == 8
+    # Queued responses spread latencies, but within a narrow band.
+    assert 1 <= len(hist.nonzero()) <= 4
+    assert hist.percentile(1.0) >= hist.percentile(0.5)

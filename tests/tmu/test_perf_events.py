@@ -1,0 +1,110 @@
+"""Unit tests for performance logging and the error log."""
+
+from repro.axi.types import AxiDir
+from repro.tmu.events import ErrorLog, FaultEvent, FaultKind
+from repro.tmu.perf import LatencyStat, PerfLog
+from repro.tmu.phases import ReadPhase, WritePhase
+
+
+def test_latency_stat_streaming():
+    stat = LatencyStat()
+    for value in (5, 3, 9):
+        stat.record(value)
+    assert stat.count == 3
+    assert stat.minimum == 3
+    assert stat.maximum == 9
+    assert stat.mean == (5 + 3 + 9) / 3
+
+
+def test_latency_stat_empty_mean_zero():
+    assert LatencyStat().mean == 0.0
+
+
+def test_latency_stat_merge():
+    a, b = LatencyStat(), LatencyStat()
+    a.record(1)
+    b.record(10)
+    a.merge(b)
+    assert a.count == 2
+    assert a.minimum == 1 and a.maximum == 10
+
+
+def test_perf_log_records_completion_and_phases():
+    log = PerfLog(AxiDir.WRITE)
+    log.record_completion(
+        orig_id=1,
+        addr=0x100,
+        beats=8,
+        start_cycle=10,
+        end_cycle=30,
+        phase_latencies={WritePhase.W_DATA: 8, WritePhase.B_WAIT: 4},
+    )
+    assert log.completed == 1
+    assert log.beats_transferred == 8
+    assert log.txn_latency.maximum == 20
+    assert log.phase_stats[WritePhase.W_DATA].mean == 8
+    summary = log.phase_summary()
+    assert summary["WFIRST_WLAST"].count == 1
+    assert summary["AWVLD_AWRDY"].count == 0
+
+
+def test_perf_log_read_direction_uses_read_phases():
+    log = PerfLog(AxiDir.READ)
+    assert set(log.phase_stats) == set(ReadPhase)
+
+
+def test_perf_log_history_bounded():
+    log = PerfLog(AxiDir.WRITE, history_depth=3)
+    for i in range(10):
+        log.record_completion(0, 0, 1, i, i + 1)
+    assert len(log.history) == 3
+    assert log.history[-1].start_cycle == 9
+
+
+def test_perf_log_throughput():
+    log = PerfLog(AxiDir.WRITE)
+    log.record_completion(0, 0, 100, 0, 10)
+    assert log.throughput(200) == 0.5
+
+
+def test_error_log_fifo_and_overflow():
+    log = ErrorLog(depth=2)
+    events = [
+        FaultEvent(FaultKind.TIMEOUT, AxiDir.WRITE, None, detect_cycle=i)
+        for i in range(4)
+    ]
+    for event in events:
+        log.push(event)
+    assert len(log) == 2
+    assert log.dropped == 2
+    assert log.pop() is events[0]
+    assert log.pop() is events[1]
+    assert log.pop() is None
+
+
+def test_error_log_clear():
+    log = ErrorLog()
+    log.push(FaultEvent(FaultKind.TIMEOUT, AxiDir.READ, None, detect_cycle=1))
+    log.clear()
+    assert len(log) == 0 and log.dropped == 0
+
+
+def test_fault_event_phase_label():
+    event = FaultEvent(
+        FaultKind.TIMEOUT, AxiDir.WRITE, WritePhase.B_WAIT, detect_cycle=5
+    )
+    assert event.phase_label == "WLAST_BVLD"
+    bare = FaultEvent(FaultKind.TIMEOUT, AxiDir.WRITE, None, detect_cycle=5)
+    assert bare.phase_label == "-"
+
+
+def test_fault_event_str_mentions_kind_and_cycle():
+    event = FaultEvent(
+        FaultKind.ID_MISMATCH,
+        AxiDir.READ,
+        ReadPhase.R_DATA,
+        detect_cycle=77,
+        txn_id=3,
+    )
+    text = str(event)
+    assert "77" in text and "id_mismatch" in text and "RVLD_RLAST" in text
