@@ -10,6 +10,12 @@ Full-Counter detection latencies — the Fig. 11 series.
 Run:  python examples/ethernet_soc.py
 """
 
+# Allow running straight from a source checkout, from any directory.
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
 from repro.faults import InjectionStage
 from repro.soc import CheshireSoC, system_tmu_config
 from repro.soc.experiment import FIG11_LABELS, FIG11_STAGES, run_system_injection

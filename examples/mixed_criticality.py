@@ -18,6 +18,12 @@ latency, attribution, and the modelled area each monitor costs.
 Run:  python examples/mixed_criticality.py
 """
 
+# Allow running straight from a source checkout, from any directory.
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
 from repro.area import tmu_area
 from repro.axi import AxiInterface, Manager, Subordinate, write_spec
 from repro.axi.crossbar import AddressRange, Crossbar

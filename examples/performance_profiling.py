@@ -15,6 +15,11 @@ Run:  python examples/performance_profiling.py
 
 import pathlib
 
+# Allow running straight from a source checkout, from any directory.
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
 from repro.axi import AxiInterface, Manager, RandomTraffic, Subordinate
 from repro.sim import Simulator, VcdWriter
 from repro.tmu import TransactionMonitoringUnit, full_config

@@ -10,6 +10,12 @@ design-space exploration supports.
 Run:  python examples/prescaler_tuning.py
 """
 
+# Allow running straight from a source checkout, from any directory.
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
 from repro.analysis import render_series
 from repro.area import estimate_area
 from repro.faults import measure_stall_detection_latency

@@ -9,6 +9,12 @@ outstanding transactions with SLVERR, reset the device, and resume.
 Run:  python examples/quickstart.py
 """
 
+# Allow running straight from a source checkout, from any directory.
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
 from repro.axi import AxiInterface, Manager, Subordinate, read_spec, write_spec
 from repro.sim import Simulator
 from repro.soc import ResetUnit

@@ -56,8 +56,65 @@ class AddressRange:
         return self.base <= addr < self.base + self.size
 
 
+class _XbarChannel(Component):
+    """Drive-only child covering one AXI channel of the crossbar.
+
+    The crossbar registers one of these per channel (aw/w/b/ar/r) so the
+    kernel can re-arbitrate exactly the channels whose inputs moved: a W
+    beat streaming through does not re-run address decode, and an idle
+    response channel costs nothing.  All state lives in the parent; the
+    parent's update() re-schedules every channel when it mutates
+    routing/arbitration state.
+    """
+
+    demand_driven = True
+
+    def __init__(self, xbar: "Crossbar", channel: str) -> None:
+        super().__init__(f"{xbar.name}.{channel}")
+        self.xbar = xbar
+        self.channel = channel
+
+    def inputs(self):
+        xbar, ch = self.xbar, self.channel
+        if ch in ("aw", "ar", "w"):
+            for src in xbar._mgr_ch[ch]:
+                yield from (src.valid, src.payload)
+            for dst in xbar._sub_ch[ch]:
+                yield dst.ready
+        else:
+            for src in xbar._sub_ch[ch]:
+                yield from (src.valid, src.payload)
+            for dst in xbar._mgr_ch[ch]:
+                yield dst.ready
+
+    def outputs(self):
+        xbar, ch = self.xbar, self.channel
+        if ch in ("aw", "ar", "w"):
+            for dst in xbar._sub_ch[ch]:
+                yield from (dst.valid, dst.payload)
+            for src in xbar._mgr_ch[ch]:
+                yield src.ready
+        else:
+            for dst in xbar._mgr_ch[ch]:
+                yield from (dst.valid, dst.payload)
+            for src in xbar._sub_ch[ch]:
+                yield src.ready
+
+    def drive(self) -> None:
+        xbar, ch = self.xbar, self.channel
+        if ch in ("aw", "ar"):
+            xbar._drive_addr(ch)
+        elif ch == "w":
+            xbar._drive_w()
+        else:
+            xbar._drive_resp(ch)
+
+
 #: Route index used for addresses no subordinate claims.
 DEFAULT_ROUTE = -1
+
+#: The five AXI4 channels, in request-then-response order.
+CHANNELS = ("aw", "ar", "w", "b", "r")
 
 
 class Crossbar(Component):
@@ -70,6 +127,8 @@ class Crossbar(Component):
     subordinates:
         ``(interface, address_range)`` pairs for each downstream port.
     """
+
+    demand_driven = True
 
     def __init__(
         self,
@@ -86,6 +145,16 @@ class Crossbar(Component):
         self.subordinates = [bus for bus, _ in subordinates]
         self.ranges = [rng for _, rng in subordinates]
         n_mgr, n_sub = len(self.managers), len(self.subordinates)
+
+        # Per-channel wire bundles, precomputed for the hot arbitration
+        # loops and the per-channel scheduling children.
+        self._mgr_ch = {
+            ch: [getattr(bus, ch) for bus in self.managers] for ch in CHANNELS
+        }
+        self._sub_ch = {
+            ch: [getattr(bus, ch) for bus in self.subordinates] for ch in CHANNELS
+        }
+        self._channels = [_XbarChannel(self, ch) for ch in CHANNELS]
 
         # Registered routing/arbitration state.
         self._mgr_w_route: List[Deque[int]] = [deque() for _ in range(n_mgr)]
@@ -121,6 +190,31 @@ class Crossbar(Component):
         for bus in self.subordinates:
             yield from bus.wires()
 
+    def children(self):
+        return self._channels
+
+    def inputs(self):
+        # Wire sensitivity lives on the per-channel children; the parent
+        # keeps a whole-crossbar drive() only for one-shot seeding and
+        # standalone use, and must not re-trigger on every wire change.
+        return ()
+
+    def outputs(self):
+        for child in self._channels:
+            yield from child.outputs()
+
+    def _schedule_channels(self) -> None:
+        """Invalidate every per-channel drive after a routing-state change.
+
+        Conservative on purpose: the channels share the parent's
+        arbitration state (W routing follows AW grants, response
+        round-robin follows completions), so any committed handshake
+        re-schedules all five.  Wire-level sensitivity still keeps idle
+        channels from re-running in steady state.
+        """
+        for child in self._channels:
+            child.schedule_drive()
+
     # ------------------------------------------------------------------
     # Drive: pure combinational forwarding + arbitration
     # ------------------------------------------------------------------
@@ -130,12 +224,13 @@ class Crossbar(Component):
         Round-robin by default; with QoS arbitration the highest AxQOS
         wins and round-robin only breaks ties (AXI4 QoS semantics).
         """
-        n_mgr = len(self.managers)
+        sources = self._mgr_ch[channel]
+        n_mgr = len(sources)
         winner = None
         winner_qos = -1
         for offset in range(n_mgr):
             m = (rr + offset) % n_mgr
-            src = getattr(self.managers[m], channel)
+            src = sources[m]
             beat = src.payload.value
             if src.valid.value and beat is not None and self.route(beat.addr) == sub_index:
                 if not self.qos_arbitration:
@@ -182,25 +277,24 @@ class Crossbar(Component):
 
     def _drive_addr(self, channel: str) -> None:
         rr_state = self._aw_rr if channel == "aw" else self._ar_rr
-        granted = [False] * len(self.managers)
-        for s, sub in enumerate(self.subordinates):
-            dst = getattr(sub, channel)
+        sources = self._mgr_ch[channel]
+        granted = [False] * len(sources)
+        for s, dst in enumerate(self._sub_ch[channel]):
             winner = self._addr_winner(channel, s, rr_state[s])
             if winner is not None:
-                beat = getattr(self.managers[winner], channel).payload.value
+                beat = sources[winner].payload.value
                 if not self._grant_allowed(channel, winner, beat, s):
                     winner = None
             if winner is None:
                 dst.idle()
                 continue
-            src = getattr(self.managers[winner], channel)
+            src = sources[winner]
             beat = src.payload.value
             dst.drive(remap_id(beat, extend_id(winner, beat.id)))
             src.ready.value = dst.ready.value
             granted[winner] = True
         # Default subordinate: accept unmapped requests (same gating).
-        for m, mgr in enumerate(self.managers):
-            src = getattr(mgr, channel)
+        for m, src in enumerate(sources):
             if granted[m]:
                 continue
             beat = src.payload.value
@@ -241,10 +335,11 @@ class Crossbar(Component):
                 sub.w.idle()
 
     def _resp_winner(self, channel: str, mgr_index: int, rr: int) -> Optional[int]:
-        n_sub = len(self.subordinates)
+        sources = self._sub_ch[channel]
+        n_sub = len(sources)
         for offset in range(n_sub):
             s = (rr + offset) % n_sub
-            src = getattr(self.subordinates[s], channel)
+            src = sources[s]
             beat = src.payload.value
             if src.valid.value and beat is not None:
                 if split_id(beat.id)[0] == mgr_index:
@@ -253,12 +348,12 @@ class Crossbar(Component):
 
     def _drive_resp(self, channel: str) -> None:
         rr_state = self._b_rr if channel == "b" else self._r_rr
-        used_subs: List[Optional[int]] = [None] * len(self.subordinates)
-        for m, mgr in enumerate(self.managers):
-            dst = getattr(mgr, channel)
+        sources = self._sub_ch[channel]
+        used_subs: List[Optional[int]] = [None] * len(sources)
+        for m, dst in enumerate(self._mgr_ch[channel]):
             winner = self._resp_winner(channel, m, rr_state[m])
             if winner is not None:
-                src = getattr(self.subordinates[winner], channel)
+                src = sources[winner]
                 beat = src.payload.value
                 dst.drive(remap_id(beat, split_id(beat.id)[1]))
                 src.ready.value = dst.ready.value
@@ -282,9 +377,8 @@ class Crossbar(Component):
                     dst.drive(RBeat(id=orig, data=0, resp=Resp.DECERR, last=True))
             else:
                 dst.idle()
-        for s, sub in enumerate(self.subordinates):
+        for s, src in enumerate(sources):
             if used_subs[s] is None:
-                src = getattr(sub, channel)
                 src.ready.value = False
 
     def _decerr_w_drain_done_for(self, pending: Optional[int]) -> bool:
@@ -295,32 +389,40 @@ class Crossbar(Component):
     # Update: commit arbitration and routing state on fired handshakes
     # ------------------------------------------------------------------
     def update(self) -> None:
+        # Clock-edge code: wire reads go straight to the slots (no
+        # drive-phase tracing needed), mirroring Channel.fired().
         n_mgr = len(self.managers)
+        changed = False
         # Managers whose W beat was forwarded to a subordinate this
         # cycle must not also trigger the DECERR drain bookkeeping below
         # (the same handshake fires on both sides of the crossbar).
         w_forwarded = set()
         for s, sub in enumerate(self.subordinates):
-            if sub.aw.fired():
-                m, orig = split_id(sub.aw.payload.value.id)
+            if (sub.aw.valid._value and sub.aw.ready._value):
+                m, orig = split_id(sub.aw.payload._value.id)
                 self._sub_w_owner[s].append(m)
                 self._mgr_w_route[m].append(s)
                 self._w_outstanding.setdefault((m, orig), deque()).append(s)
                 self._aw_rr[s] = (m + 1) % n_mgr
-            if sub.ar.fired():
-                m, orig = split_id(sub.ar.payload.value.id)
+                changed = True
+            if (sub.ar.valid._value and sub.ar.ready._value):
+                m, orig = split_id(sub.ar.payload._value.id)
                 self._r_outstanding.setdefault((m, orig), deque()).append(s)
                 self._ar_rr[s] = (m + 1) % n_mgr
-            if sub.w.fired():
+                changed = True
+            if (sub.w.valid._value and sub.w.ready._value):
                 owner = self._sub_w_owner[s][0]
                 w_forwarded.add(owner)
-                if sub.w.payload.value.last:
+                if sub.w.payload._value.last:
+                    # Mid-burst beats commit nothing; only the last beat
+                    # moves routing state.
                     self._sub_w_owner[s].popleft()
                     self._mgr_w_route[owner].popleft()
+                    changed = True
         for m, mgr in enumerate(self.managers):
             # Unmapped requests accepted this cycle.
-            if mgr.aw.fired():
-                beat = mgr.aw.payload.value
+            if (mgr.aw.valid._value and mgr.aw.ready._value):
+                beat = mgr.aw.payload._value
                 if self.route(beat.addr) == DEFAULT_ROUTE:
                     self._decerr_b.append(extend_id(m, beat.id))
                     self._mgr_w_route[m].append(DEFAULT_ROUTE)
@@ -329,21 +431,24 @@ class Crossbar(Component):
                     )
                     self._decerr_w_drain += 1
                     self.decode_errors += 1
-            if mgr.ar.fired():
-                beat = mgr.ar.payload.value
+                    changed = True
+            if (mgr.ar.valid._value and mgr.ar.ready._value):
+                beat = mgr.ar.payload._value
                 if self.route(beat.addr) == DEFAULT_ROUTE:
                     self._decerr_r.append(extend_id(m, beat.id))
                     self._r_outstanding.setdefault((m, beat.id), deque()).append(
                         DEFAULT_ROUTE
                     )
                     self.decode_errors += 1
-            if mgr.w.fired() and m not in w_forwarded:
+                    changed = True
+            if (mgr.w.valid._value and mgr.w.ready._value) and m not in w_forwarded:
                 route = self._mgr_w_route[m]
-                if route and route[0] == DEFAULT_ROUTE and mgr.w.payload.value.last:
+                if route and route[0] == DEFAULT_ROUTE and mgr.w.payload._value.last:
                     route.popleft()
                     self._decerr_w_drain -= 1
-            if mgr.b.fired():
-                beat = mgr.b.payload.value
+                    changed = True
+            if (mgr.b.valid._value and mgr.b.ready._value):
+                beat = mgr.b.payload._value
                 self._pop_outstanding(self._w_outstanding, m, beat.id)
                 if (
                     beat.resp == Resp.DECERR
@@ -353,18 +458,23 @@ class Crossbar(Component):
                     self._decerr_b.popleft()
                 else:
                     self._b_rr[m] = (self._b_rr[m] + 1) % len(self.subordinates)
-            if mgr.r.fired():
-                beat = mgr.r.payload.value
+                changed = True
+            if (mgr.r.valid._value and mgr.r.ready._value):
+                beat = mgr.r.payload._value
                 if beat.last:
                     self._pop_outstanding(self._r_outstanding, m, beat.id)
+                    changed = True
                 if (
                     beat.resp == Resp.DECERR
                     and self._decerr_r
                     and split_id(self._decerr_r[0]) == (m, beat.id)
                 ):
                     self._decerr_r.popleft()
+                    changed = True
                 elif beat.last:
                     self._r_rr[m] = (self._r_rr[m] + 1) % len(self.subordinates)
+        if changed:
+            self._schedule_channels()
 
     @staticmethod
     def _pop_outstanding(table, m: int, txn_id: int) -> None:
@@ -387,3 +497,4 @@ class Crossbar(Component):
         self.decode_errors = 0
         self._w_outstanding.clear()
         self._r_outstanding.clear()
+        self._schedule_channels()

@@ -14,7 +14,7 @@ import dataclasses
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
-from ..sim.component import Component
+from ..sim.component import Component, DriveSensitiveState
 from .channels import ArBeat, AwBeat, BBeat, RBeat, WBeat
 from .interface import AxiInterface
 from .traffic import TransactionSpec
@@ -48,13 +48,16 @@ class CompletedTransaction:
 
 
 @dataclasses.dataclass
-class ManagerFaults:
+class ManagerFaults(DriveSensitiveState):
     """Manager-side fault switches for injection campaigns.
 
     * ``freeze_w`` — W Stage Timeout: the manager never presents write
       data (paper Fig. 9, "no valid data received from the master").
     * ``deaf_b`` / ``deaf_r`` — the manager stops accepting responses
       (exercises the ``BVLD_BRDY`` / response-readiness phases).
+
+    Campaigns flip these switches mid-simulation, between cycles; the
+    :class:`DriveSensitiveState` base notifies the owning manager.
     """
 
     freeze_w: bool = False
@@ -90,6 +93,8 @@ class Manager(Component):
         directions combined); the manager stalls issue when reached.
     """
 
+    demand_driven = True
+
     def __init__(
         self,
         name: str,
@@ -118,6 +123,7 @@ class Manager(Component):
         self.completed: List[CompletedTransaction] = []
         self.surprises: List[str] = []
         self.faults = ManagerFaults()
+        self.faults._owner = self
 
     # ------------------------------------------------------------------
     # Submission API
@@ -132,6 +138,7 @@ class Manager(Component):
             if len(self._ar_queue) == 0:
                 self._ar_delay = spec.issue_delay
             self._ar_queue.append(spec)
+        self.schedule_drive()
 
     def submit_all(self, specs: Iterable[TransactionSpec]) -> None:
         for spec in specs:
@@ -161,6 +168,22 @@ class Manager(Component):
     # ------------------------------------------------------------------
     def wires(self):
         yield from self.bus.wires()
+
+    def inputs(self):
+        # drive() reads only the response channels (via _resp_delay);
+        # everything else it consults is registered state, reported
+        # through schedule_drive().
+        bus = self.bus
+        return (bus.b.valid, bus.b.payload, bus.r.valid, bus.r.payload)
+
+    def outputs(self):
+        bus = self.bus
+        return (
+            bus.aw.valid, bus.aw.payload,
+            bus.ar.valid, bus.ar.payload,
+            bus.w.valid, bus.w.payload,
+            bus.b.ready, bus.r.ready,
+        )
 
     def _issue_allowed(self) -> bool:
         return (
@@ -221,8 +244,10 @@ class Manager(Component):
         )
 
     def _resp_delay(self, channel, direction: AxiDir) -> int:
-        beat = channel.payload.value
-        if not channel.valid.value or beat is None:
+        # Slot reads are safe here: the manager's sensitivity to the
+        # response channels is declared statically in inputs().
+        beat = channel.payload._value
+        if not channel.valid._value or beat is None:
             return 0
         queue = self._outstanding.get((direction, beat.id))
         if not queue:
@@ -230,32 +255,61 @@ class Manager(Component):
         return queue[0].spec.resp_ready_delay
 
     def update(self) -> None:
+        # Clock-edge code: wire reads go straight to the slots (no
+        # drive-phase tracing needed), mirroring Channel.fired().
         bus = self.bus
+        aw, ar, w, b, r = bus.aw, bus.ar, bus.w, bus.b, bus.r
         self._cycle += 1
+        changed = False
         if self._aw_delay > 0:
             self._aw_delay -= 1
+            changed = True
         if self._ar_delay > 0:
             self._ar_delay -= 1
+            changed = True
         if self._w_gap > 0:
             self._w_gap -= 1
+            changed = True
 
-        if bus.aw.fired():
+        if aw.valid._value and aw.ready._value:
             self._on_addr_fired(self._aw_queue, AxiDir.WRITE)
-        if bus.ar.fired():
+            changed = True
+        if ar.valid._value and ar.ready._value:
             self._on_addr_fired(self._ar_queue, AxiDir.READ)
+            changed = True
 
+        was_active = self._w_active
         self._activate_w_if_needed()
-        if bus.w.fired():
+        if self._w_active is not was_active:
+            changed = True
+        if w.valid._value and w.ready._value:
             self._on_w_fired()
+            changed = True
 
-        self._b_wait = self._b_wait + 1 if bus.b.valid.value else 0
-        self._r_wait = self._r_wait + 1 if bus.r.valid.value else 0
-        if bus.b.fired():
+        # The response-wait counters feed drive() only through the
+        # "wait >= resp_ready_delay" comparisons; increments past the
+        # threshold are invisible to the readiness outputs.
+        old_b_wait, old_r_wait = self._b_wait, self._r_wait
+        self._b_wait = self._b_wait + 1 if b.valid._value else 0
+        self._r_wait = self._r_wait + 1 if r.valid._value else 0
+        if b.valid._value and b.ready._value:
             self._b_wait = 0
-            self._on_b_fired(bus.b.payload.value)
-        if bus.r.fired():
+            self._on_b_fired(b.payload._value)
+            changed = True
+        elif self._b_wait != old_b_wait:
+            delay = self._resp_delay(b, AxiDir.WRITE)
+            if self._b_wait <= delay or old_b_wait <= delay:
+                changed = True
+        if r.valid._value and r.ready._value:
             self._r_wait = 0
-            self._on_r_fired(bus.r.payload.value)
+            self._on_r_fired(r.payload._value)
+            changed = True
+        elif self._r_wait != old_r_wait:
+            delay = self._resp_delay(r, AxiDir.READ)
+            if self._r_wait <= delay or old_r_wait <= delay:
+                changed = True
+        if changed:
+            self.schedule_drive()
 
     def _on_addr_fired(self, queue: Deque[TransactionSpec], direction: AxiDir) -> None:
         spec = queue.popleft()
@@ -378,3 +432,4 @@ class Manager(Component):
         self.completed.clear()
         self.surprises.clear()
         self.faults.clear()
+        self.schedule_drive()

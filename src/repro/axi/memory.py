@@ -28,6 +28,18 @@ class SparseMemory:
         self._page_size = 1 << page_bits
         self._fill = fill
         self._pages: Dict[int, bytearray] = {}
+        self._watchers: tuple = ()
+
+    def watch(self, callback) -> None:
+        """Invoke *callback* after every store.
+
+        Subordinates register their scheduler invalidation here so a
+        testbench writing memory mid-simulation (while a read burst is
+        in flight) re-evaluates the R datapath — the demand-driven
+        contract for state mutated behind the component's back.
+        """
+        if callback not in self._watchers:
+            self._watchers = (*self._watchers, callback)
 
     @property
     def page_size(self) -> int:
@@ -53,6 +65,8 @@ class SparseMemory:
 
     def write_byte(self, addr: int, value: int) -> None:
         self._page_for(addr)[addr & (self._page_size - 1)] = value & 0xFF
+        for watcher in self._watchers:
+            watcher()
 
     def read(self, addr: int, length: int) -> bytes:
         """Read *length* bytes starting at *addr*."""

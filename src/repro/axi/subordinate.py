@@ -17,7 +17,7 @@ import dataclasses
 from collections import deque
 from typing import Deque, List, Optional
 
-from ..sim.component import Component
+from ..sim.component import Component, DriveSensitiveState
 from ..sim.signal import Wire
 from .channels import ArBeat, AwBeat, BBeat, RBeat
 from .interface import AxiInterface
@@ -26,7 +26,7 @@ from .types import Resp, burst_addresses, bytes_per_beat
 
 
 @dataclasses.dataclass
-class SubordinateFaults:
+class SubordinateFaults(DriveSensitiveState):
     """Mutable fault switches, toggled by injectors mid-simulation.
 
     Each flag corresponds to an error class from the paper's
@@ -41,6 +41,9 @@ class SubordinateFaults:
     * ``drop_r_last`` — final R beat arrives without ``last``.
     * ``spurious_b`` / ``spurious_r`` — unrequested response with that ID.
     * ``error_resp`` — respond with SLVERR instead of OKAY.
+
+    Injectors flip these switches mid-simulation, between cycles; the
+    :class:`DriveSensitiveState` base notifies the owning subordinate.
     """
 
     deaf_aw: bool = False
@@ -134,6 +137,8 @@ class Subordinate(Component):
         transactions with different IDs; same-ID order is preserved).
     """
 
+    demand_driven = True
+
     def __init__(
         self,
         name: str,
@@ -152,6 +157,9 @@ class Subordinate(Component):
         super().__init__(name)
         self.bus = bus
         self.memory = memory if memory is not None else SparseMemory()
+        # R data is read combinationally from memory; external stores
+        # (testbench preloads, shared memories) must re-drive us.
+        self.memory.watch(self.schedule_drive)
         self.aw_ready_delay = aw_ready_delay
         self.w_ready_delay = w_ready_delay
         self.b_latency = b_latency
@@ -164,6 +172,7 @@ class Subordinate(Component):
         self._r_rr = 0
 
         self.faults = SubordinateFaults()
+        self.faults._owner = self
         #: hardware reset request input, driven by an external reset unit.
         self.hw_reset = Wire(f"{name}.hw_reset", False)
 
@@ -183,6 +192,19 @@ class Subordinate(Component):
     def wires(self):
         yield from self.bus.wires()
         yield self.hw_reset
+
+    def inputs(self):
+        # drive() computes readiness and responses purely from registered
+        # state and the fault block; the only wire it reads is hw_reset.
+        return (self.hw_reset,)
+
+    def outputs(self):
+        bus = self.bus
+        return (
+            bus.aw.ready, bus.w.ready, bus.ar.ready,
+            bus.b.valid, bus.b.payload,
+            bus.r.valid, bus.r.payload,
+        )
 
     def _write_capacity(self) -> bool:
         return len(self._writes) + len(self._b_queue) < self.max_outstanding
@@ -279,51 +301,86 @@ class Subordinate(Component):
         bus.r.drive(RBeat(id=txn_id, data=data, resp=resp, last=is_last))
 
     def update(self) -> None:
+        # Clock-edge code: wire reads go straight to the slots (no
+        # drive-phase tracing needed), mirroring Channel.fired().
         bus = self.bus
-        if self.hw_reset.value:
+        aw, ar, w, b, r = bus.aw, bus.ar, bus.w, bus.b, bus.r
+        if self.hw_reset._value:
             if not self._in_reset:
                 self._take_reset()
                 self.resets_taken += 1
                 self._in_reset = True
+                self.schedule_drive()
             return
-        self._in_reset = False
+        if self._in_reset:
+            self._in_reset = False
+            self.schedule_drive()
+        changed = False
 
-        self._aw_wait = self._aw_wait + 1 if bus.aw.valid.value else 0
-        self._ar_wait = self._ar_wait + 1 if bus.ar.valid.value else 0
+        # The wait counters feed drive() only through the
+        # "wait >= *_ready_delay" comparisons; ticks past the threshold
+        # do not move the readiness outputs.
+        old_wait = self._aw_wait
+        self._aw_wait = self._aw_wait + 1 if aw.valid._value else 0
+        if self._aw_wait != old_wait and (
+            self._aw_wait <= self.aw_ready_delay or old_wait <= self.aw_ready_delay
+        ):
+            changed = True
+        old_wait = self._ar_wait
+        self._ar_wait = self._ar_wait + 1 if ar.valid._value else 0
+        if self._ar_wait != old_wait and (
+            self._ar_wait <= self.ar_ready_delay or old_wait <= self.ar_ready_delay
+        ):
+            changed = True
         if self._writes:
+            if self._writes[0].w_wait <= self.w_ready_delay:
+                changed = True
             self._writes[0].w_wait += 1
         for entry in self._b_queue:
             if entry[1] > 0:
                 entry[1] -= 1
+                changed = True
                 break
         for job in self._reads:
             if job.countdown > 0:
                 job.countdown -= 1
+                changed = True
             elif job.gap > 0:
                 job.gap -= 1
+                changed = True
 
-        if bus.aw.fired():
+        if aw.valid._value and aw.ready._value:
             self._aw_wait = 0
-            aw = bus.aw.payload.value
+            beat = aw.payload._value
             self._writes.append(
-                _WriteJob(aw, burst_addresses(aw.addr, aw.len, aw.size, aw.burst))
+                _WriteJob(
+                    beat,
+                    burst_addresses(beat.addr, beat.len, beat.size, beat.burst),
+                )
             )
-        if bus.ar.fired():
+            changed = True
+        if ar.valid._value and ar.ready._value:
             self._ar_wait = 0
-            ar = bus.ar.payload.value
+            beat = ar.payload._value
             self._reads.append(
                 _ReadJob(
-                    ar,
-                    burst_addresses(ar.addr, ar.len, ar.size, ar.burst),
+                    beat,
+                    burst_addresses(beat.addr, beat.len, beat.size, beat.burst),
                     countdown=self.r_latency,
                 )
             )
-        if bus.w.fired():
-            self._on_w_fired(bus.w.payload.value)
-        if bus.b.fired():
+            changed = True
+        if w.valid._value and w.ready._value:
+            self._on_w_fired(w.payload._value)
+            changed = True
+        if b.valid._value and b.ready._value:
             self._on_b_fired()
-        if bus.r.fired():
+            changed = True
+        if r.valid._value and r.ready._value:
             self._on_r_fired()
+            changed = True
+        if changed:
+            self.schedule_drive()
 
     def _on_w_fired(self, beat) -> None:
         if not self._writes:
@@ -378,3 +435,4 @@ class Subordinate(Component):
         self.writes_done = 0
         self.reads_done = 0
         self.faults.clear()
+        self.schedule_drive()

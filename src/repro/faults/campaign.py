@@ -39,8 +39,9 @@ class IpHarness:
         r_latency: int = 1,
         reset_duration: int = 4,
         with_reset_unit: bool = True,
+        sim_strategy: str = "dirty",
     ) -> None:
-        self.sim = Simulator()
+        self.sim = Simulator(strategy=sim_strategy)
         self.host = AxiInterface("host")
         self.device = AxiInterface("device")
         self.manager = Manager("manager", self.host)

@@ -59,6 +59,8 @@ class FaultInjector(Component):
     CHANNELS = ("aw", "w", "b", "ar", "r")
     _REQUEST_CHANNELS = ("aw", "w", "ar")
 
+    demand_driven = True
+
     def __init__(
         self, name: str, upstream: AxiInterface, downstream: AxiInterface
     ) -> None:
@@ -87,6 +89,7 @@ class FaultInjector(Component):
         entry.valid = valid
         entry.ready = ready
         entry.mutate = mutate
+        self.schedule_drive()
 
     def release(self, channel: Optional[str] = None) -> None:
         """Remove overrides from *channel*, or from all channels."""
@@ -95,6 +98,7 @@ class FaultInjector(Component):
                 entry.clear()
         else:
             self.forces[channel].clear()
+        self.schedule_drive()
 
     @property
     def any_force_active(self) -> bool:
@@ -107,15 +111,28 @@ class FaultInjector(Component):
         yield from self.upstream.wires()
         yield from self.downstream.wires()
 
+    def _endpoints(self, channel: str):
+        """(source, destination) channel pair honoring AXI direction."""
+        src_if, dst_if = (
+            (self.upstream, self.downstream)
+            if channel in self._REQUEST_CHANNELS
+            else (self.downstream, self.upstream)
+        )
+        return getattr(src_if, channel), getattr(dst_if, channel)
+
+    def inputs(self):
+        for channel in self.CHANNELS:
+            src, dst = self._endpoints(channel)
+            yield from (src.valid, src.payload, dst.ready)
+
+    def outputs(self):
+        for channel in self.CHANNELS:
+            src, dst = self._endpoints(channel)
+            yield from (dst.valid, dst.payload, src.ready)
+
     def drive(self) -> None:
         for channel in self.CHANNELS:
-            src_if, dst_if = (
-                (self.upstream, self.downstream)
-                if channel in self._REQUEST_CHANNELS
-                else (self.downstream, self.upstream)
-            )
-            src = getattr(src_if, channel)
-            dst = getattr(dst_if, channel)
+            src, dst = self._endpoints(channel)
             force = self.forces[channel]
             valid = src.valid.value if force.valid is None else force.valid
             payload = src.payload.value
@@ -131,5 +148,5 @@ class FaultInjector(Component):
             self.forced_cycles += 1
 
     def reset(self) -> None:
-        self.release()
+        self.release()  # schedules a re-drive as a side effect
         self.forced_cycles = 0

@@ -5,14 +5,17 @@ The kernel models synchronous digital hardware: every cycle, component
 then ``update()`` methods advance registered state at the clock edge.
 """
 
-from .component import Component
-from .kernel import SettleError, Simulator
+from .component import Component, DriveSensitiveState
+from .kernel import STRATEGIES, SchedulerDivergenceError, SettleError, Simulator
 from .signal import Channel, Wire
 from .vcd import VcdWriter
 
 __all__ = [
     "Channel",
     "Component",
+    "DriveSensitiveState",
+    "STRATEGIES",
+    "SchedulerDivergenceError",
     "SettleError",
     "Simulator",
     "VcdWriter",

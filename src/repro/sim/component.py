@@ -6,8 +6,8 @@ strict discipline:
 
 * :meth:`drive` is the *combinational* phase.  It may read any wire and
   any of the component's registered state, and may write only the wires
-  the component sources.  It must be idempotent: the kernel calls it
-  repeatedly until all wires reach a fixed point.
+  the component sources.  It must be idempotent: given unchanged inputs
+  and state, re-running it must write the same values.
 * :meth:`update` is the *sequential* phase (the clock edge).  It may read
   the settled wires and mutate registered state, but must not write
   wires.
@@ -15,30 +15,126 @@ strict discipline:
 This mirrors how synthesizable RTL separates combinational logic from
 flip-flops and is what makes the TMU's cycle-level detection latencies
 directly comparable with the paper's RTL measurements.
+
+Scheduling contract (dirty-set kernel)
+--------------------------------------
+
+The default kernel (``Simulator(strategy="dirty")``) re-runs a
+component's ``drive()`` only when it might produce different outputs:
+
+* **Wire sensitivity.**  If :meth:`inputs` returns ``None`` (the
+  default), the kernel traces every wire the drive actually reads and
+  re-runs the component whenever one of those wires changes.  A
+  component may instead *declare* its input wires by overriding
+  :meth:`inputs`; declared components skip the (cheap) read tracing.
+  Over-declaring is harmless; under-declaring silently produces stale
+  outputs — when in doubt, leave :meth:`inputs` returning ``None``.
+* **State sensitivity.**  By default (``demand_driven = False``) the
+  kernel conservatively re-runs ``drive()`` at the start of every
+  cycle's settle, because ``update()`` may have changed registered state
+  that ``drive()`` reads.  A component that sets ``demand_driven =
+  True`` promises to call :meth:`schedule_drive` from every code path
+  that mutates *drive-visible* state: inside ``update()``, and from any
+  software-facing API (``submit()``, fault switches, register writes)
+  that callers may invoke between cycles.  Missing a path is a
+  correctness bug; ``Simulator(strategy="verify")`` and the
+  scheduler-equivalence tests exist to catch it.
+
+Components that never override :meth:`drive` (pure update-phase models
+such as the PLIC or the recovery CPU) are excluded from the settle
+worklist entirely.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from .signal import Wire
+
+
+class DriveSensitiveState:
+    """Mixin for mutable blocks (fault switches, knobs) read by a drive().
+
+    Campaign and test code flips these attributes directly between
+    cycles (``subordinate.faults.deaf_aw = True``), bypassing any
+    component API that could uphold the demand-driven contract.  The
+    owning component assigns itself to ``_owner`` after construction;
+    every subsequent attribute write then notifies the owner's
+    scheduler.
+    """
+
+    def __setattr__(self, key: str, value) -> None:
+        object.__setattr__(self, key, value)
+        owner = getattr(self, "_owner", None)
+        if owner is not None:
+            owner.schedule_drive()
 
 
 class Component:
     """Base class for synchronous hardware models."""
 
+    #: When True, the kernel only re-runs ``drive()`` after an input wire
+    #: change or an explicit :meth:`schedule_drive` — see the scheduling
+    #: contract in the module docstring.  The default (False) re-runs
+    #: every cycle, which is always safe.
+    demand_driven: bool = False
+
     def __init__(self, name: str) -> None:
         self.name = name
+        # Set by Simulator.add(): the simulator's pending worklist and
+        # this component's deterministic evaluation rank.
+        self._scheduler: Optional[set] = None
+        self._order: int = 0
 
     def wires(self) -> Iterable[Wire]:
         """Wires sourced or observed by this component.
 
-        The kernel uses these for fixed-point detection and tracing.
+        The kernel registers these for tracing, reset, and VCD dumps.
         Subclasses should yield every wire of every interface they touch;
         duplicates across components are harmless (deduplicated by
         identity).
         """
         return ()
+
+    def children(self) -> Iterable["Component"]:
+        """Sub-components registered automatically alongside this one.
+
+        Lets a block expose finer scheduling granularity — e.g. the
+        crossbar registers one drive-only child per AXI channel so a W
+        beat does not re-arbitrate the address channels.  Children are
+        full components: the kernel schedules their ``drive()`` and runs
+        their ``update()`` like any other.
+        """
+        return ()
+
+    def inputs(self) -> Optional[Iterable[Wire]]:
+        """Wires whose value changes require re-running :meth:`drive`.
+
+        Return ``None`` (the default) to let the kernel trace actual
+        reads automatically.  Return an iterable (possibly empty) to
+        declare the sensitivity list explicitly and skip tracing.
+        """
+        return None
+
+    def outputs(self) -> Optional[Iterable[Wire]]:
+        """Wires this component may write during :meth:`drive`.
+
+        Purely declarative: the kernel records declared writers for
+        debugging (see ``Simulator.wire_writers``).  ``None`` means
+        undeclared.
+        """
+        return None
+
+    def schedule_drive(self) -> None:
+        """Mark this component's combinational outputs as possibly stale.
+
+        Demand-driven components call this whenever registered state read
+        by :meth:`drive` may have changed.  Safe to call at any time; a
+        no-op until the component is registered with a simulator.
+        """
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.add(self)
 
     def drive(self) -> None:
         """Combinational phase: compute outputs from inputs + state."""

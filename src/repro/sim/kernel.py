@@ -2,29 +2,61 @@
 
 One simulated clock cycle proceeds as:
 
-1. **Settle** — every component's ``drive()`` runs; the kernel repeats
-   the sweep until no wire changes value.  This resolves combinational
-   chains (e.g. a subordinate asserting ``ready`` in response to a
-   manager's ``valid`` routed through a crossbar and a TMU passthrough)
-   exactly as a delta-cycle RTL simulator would.
+1. **Settle** — component ``drive()`` methods run until every wire holds
+   its fixed-point value.  This resolves combinational chains (e.g. a
+   subordinate asserting ``ready`` in response to a manager's ``valid``
+   routed through a crossbar and a TMU passthrough) exactly as a
+   delta-cycle RTL simulator would.
 2. **Update** — every component's ``update()`` runs once against the
    settled wire values; registered state advances.  Handshakes "fire"
    here: both endpoints of a channel observe ``valid & ready``.
 
-A combinational loop (no fixed point) raises :class:`SettleError` rather
-than silently oscillating.
+Three settle strategies share those semantics:
+
+``dirty`` (default)
+    A dependency-aware worklist scheduler in the style of event-driven
+    RTL simulators (cocotb et al.): only components whose input wires
+    changed — or that invalidated themselves via
+    :meth:`~repro.sim.component.Component.schedule_drive` — are
+    re-evaluated.  Components that do not opt into demand-driven
+    scheduling are conservatively re-seeded every cycle.
+``exhaustive``
+    The original brute-force fixed point: sweep every component and
+    snapshot every wire until nothing changes.  Kept as the reference
+    implementation for differential testing.
+``verify``
+    Runs the dirty scheduler, then replays one exhaustive sweep and
+    raises :class:`SchedulerDivergenceError` if any wire moves — i.e.
+    the dirty scheduler skipped a component it should not have.  Slower
+    than both; meant for tests and debugging of sensitivity contracts.
+
+A combinational loop (no fixed point) raises :class:`SettleError` under
+every strategy rather than silently oscillating.
 """
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .component import Component
-from .signal import Wire
+from .signal import _ACTIVE_READER, Wire
+
+#: Valid values for ``Simulator(strategy=...)``.
+STRATEGIES = ("dirty", "exhaustive", "verify")
+
+_BY_ORDER = operator.attrgetter("_order")
 
 
 class SettleError(RuntimeError):
     """Raised when the combinational phase fails to reach a fixed point."""
+
+
+class SchedulerDivergenceError(RuntimeError):
+    """Raised by ``strategy="verify"`` when the dirty-set scheduler left a
+    wire short of its exhaustive-sweep fixed point — i.e. a component's
+    sensitivity declaration (``inputs()`` / ``schedule_drive()`` calls)
+    missed a dependency."""
 
 
 class Simulator:
@@ -33,28 +65,102 @@ class Simulator:
     Parameters
     ----------
     max_settle_iterations:
-        Upper bound on drive sweeps per cycle before declaring a
-        combinational loop.  Deep hierarchies (manager → crossbar → TMU →
-        fault injector → subordinate and back) need one sweep per level;
-        the default is generous.
+        Upper bound on drive sweeps (exhaustive) or worklist rounds
+        (dirty) per cycle before declaring a combinational loop.  Deep
+        hierarchies (manager → crossbar → TMU → fault injector →
+        subordinate and back) need one round per level; the default is
+        generous.
+    strategy:
+        One of :data:`STRATEGIES`; see the module docstring.
     """
 
-    def __init__(self, max_settle_iterations: int = 64) -> None:
+    def __init__(
+        self,
+        max_settle_iterations: int = 64,
+        strategy: str = "dirty",
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
         self.components: List[Component] = []
         self.cycle = 0
         self.max_settle_iterations = max_settle_iterations
+        self.strategy = strategy
         self._wires: Dict[int, Wire] = {}
         self._probes: List[Callable[["Simulator"], None]] = []
+        #: Worklist of components whose drive() must (re)run.  Shared by
+        #: identity with every registered wire's dirty sink and every
+        #: component's schedule_drive().
+        self._pending: set = set()
+        #: Components re-seeded every cycle (not demand-driven).
+        self._always: List[Component] = []
+        #: All components with a real drive(), for reset re-seeding.
+        self._drivers: List[Component] = []
+        #: Pre-bound update() methods (no-op updates excluded).
+        self._updaters: List[Callable[[], None]] = []
+        #: Declared writers per wire id, from Component.outputs().
+        self._declared_writers: Dict[int, List[Component]] = {}
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def add(self, component: Component) -> Component:
         """Register *component* (and its wires) with the simulator."""
+        component._order = len(self.components)
         self.components.append(component)
+        incremental = self.strategy != "exhaustive"
+        # Repoint (or, for exhaustive simulators, detach) each wire's
+        # dirty sink: a wire feeds the worklist of the simulator it was
+        # most recently registered with, and only that one.
+        sink = self._pending if incremental else None
         for wire in component.wires():
             self._wires[id(wire)] = wire
+            self._adopt_wire(wire, sink)
+
+        declared = component.inputs()
+        component._auto_trace = declared is None
+        if declared is not None:
+            for wire in declared:
+                self._wires.setdefault(id(wire), wire)
+                self._adopt_wire(wire, sink)
+                if incremental:
+                    wire.readers.add(component)
+
+        outputs = component.outputs()
+        if outputs is not None:
+            for wire in outputs:
+                self._declared_writers.setdefault(id(wire), []).append(component)
+
+        # Like the wires, a component invalidates the worklist of the
+        # simulator it was most recently registered with — or none, when
+        # that simulator sweeps exhaustively.
+        component._scheduler = sink
+        if type(component).drive is not Component.drive:
+            self._drivers.append(component)
+            if incremental:
+                if component.demand_driven:
+                    self._pending.add(component)
+                else:
+                    self._always.append(component)
+        if type(component).update is not Component.update:
+            self._updaters.append(component.update)
+        for child in component.children():
+            self.add(child)
         return component
+
+    @staticmethod
+    def _adopt_wire(wire: Wire, sink: Optional[set]) -> None:
+        """Point *wire* at this simulator's worklist (or detach it).
+
+        Changing owners also drops the reader set: readers accumulated
+        under a previous simulator would otherwise be scheduled — and
+        executed — by this one.  The new owner's components re-trace (or
+        re-declare) their reads on their first evaluation here.
+        """
+        if wire._dirty_sink is not sink:
+            wire._dirty_sink = sink
+            wire.readers.clear()
 
     def add_probe(self, probe: Callable[["Simulator"], None]) -> None:
         """Register a callable invoked after every cycle's update phase.
@@ -68,6 +174,10 @@ class Simulator:
     def wires(self) -> List[Wire]:
         return list(self._wires.values())
 
+    def wire_writers(self, wire: Wire) -> List[Component]:
+        """Components that declared *wire* in their ``outputs()`` (debug aid)."""
+        return list(self._declared_writers.get(id(wire), ()))
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -78,11 +188,23 @@ class Simulator:
         for component in self.components:
             component.reset()
         self.cycle = 0
+        # Registered state moved arbitrarily: every drive is stale.
+        self._pending.update(self._drivers)
 
     def _snapshot(self) -> Tuple[Any, ...]:
-        return tuple(wire.value for wire in self._wires.values())
+        return tuple(wire._value for wire in self._wires.values())
 
-    def _settle(self) -> None:
+    def _run_drive(self, component: Component) -> None:
+        if component._auto_trace:
+            _ACTIVE_READER[0] = component
+            try:
+                component.drive()
+            finally:
+                _ACTIVE_READER[0] = None
+        else:
+            component.drive()
+
+    def _settle_exhaustive(self) -> None:
         previous = self._snapshot()
         for _ in range(self.max_settle_iterations):
             for component in self.components:
@@ -96,11 +218,61 @@ class Simulator:
             f"{self.max_settle_iterations} iterations at cycle {self.cycle}"
         )
 
+    def _settle_dirty(self) -> None:
+        pending = self._pending
+        # Seed: conservatively-scheduled components, plus everything
+        # invalidated since the last settle (update-phase state changes,
+        # schedule_drive() calls, wires poked between cycles).
+        pending.update(self._always)
+        for _ in range(self.max_settle_iterations):
+            if not pending:
+                return
+            batch = sorted(pending, key=_BY_ORDER)
+            for component in batch:
+                # Discard before running: any write *after* this run —
+                # by a later batch member or the component itself —
+                # legitimately re-queues it for the next round.
+                pending.discard(component)
+                self._run_drive(component)
+        if not pending:
+            # The final allowed round drained the worklist: settled.
+            return
+        raise SettleError(
+            f"combinational loop: wires did not settle within "
+            f"{self.max_settle_iterations} iterations at cycle {self.cycle}"
+        )
+
+    def _settle_verify(self) -> None:
+        self._settle_dirty()
+        before = self._snapshot()
+        for component in self.components:
+            self._run_drive(component)
+        after = self._snapshot()
+        if before != after:
+            moved = [
+                wire.name
+                for wire, old, new in zip(self._wires.values(), before, after)
+                if old is not new and old != new
+            ]
+            raise SchedulerDivergenceError(
+                f"dirty-set scheduler under-evaluated at cycle {self.cycle}: "
+                f"an exhaustive sweep still changed {moved}; a component is "
+                f"missing an inputs() entry or a schedule_drive() call"
+            )
+
+    def _settle(self) -> None:
+        if self.strategy == "dirty":
+            self._settle_dirty()
+        elif self.strategy == "exhaustive":
+            self._settle_exhaustive()
+        else:
+            self._settle_verify()
+
     def step(self) -> None:
         """Advance simulated time by one clock cycle."""
         self._settle()
-        for component in self.components:
-            component.update()
+        for update in self._updaters:
+            update()
         self.cycle += 1
         for probe in self._probes:
             probe(self)

@@ -111,8 +111,9 @@ class CheshireSoC:
         use_regbus: bool = False,
         monitor_dram: bool = False,
         dram_tmu_config: Optional[TmuConfig] = None,
+        sim_strategy: str = "dirty",
     ) -> None:
-        self.sim = Simulator()
+        self.sim = Simulator(strategy=sim_strategy)
         config = tmu_config if tmu_config is not None else system_tmu_config()
 
         # Manager ports.

@@ -85,6 +85,8 @@ class RegBusDemux(Component):
     mirroring the real Regbus's error signal.
     """
 
+    demand_driven = True
+
     def __init__(
         self,
         name: str,
@@ -100,6 +102,14 @@ class RegBusDemux(Component):
 
     def wires(self):
         yield from self.port.wires()
+
+    def inputs(self):
+        # drive() publishes the registered response; the request wires
+        # are sampled in update() only.
+        return ()
+
+    def outputs(self):
+        return (self.port.rsp_valid, self.port.rsp)
 
     def _decode(self, addr: int) -> Optional[Tuple[int, RegBusTarget]]:
         for base, size, target in self.targets:
@@ -119,6 +129,7 @@ class RegBusDemux(Component):
         # Response consumed (single-outstanding: requester must sample it).
         if self._pending is not None:
             self._pending = None
+            self.schedule_drive()
             return
         if not self.port.req_valid.value:
             return
@@ -130,6 +141,7 @@ class RegBusDemux(Component):
         if decoded is None:
             self.errors += 1
             self._pending = RegResponse(error=True)
+            self.schedule_drive()
             return
         offset, target = decoded
         try:
@@ -141,11 +153,13 @@ class RegBusDemux(Component):
         except KeyError:
             self.errors += 1
             self._pending = RegResponse(error=True)
+        self.schedule_drive()
 
     def reset(self) -> None:
         self._pending = None
         self.accesses = 0
         self.errors = 0
+        self.schedule_drive()
 
 
 class RegBusMaster(Component):
@@ -154,6 +168,8 @@ class RegBusMaster(Component):
     Software models push (request, callback) pairs; the master issues
     them one at a time and invokes the callback with the response.
     """
+
+    demand_driven = True
 
     def __init__(self, name: str, port: RegBusPort) -> None:
         super().__init__(name)
@@ -164,6 +180,12 @@ class RegBusMaster(Component):
 
     def wires(self):
         yield from self.port.wires()
+
+    def inputs(self):
+        return (self.port.rsp_valid,)
+
+    def outputs(self):
+        return (self.port.req_valid, self.port.req)
 
     def submit(self, request: RegRequest, callback=None) -> None:
         self._queue.append((request, callback))
@@ -188,17 +210,23 @@ class RegBusMaster(Component):
             self.port.req.value = None
 
     def update(self) -> None:
+        changed = False
         if self._inflight is not None and self.port.rsp_valid.value:
             response: RegResponse = self.port.rsp.value
             self.responses.append(response)
             callback = self._inflight[1]
             self._inflight = None
+            changed = True
             if callback is not None:
                 callback(response)
         if self._inflight is None and self._queue:
             self._inflight = self._queue.pop(0)
+            changed = True
+        if changed:
+            self.schedule_drive()
 
     def reset(self) -> None:
         self._queue.clear()
         self._inflight = None
         self.responses.clear()
+        self.schedule_drive()

@@ -37,6 +37,8 @@ class ResetUnit(Component):
         Cycles the reset line is held asserted.
     """
 
+    demand_driven = True
+
     def __init__(
         self,
         name: str,
@@ -64,6 +66,16 @@ class ResetUnit(Component):
         if self.subordinate is not None:
             yield self.subordinate.hw_reset
 
+    def inputs(self):
+        # drive() is a pure function of the handshake FSM state; req is
+        # only sampled in update(), which always runs.
+        return ()
+
+    def outputs(self):
+        if self.subordinate is not None:
+            yield self.subordinate.hw_reset
+        yield self.ack
+
     def drive(self) -> None:
         in_reset = self._state == _ResetState.RESETTING
         if self.subordinate is not None:
@@ -78,13 +90,16 @@ class ResetUnit(Component):
                 self._countdown = self.reset_duration
                 self.resets_issued += 1
                 self.reset_log.append(self._cycle)
+                self.schedule_drive()
         elif self._state == _ResetState.RESETTING:
             self._countdown -= 1
             if self._countdown <= 0:
                 self._state = _ResetState.ACK
+                self.schedule_drive()
         elif self._state == _ResetState.ACK:
             if not self.req.value:
                 self._state = _ResetState.IDLE
+                self.schedule_drive()
 
     def reset(self) -> None:
         self._state = _ResetState.IDLE
@@ -92,3 +107,4 @@ class ResetUnit(Component):
         self.resets_issued = 0
         self.reset_log.clear()
         self._cycle = 0
+        self.schedule_drive()

@@ -22,6 +22,7 @@ exhausted.
 from __future__ import annotations
 
 import dataclasses
+from bisect import insort
 from collections import deque
 from typing import Deque, Iterator, List, Optional
 
@@ -92,6 +93,9 @@ class OutstandingTransactionTable:
         self._free: Deque[int] = deque(range(self.capacity))
         self._ht: List[_HtEntry] = [_HtEntry() for _ in range(max_uniq_ids)]
         self._ei: Deque[int] = deque()
+        # Sorted indices of in-use LD entries, so per-cycle iteration
+        # (live_entries) costs O(occupancy), not O(capacity).
+        self._live: List[int] = []
 
     # ------------------------------------------------------------------
     # Capacity queries
@@ -159,6 +163,7 @@ class OutstandingTransactionTable:
             ht.tail = index
         ht.count += 1
         self._ei.append(index)
+        insort(self._live, index)
         return entry
 
     def head_of(self, tid: int) -> Optional[LdEntry]:
@@ -186,6 +191,7 @@ class OutstandingTransactionTable:
             self._ei.remove(index)
         entry.release()
         self._free.append(index)
+        self._live.remove(index)
         return entry
 
     # ------------------------------------------------------------------
@@ -230,15 +236,14 @@ class OutstandingTransactionTable:
     # Iteration / maintenance
     # ------------------------------------------------------------------
     def live_entries(self) -> Iterator[LdEntry]:
-        for entry in self._ld:
-            if entry.used:
-                yield entry
+        ld = self._ld
+        for index in self._live:
+            yield ld[index]
 
     def clear(self) -> None:
         """Abort everything (fault recovery path)."""
-        for entry in self._ld:
-            if entry.used:
-                entry.release()
+        for index in self._live:
+            self._ld[index].release()
         self._free = deque(range(self.capacity))
         for ht in self._ht:
             ht.valid = False
@@ -246,6 +251,7 @@ class OutstandingTransactionTable:
             ht.tail = None
             ht.count = 0
         self._ei.clear()
+        self._live.clear()
 
     def __len__(self) -> int:
         return self.occupancy

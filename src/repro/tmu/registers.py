@@ -119,6 +119,9 @@ class TmuRegisters:
             raise KeyError(
                 f"register offset {offset:#x} is read-only or unmapped"
             )
+        # Register writes mutate state the TMU's drive() may read
+        # (enable bit, interrupt line); re-evaluate its outputs.
+        tmu.schedule_drive()
 
     def dump(self) -> Dict[str, int]:
         """Snapshot of all readable registers (debug aid)."""

@@ -58,6 +58,8 @@ class TransactionMonitoringUnit(Component):
         ``reset_req``/``reset_ack`` to a real reset unit.
     """
 
+    demand_driven = True
+
     def __init__(
         self,
         name: str,
@@ -110,6 +112,7 @@ class TransactionMonitoringUnit(Component):
     def clear_irq(self) -> None:
         """Software interrupt acknowledgment (register write)."""
         self._irq_pending = False
+        self.schedule_drive()
 
     @property
     def last_fault(self) -> Optional[FaultEvent]:
@@ -124,6 +127,31 @@ class TransactionMonitoringUnit(Component):
         yield self.irq
         yield self.reset_req
         yield self.reset_ack
+
+    def inputs(self):
+        # Union of the wires every drive mode reads: the monitor/raw
+        # passthrough forwards requests host→device and responses
+        # device→host; recover mode reads no wires at all.  reset_ack is
+        # only sampled in update(), which always runs.
+        host, device = self.host, self.device
+        return (
+            host.aw.valid, host.aw.payload, device.aw.ready,
+            host.w.valid, host.w.payload, device.w.ready,
+            host.ar.valid, host.ar.payload, device.ar.ready,
+            device.b.valid, device.b.payload, host.b.ready,
+            device.r.valid, device.r.payload, host.r.ready,
+        )
+
+    def outputs(self):
+        host, device = self.host, self.device
+        return (
+            device.aw.valid, device.aw.payload, host.aw.ready,
+            device.w.valid, device.w.payload, host.w.ready,
+            device.ar.valid, device.ar.payload, host.ar.ready,
+            host.b.valid, host.b.payload, device.b.ready,
+            host.r.valid, host.r.payload, device.r.ready,
+            self.irq, self.reset_req,
+        )
 
     def drive(self) -> None:
         self.irq.value = self._irq_pending
@@ -231,11 +259,14 @@ class TransactionMonitoringUnit(Component):
 
     def _update_monitor(self) -> None:
         host, device = self.host, self.device
+        changed = False
         # Commit ID-remap references on accepted addresses.
         if device.aw.fired():
             self.remap_w.acquire(host.aw.payload.value.id)
+            changed = True
         if device.ar.fired():
             self.remap_r.acquire(host.ar.payload.value.id)
+            changed = True
 
         events = self.write_guard.observe(
             device.aw,
@@ -253,8 +284,13 @@ class TransactionMonitoringUnit(Component):
         # Release remap references for transactions the guards completed.
         for tid in self.write_guard.drain_completed():
             self.remap_w.release(tid)
+            changed = True
         for tid in self.read_guard.drain_completed():
             self.remap_r.release(tid)
+            changed = True
+        # Guard occupancy (can_accept) moves only on the fired/drain
+        # events flagged above; budget counters ticking toward a trip are
+        # invisible to drive() until the trip itself.
 
         tripping = [
             event
@@ -267,6 +303,9 @@ class TransactionMonitoringUnit(Component):
         ]
         if tripping:
             self._enter_recover(tripping)
+            changed = True
+        if changed:
+            self.schedule_drive()
 
     def _enter_recover(self, tripping: List[FaultEvent]) -> None:
         self.fault_events.extend(tripping)
@@ -286,20 +325,25 @@ class TransactionMonitoringUnit(Component):
 
     def _update_recover(self) -> None:
         host = self.host
+        changed = False
         # Requests arriving during recovery are accepted and aborted.
         if host.aw.fired():
             self._abort_b.append(host.aw.payload.value.id)
             self._w_drain_remaining += 1
+            changed = True
         if host.ar.fired():
             self._abort_r.append(host.ar.payload.value.id)
+            changed = True
         if host.w.fired():
             beat = host.w.payload.value
             if beat is not None and beat.last and self._w_drain_remaining > 0:
                 self._w_drain_remaining -= 1
         if host.b.fired() and self._abort_b:
             self._abort_b.popleft()
+            changed = True
         if host.r.fired() and self._abort_r:
             self._abort_r.popleft()
+            changed = True
 
         # Reset handshake with the external (or standalone) reset unit.
         if self._self_ack_countdown is not None:
@@ -311,6 +355,7 @@ class TransactionMonitoringUnit(Component):
         if ack and self._req_state:
             self._req_state = False
             self._ack_seen = True
+            changed = True
         if (
             self._ack_seen
             and not self._abort_b
@@ -318,6 +363,9 @@ class TransactionMonitoringUnit(Component):
             and self._w_drain_remaining == 0
         ):
             self.state = TmuState.MONITOR
+            changed = True
+        if changed:
+            self.schedule_drive()
 
     def reset(self) -> None:
         self.write_guard = WriteGuard(self.config)
@@ -335,3 +383,4 @@ class TransactionMonitoringUnit(Component):
         self._abort_b.clear()
         self._abort_r.clear()
         self._w_drain_remaining = 0
+        self.schedule_drive()

@@ -168,3 +168,33 @@ def test_wire_reset_restores_init():
     wire.value = 99
     wire.reset()
     assert wire.value == 7
+
+
+def test_settle_succeeds_when_depth_equals_iteration_budget():
+    # The worklist draining exactly on the last allowed round is a
+    # settled cycle, not a combinational loop.
+    sim = Simulator(max_settle_iterations=1)
+    counter = sim.add(Counter("c"))
+    sim.run(3)
+    assert counter.out.value == 2
+
+
+def test_wire_adoption_by_new_simulator_drops_stale_readers():
+    # A wire re-registered with a second simulator must not schedule —
+    # let alone execute — components of the abandoned simulator.
+    class SharedFollower(Follower):
+        def wires(self):
+            yield self.source
+            yield self.out
+
+    shared = Wire("shared", 0, width=32)
+    sim_a = Simulator()
+    follower_a = sim_a.add(SharedFollower("fa", shared))
+    sim_a.step()  # traces follower_a as a reader of `shared`
+
+    sim_b = Simulator()
+    follower_b = sim_b.add(SharedFollower("fb", shared))
+    shared.value = 42  # poke between cycles; sim_b owns the wire now
+    sim_b.step()
+    assert follower_b.out.value == 42
+    assert follower_a.out.value == 0  # dead sim's component never ran
