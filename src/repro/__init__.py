@@ -11,6 +11,9 @@ Public API overview
     The Transaction Monitoring Unit (Tiny- and Full-Counter variants).
 ``repro.faults``
     Fault-injection wrappers and campaign runner.
+``repro.orchestrate``
+    Campaign orchestration: shard planning, process-pool execution,
+    result caching, progress reporting.
 ``repro.area``
     GF12-calibrated structural area model.
 ``repro.baselines``

@@ -80,6 +80,51 @@ def injection_result_dict(result) -> Dict[str, Any]:
     }
 
 
+def system_injection_result_dict(result) -> Dict[str, Any]:
+    """JSON-ready form of a :class:`SystemInjectionResult`.
+
+    Extends :func:`injection_result_dict` with the system-level fields:
+    the Fig. 11 latency convention, the first W beat, and the recovery
+    bookkeeping (Ethernet resets, CPU recovery routines).
+    """
+    payload = injection_result_dict(result)
+    payload.update(
+        {
+            "fig11_latency": result.fig11_latency,
+            "w_first_cycle": result.w_first_cycle,
+            "ethernet_resets": result.ethernet_resets,
+            "cpu_recoveries": result.cpu_recoveries,
+        }
+    )
+    return payload
+
+
+def campaign_dict(results, spec=None) -> Dict[str, Any]:
+    """JSON-ready form of a whole campaign's result list.
+
+    *spec* may be a :class:`~repro.orchestrate.spec.CampaignSpec`; its
+    canonical dict (and content hash) are embedded so an archived
+    campaign is self-describing.  IP- and system-level results may be
+    mixed; each entry is tagged per run via its shape.
+    """
+    entries = [
+        system_injection_result_dict(result)
+        if hasattr(result, "fig11_latency")
+        else injection_result_dict(result)
+        for result in results
+    ]
+    payload: Dict[str, Any] = {
+        "runs": len(entries),
+        "detected": sum(1 for entry in entries if entry["detected"]),
+        "recovered": sum(1 for entry in entries if entry["recovered"]),
+        "results": entries,
+    }
+    if spec is not None:
+        payload["spec"] = spec.canonical_dict()
+        payload["spec_hash"] = spec.spec_hash()
+    return payload
+
+
 def to_json(payload: Any, indent: int = 2) -> str:
     """Serialize an export dictionary (or list of them) to JSON text."""
     return json.dumps(payload, indent=indent, sort_keys=True)

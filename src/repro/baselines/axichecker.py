@@ -17,7 +17,14 @@ from ..sim.signal import Wire
 
 
 class AxiChecker(Component):
-    """Protocol-rule checker with a violation log and an error flag."""
+    """Protocol-rule checker with a violation log and an error flag.
+
+    Demand-driven: ``drive()`` only mirrors ``_error_state`` onto the
+    error wire, so it is re-run exactly when that flag moves (a fresh
+    violation, ``clear_error``, reset).
+    """
+
+    demand_driven = True
 
     def __init__(self, name: str, bus: AxiInterface, log_depth: int = 64) -> None:
         super().__init__(name)
@@ -30,6 +37,12 @@ class AxiChecker(Component):
         yield from self._checker.wires()
         yield self.error
 
+    def inputs(self):
+        return ()  # drive() reads registered state only
+
+    def outputs(self):
+        return (self.error,)
+
     def drive(self) -> None:
         self.error.value = self._error_state
 
@@ -37,7 +50,9 @@ class AxiChecker(Component):
         before = len(self._checker.violations)
         self._checker.update()
         if len(self._checker.violations) > before:
-            self._error_state = True
+            if not self._error_state:
+                self._error_state = True
+                self.schedule_drive()
             # Bounded log, as in the synthesizable original.
             del self._checker.violations[self.log_depth:]
 
@@ -51,7 +66,9 @@ class AxiChecker(Component):
 
     def clear_error(self) -> None:
         self._error_state = False
+        self.schedule_drive()
 
     def reset(self) -> None:
         self._checker.reset()
         self._error_state = False
+        self.schedule_drive()

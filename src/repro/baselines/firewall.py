@@ -35,7 +35,16 @@ class FirewallRule:
 
 
 class AxiFirewall(Component):
-    """Allow-list firewall between a host and a device interface."""
+    """Allow-list firewall between a host and a device interface.
+
+    Demand-driven with automatic read tracing for the wire side;
+    ``update()`` reports every mutation of the rejection queues and the
+    per-burst forwarding order, which is all the registered state the
+    drive consults.  The rule list is treated as construction-time
+    configuration — mutate it only between simulations.
+    """
+
+    demand_driven = True
 
     def __init__(
         self,
@@ -131,6 +140,7 @@ class AxiFirewall(Component):
 
     def update(self) -> None:
         host = self.host
+        changed = False
         if host.aw.fired():
             beat = host.aw.payload.value
             ok = self.permitted(beat.addr, AxiDir.WRITE)
@@ -138,19 +148,26 @@ class AxiFirewall(Component):
             if not ok:
                 self.rejected_writes += 1
                 self._reject_b.append(beat.id)
+            changed = True
         if host.ar.fired():
             beat = host.ar.payload.value
             if not self.permitted(beat.addr, AxiDir.READ):
                 self.rejected_reads += 1
                 self._reject_r.append(beat.id)
+                changed = True
         if host.w.fired():
             beat = host.w.payload.value
             if beat is not None and beat.last and self._w_forward:
                 self._w_forward.popleft()
+                changed = True
         if host.b.fired() and not self.device.b.valid.value and self._reject_b:
             self._reject_b.popleft()
+            changed = True
         if host.r.fired() and not self.device.r.valid.value and self._reject_r:
             self._reject_r.popleft()
+            changed = True
+        if changed:
+            self.schedule_drive()
 
     def reset(self) -> None:
         self.rejected_writes = 0
@@ -159,3 +176,4 @@ class AxiFirewall(Component):
         self._reject_r.clear()
         self._w_drain = 0
         self._w_forward.clear()
+        self.schedule_drive()

@@ -13,7 +13,16 @@ from ..sim.signal import Wire
 
 
 class Sp805Watchdog(Component):
-    """Two-stage (interrupt, then reset) software watchdog."""
+    """Two-stage (interrupt, then reset) software watchdog.
+
+    Demand-driven: the countdown itself is invisible to ``drive()``
+    (which only mirrors the irq/reset flags), so ticks schedule nothing
+    and only the expiry transitions — plus ``clear_irq`` and reset —
+    re-run the drive.  A kicked, healthy watchdog costs the scheduler
+    zero work.
+    """
+
+    demand_driven = True
 
     def __init__(self, name: str, load: int = 1000) -> None:
         super().__init__(name)
@@ -29,10 +38,6 @@ class Sp805Watchdog(Component):
         self.interrupts_raised = 0
         self.resets_raised = 0
 
-    def wires(self):
-        yield self.irq
-        yield self.reset_out
-
     # ------------------------------------------------------------------
     # Software interface
     # ------------------------------------------------------------------
@@ -43,8 +48,19 @@ class Sp805Watchdog(Component):
     def clear_irq(self) -> None:
         self._irq_state = False
         self._counter = self.load
+        self.schedule_drive()
 
     # ------------------------------------------------------------------
+    def wires(self):
+        yield self.irq
+        yield self.reset_out
+
+    def inputs(self):
+        return ()  # drive() reads registered state only
+
+    def outputs(self):
+        return (self.irq, self.reset_out)
+
     def drive(self) -> None:
         self.irq.value = self._irq_state
         self.reset_out.value = self._reset_state
@@ -63,6 +79,7 @@ class Sp805Watchdog(Component):
             # Second expiry with the interrupt unserviced: assert reset.
             self._reset_state = True
             self.resets_raised += 1
+        self.schedule_drive()
 
     def reset(self) -> None:
         self._counter = self.load
@@ -70,3 +87,4 @@ class Sp805Watchdog(Component):
         self._reset_state = False
         self.interrupts_raised = 0
         self.resets_raised = 0
+        self.schedule_drive()

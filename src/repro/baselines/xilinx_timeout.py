@@ -18,7 +18,14 @@ from ..sim.signal import Wire
 
 
 class XilinxStyleTimeout(Component):
-    """Single-window stall detector on one AXI interface."""
+    """Single-window stall detector on one AXI interface.
+
+    Demand-driven: the shared stall timer only feeds ``drive()`` through
+    the irq flag, so the window counting schedules nothing until the
+    expiry itself (or ``clear_irq``/reset) flips it.
+    """
+
+    demand_driven = True
 
     def __init__(self, name: str, bus: AxiInterface, window: int = 256) -> None:
         super().__init__(name)
@@ -37,6 +44,12 @@ class XilinxStyleTimeout(Component):
     def wires(self):
         yield from self.bus.wires()
         yield self.irq
+
+    def inputs(self):
+        return ()  # drive() reads registered state only
+
+    def outputs(self):
+        return (self.irq,)
 
     def drive(self) -> None:
         self.irq.value = self._irq_state
@@ -61,16 +74,17 @@ class XilinxStyleTimeout(Component):
         # exactly why this block cannot attribute stalls per transaction.
         if self._outstanding_w + self._outstanding_r > 0 and not progress:
             self._stall_timer += 1
-            if self._stall_timer >= self.window:
-                if not self._irq_state:
-                    self.timeouts.append(self._cycle)
+            if self._stall_timer >= self.window and not self._irq_state:
+                self.timeouts.append(self._cycle)
                 self._irq_state = True
+                self.schedule_drive()
         else:
             self._stall_timer = 0
 
     def clear_irq(self) -> None:
         self._irq_state = False
         self._stall_timer = 0
+        self.schedule_drive()
 
     def reset(self) -> None:
         self._outstanding_w = 0
@@ -79,3 +93,4 @@ class XilinxStyleTimeout(Component):
         self._irq_state = False
         self.timeouts.clear()
         self._cycle = 0
+        self.schedule_drive()

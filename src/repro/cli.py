@@ -6,8 +6,9 @@ Examples::
     python -m repro inject --variant full --stage wlast_bvalid_error
     python -m repro fig7
     python -m repro fig8 --variant tiny
-    python -m repro fig11
+    python -m repro fig11 --workers 4
     python -m repro table2
+    python -m repro campaign --kind ip --workers 4 --seeds 2 --progress
 """
 
 from __future__ import annotations
@@ -16,13 +17,19 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .analysis.export import campaign_dict, to_json
 from .analysis.report import render_series, render_table
 from .area.gf12 import REFERENCE_PRESCALE_STEP
 from .area.model import estimate_area, prescaler_saving
 from .baselines.features import TABLE2_COLUMNS, table2_profiles
-from .faults.campaign import measure_stall_detection_latency, run_injection
-from .faults.types import InjectionStage
-from .soc.experiment import FIG11_LABELS, FIG11_STAGES, run_system_injection
+from .faults.campaign import (
+    measure_stall_detection_latency,
+    run_campaign,
+    run_injection,
+)
+from .faults.types import FIG9_WRITE_STAGES, InjectionStage
+from .orchestrate import CampaignSpec, run_campaign_spec
+from .soc.experiment import FIG11_LABELS, FIG11_STAGES, run_fig11
 from .tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
 from .tmu.config import TmuConfig, Variant
 
@@ -34,6 +41,13 @@ def _variant(value: str) -> Variant:
         raise argparse.ArgumentTypeError(
             f"variant must be 'tiny' or 'full', got {value!r}"
         )
+
+
+def _positive_int(value: str) -> int:
+    count = int(value)
+    if count <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value!r}")
+    return count
 
 
 def _stage(value: str) -> InjectionStage:
@@ -66,24 +80,49 @@ def cmd_area(args) -> int:
 
 def cmd_inject(args) -> int:
     config = TmuConfig(variant=args.variant)
-    result = run_injection(config, args.stage, beats=args.beats)
+    stages = args.stages or [InjectionStage.WLAST_TO_BVALID]
+    if len(stages) == 1 and (args.workers or 1) <= 1:
+        result = run_injection(config, stages[0], beats=args.beats)
+        rows = [
+            ["detected", result.detected],
+            ["latency from injection", result.latency_from_injection],
+            ["latency from txn start", result.latency_from_start],
+            ["fault kind", result.fault_kind],
+            ["attributed phase", result.fault_phase],
+            ["recovered", result.recovered],
+            ["subordinate resets", result.resets_taken],
+        ]
+        print(
+            render_table(
+                ["metric", "value"],
+                rows,
+                title=f"{stages[0].value} on {args.variant.value}, {args.beats} beats",
+            )
+        )
+        return 0 if result.detected and result.recovered else 1
+    # Several stages (or an explicit worker count): run as a campaign.
+    results = run_campaign(
+        [config], stages, beats=args.beats, workers=args.workers
+    )
     rows = [
-        ["detected", result.detected],
-        ["latency from injection", result.latency_from_injection],
-        ["latency from txn start", result.latency_from_start],
-        ["fault kind", result.fault_kind],
-        ["attributed phase", result.fault_phase],
-        ["recovered", result.recovered],
-        ["subordinate resets", result.resets_taken],
+        [
+            result.stage.value,
+            result.detected,
+            result.latency_from_injection,
+            result.latency_from_start,
+            result.recovered,
+        ]
+        for result in results
     ]
     print(
         render_table(
-            ["metric", "value"],
+            ["stage", "detected", "lat(inject)", "lat(start)", "recovered"],
             rows,
-            title=f"{args.stage.value} on {args.variant.value}, {args.beats} beats",
+            title=f"{len(results)} injections on {args.variant.value}, "
+            f"{args.beats} beats",
         )
     )
-    return 0 if result.detected and result.recovered else 1
+    return 0 if all(r.detected and r.recovered for r in results) else 1
 
 
 def cmd_fig7(args) -> int:
@@ -159,10 +198,11 @@ def cmd_fig8(args) -> int:
 
 
 def cmd_fig11(args) -> int:
+    series = run_fig11(workers=args.workers, cache_dir=args.cache_dir)
     rows = []
-    for label, stage in zip(FIG11_LABELS, FIG11_STAGES):
-        fc = run_system_injection(Variant.FULL, stage)
-        tc = run_system_injection(Variant.TINY, stage)
+    for i, label in enumerate(FIG11_LABELS):
+        fc = series[Variant.FULL.value][i]
+        tc = series[Variant.TINY.value][i]
         rows.append(
             [label, fc.fig11_latency, tc.latency_from_start,
              "ok" if fc.recovered and tc.recovered else "FAILED"]
@@ -175,6 +215,62 @@ def cmd_fig11(args) -> int:
         )
     )
     return 0
+
+
+def cmd_campaign(args) -> int:
+    variants = args.variants or [Variant.FULL, Variant.TINY]
+    if args.kind == "system":
+        stages = args.stages or list(FIG11_STAGES)
+        spec = CampaignSpec.system(
+            variants,
+            stages,
+            beats=args.beats if args.beats is not None else 250,
+            seeds=range(args.seeds),
+            background=args.background,
+        )
+    else:
+        stages = args.stages or list(FIG9_WRITE_STAGES)
+        spec = CampaignSpec.ip(
+            [TmuConfig(variant=variant) for variant in variants],
+            stages,
+            beats=args.beats if args.beats is not None else 8,
+            seeds=range(args.seeds),
+        )
+    results = run_campaign_spec(
+        spec,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        cache_dir=args.cache_dir,
+        progress=args.progress,
+    )
+    rows = [
+        [
+            run.run_id,
+            result.detected,
+            result.latency_from_injection,
+            result.latency_from_start,
+            result.recovered,
+        ]
+        for run, result in zip(spec.runs(), results)
+    ]
+    print(
+        render_table(
+            ["run", "detected", "lat(inject)", "lat(start)", "recovered"],
+            rows,
+            title=(
+                f"{args.kind} campaign: {len(variants)} config(s) x "
+                f"{len(stages)} stage(s) x {args.seeds} seed(s)"
+            ),
+        )
+    )
+    detected = sum(1 for result in results if result.detected)
+    recovered = sum(1 for result in results if result.recovered)
+    print(f"{len(results)} runs | {detected} detected | {recovered} recovered")
+    if args.json_out:
+        with open(args.json_out, "w") as stream:
+            stream.write(to_json(campaign_dict(results, spec=spec)))
+        print(f"wrote {args.json_out}")
+    return 0 if detected == recovered == len(results) else 1
 
 
 def cmd_table2(args) -> int:
@@ -202,12 +298,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_area.add_argument("--no-sticky", action="store_true")
     p_area.set_defaults(func=cmd_area)
 
-    p_inject = sub.add_parser("inject", help="run one fault injection")
+    p_inject = sub.add_parser("inject", help="run fault injections")
     p_inject.add_argument("--variant", type=_variant, default=Variant.FULL)
     p_inject.add_argument(
-        "--stage", type=_stage, default=InjectionStage.WLAST_TO_BVALID
+        "--stage",
+        type=_stage,
+        action="append",
+        dest="stages",
+        help="injection stage; repeatable (default: wlast_bvalid_error)",
     )
     p_inject.add_argument("--beats", type=int, default=8)
+    p_inject.add_argument(
+        "--workers", type=int, default=None,
+        help="process count for multi-stage sweeps (default: REPRO_WORKERS or 1)",
+    )
     p_inject.set_defaults(func=cmd_inject)
 
     p_fig7 = sub.add_parser("fig7", help="area scaling sweep")
@@ -219,10 +323,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig8.set_defaults(func=cmd_fig8)
 
     p_fig11 = sub.add_parser("fig11", help="system-level latency series")
+    p_fig11.add_argument(
+        "--workers", type=int, default=None,
+        help="shard the sweep over N processes (default: REPRO_WORKERS or 1)",
+    )
+    p_fig11.add_argument(
+        "--cache-dir", default=None,
+        help="persist completed shards here; re-runs skip them",
+    )
     p_fig11.set_defaults(func=cmd_fig11)
 
     p_table2 = sub.add_parser("table2", help="monitor comparison matrix")
     p_table2.set_defaults(func=cmd_table2)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="sharded fault-injection sweep (configs x stages x seeds)"
+    )
+    p_campaign.add_argument("--kind", choices=("ip", "system"), default="ip")
+    p_campaign.add_argument(
+        "--variant", type=_variant, action="append", dest="variants",
+        help="TMU variant; repeatable (default: both)",
+    )
+    p_campaign.add_argument(
+        "--stage", type=_stage, action="append", dest="stages",
+        help="injection stage; repeatable (default: the figure's stage list)",
+    )
+    p_campaign.add_argument(
+        "--beats", type=int, default=None,
+        help="burst length (default: 8 for ip, 250 for system)",
+    )
+    p_campaign.add_argument(
+        "--seeds", type=_positive_int, default=1,
+        help="phase-offset seeds 0..N-1 per (config, stage) point",
+    )
+    p_campaign.add_argument(
+        "--background", type=int, default=0,
+        help="background CVA6 transactions (system campaigns)",
+    )
+    p_campaign.add_argument(
+        "--workers", type=int, default=None,
+        help="process count (default: REPRO_WORKERS or 1)",
+    )
+    p_campaign.add_argument("--shard-size", type=int, default=1)
+    p_campaign.add_argument(
+        "--cache-dir", default=None,
+        help="persist completed shards here; re-runs skip them",
+    )
+    p_campaign.add_argument(
+        "--json", dest="json_out", default=None,
+        help="also export the full campaign to this JSON file",
+    )
+    p_campaign.add_argument(
+        "--progress", action="store_true", help="live progress/ETA on stderr"
+    )
+    p_campaign.set_defaults(func=cmd_campaign)
 
     return parser
 

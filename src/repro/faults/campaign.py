@@ -212,18 +212,22 @@ def run_injection(
     detect_timeout: int = 10_000,
     recovery_timeout: int = 2_000,
     harness_kwargs: Optional[dict] = None,
+    issue_delay: int = 0,
 ) -> InjectionResult:
     """Inject one fault and measure detection and recovery.
 
     The workload is a single transaction of *beats* beats in the stage's
-    direction.  After detection, manager-side faults are cleared (the
-    software recovery routine the paper's interrupt triggers) and the
-    run continues until the manager has drained, the subordinate has
-    been reset, and the TMU is monitoring again.
+    direction, issued after *issue_delay* idle cycles — campaign seeds
+    map to this delay, sweeping the injection across prescaler phase
+    offsets exactly like the Fig. 8 stall measurement.  After detection,
+    manager-side faults are cleared (the software recovery routine the
+    paper's interrupt triggers) and the run continues until the manager
+    has drained, the subordinate has been reset, and the TMU is
+    monitoring again.
     """
     harness = IpHarness(config, **(harness_kwargs or {}))
     spec_fn = write_spec if stage.direction == AxiDir.WRITE else read_spec
-    harness.manager.submit(spec_fn(0, 0x1000, beats=beats))
+    harness.manager.submit(spec_fn(0, 0x1000, beats=beats, issue_delay=issue_delay))
 
     deferred = _injection_deferred(stage, beats)
     if deferred is None:
@@ -281,15 +285,87 @@ def run_campaign(
     configs: Iterable[TmuConfig],
     stages: Iterable[InjectionStage],
     beats: int = 8,
-    **kwargs,
+    seeds: Iterable[int] = (0,),
+    detect_timeout: int = 10_000,
+    recovery_timeout: int = 2_000,
+    harness_kwargs: Optional[dict] = None,
+    workers: Optional[int] = None,
+    shard_size: int = 1,
+    cache_dir=None,
+    progress=None,
 ) -> List[InjectionResult]:
-    """Cross-product campaign over configurations and stages."""
+    """Cross-product campaign over configurations, stages and seeds.
+
+    Runs through the orchestration engine (:mod:`repro.orchestrate`):
+    *workers* > 1 shards the sweep across a process pool, *cache_dir*
+    persists completed shards so re-runs skip them, and *progress*
+    enables the live status line.  Result ordering is canonical
+    (config-major, then stage, then seed) regardless of executor, so
+    the parallel path is a drop-in replacement for the historical
+    serial loop.
+
+    Configs whose budget policy the spec serializer does not understand
+    (a custom :class:`AdaptiveBudgetPolicy` subclass) fall back to the
+    in-process serial loop — parallelism and caching both need the
+    canonical spec.
+    """
+    # Imported here: the orchestrator's executor imports run_injection
+    # from this module, so a top-level import would cycle.
+    from ..orchestrate import CampaignSpec, SpecSerializationError, run_campaign_spec
+
+    configs = list(configs)
     stages = list(stages)
-    results: List[InjectionResult] = []
-    for config in configs:
-        for stage in stages:
-            results.append(run_injection(config, stage, beats=beats, **kwargs))
-    return results
+    seeds = list(seeds)
+    try:
+        spec = CampaignSpec.ip(
+            configs,
+            stages,
+            beats=beats,
+            seeds=seeds,
+            detect_timeout=detect_timeout,
+            recovery_timeout=recovery_timeout,
+            harness_kwargs=harness_kwargs,
+        )
+    except SpecSerializationError:
+        if (workers or 1) > 1 or cache_dir is not None:
+            raise
+        from ..orchestrate import ProgressReporter
+
+        reporter = None
+        if isinstance(progress, ProgressReporter):
+            reporter = progress
+        elif progress:
+            reporter = ProgressReporter(
+                len(configs) * len(stages) * len(seeds),
+                stream=None if progress is True else progress,
+            )
+        results = []
+        for config in configs:
+            for stage in stages:
+                for seed in seeds:
+                    results.append(
+                        run_injection(
+                            config,
+                            stage,
+                            beats=beats,
+                            detect_timeout=detect_timeout,
+                            recovery_timeout=recovery_timeout,
+                            harness_kwargs=harness_kwargs,
+                            issue_delay=seed,
+                        )
+                    )
+                    if reporter:
+                        reporter.shard_done(1)
+        if reporter:
+            reporter.finish()
+        return results
+    return run_campaign_spec(
+        spec,
+        workers=workers,
+        shard_size=shard_size,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
 
 
 def measure_stall_detection_latency(

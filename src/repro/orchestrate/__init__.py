@@ -1,0 +1,65 @@
+"""Campaign orchestration: shard, parallelize and cache injection sweeps.
+
+The paper's headline experiments are fault-injection *campaigns* — many
+independent simulations swept over TMU configs, injection stages and
+phase offsets.  This package turns any such sweep into a deterministic
+shard plan, executes it serially or across a ``multiprocessing`` worker
+pool, caches completed shards on disk, and aggregates results back into
+the exact order the serial runners produce.
+
+Layers (one module each):
+
+* :mod:`~repro.orchestrate.spec` — :class:`CampaignSpec` → canonical
+  :class:`RunSpec` list → :class:`Shard` plan, plus the spec hash.
+* :mod:`~repro.orchestrate.executor` — serial and process-pool shard
+  executors; per-worker harness construction.
+* :mod:`~repro.orchestrate.cache` — shard-granular JSON result cache.
+* :mod:`~repro.orchestrate.progress` — live progress/ETA reporting.
+* :mod:`~repro.orchestrate.engine` — :func:`run_campaign_spec`, the
+  driver tying the above together.
+
+``repro.faults.campaign.run_campaign`` and
+``repro.soc.experiment.run_fig11`` are thin wrappers over this engine;
+``python -m repro campaign`` exposes it from the shell.
+"""
+
+from .cache import ResultCache
+from .engine import run_campaign_spec
+from .executor import (
+    SerialExecutor,
+    WorkerPoolExecutor,
+    default_workers,
+    execute_run,
+    execute_shard,
+    make_executor,
+)
+from .progress import ProgressReporter
+from .serialize import (
+    SpecSerializationError,
+    config_from_dict,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from .spec import CampaignSpec, RunSpec, Shard, plan_shards
+
+__all__ = [
+    "CampaignSpec",
+    "ProgressReporter",
+    "ResultCache",
+    "RunSpec",
+    "SerialExecutor",
+    "Shard",
+    "SpecSerializationError",
+    "WorkerPoolExecutor",
+    "config_from_dict",
+    "config_to_dict",
+    "default_workers",
+    "execute_run",
+    "execute_shard",
+    "make_executor",
+    "plan_shards",
+    "result_from_dict",
+    "result_to_dict",
+    "run_campaign_spec",
+]

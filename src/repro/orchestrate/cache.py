@@ -1,0 +1,88 @@
+"""On-disk result cache: completed shards of a campaign are never re-run.
+
+Layout, under the user-chosen cache root::
+
+    <root>/<spec_hash>/spec.json                   # the canonical spec
+    <root>/<spec_hash>/shard-000007-of-000024.json # one file per shard
+
+The directory name is the campaign's content hash, so a changed
+parameter (budget, stage list, beats, …) can never alias a stale
+result.  Each shard file additionally records its run IDs; a file whose
+IDs do not match the current plan (e.g. written under a different shard
+size) is ignored rather than trusted.
+
+Writes go through a temp file + :func:`os.replace` so a crashed or
+killed campaign leaves only loadable shard files behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .serialize import result_from_dict, result_to_dict
+from .spec import CampaignSpec, Shard
+
+#: Bump when the shard-file layout changes incompatibly.
+CACHE_FORMAT = 1
+
+
+class ResultCache:
+    """Shard-granular JSON cache for one campaign spec."""
+
+    def __init__(self, root: Union[str, Path], spec: CampaignSpec) -> None:
+        self.root = Path(root)
+        self.spec = spec
+        self.dir = self.root / spec.spec_hash()
+        self.dir.mkdir(parents=True, exist_ok=True)
+        spec_file = self.dir / "spec.json"
+        if not spec_file.exists():
+            self._write_atomic(
+                spec_file,
+                {"format": CACHE_FORMAT, "spec": spec.canonical_dict()},
+            )
+
+    # ------------------------------------------------------------------
+    def _shard_path(self, shard: Shard) -> Path:
+        return self.dir / f"shard-{shard.index:06d}-of-{shard.count:06d}.json"
+
+    @staticmethod
+    def _write_atomic(path: Path, payload: dict) -> None:
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def load_shard(self, shard: Shard) -> Optional[List]:
+        """Cached results for *shard*, or ``None`` on miss/mismatch."""
+        path = self._shard_path(shard)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            payload.get("format") != CACHE_FORMAT
+            or payload.get("run_ids") != shard.run_ids
+        ):
+            return None
+        return [result_from_dict(entry) for entry in payload["results"]]
+
+    def store_shard(self, shard: Shard, results: List) -> None:
+        self._write_atomic(
+            self._shard_path(shard),
+            {
+                "format": CACHE_FORMAT,
+                "shard": shard.index,
+                "of": shard.count,
+                "run_ids": shard.run_ids,
+                "results": [result_to_dict(result) for result in results],
+            },
+        )
+
+    def completed_shards(self) -> int:
+        """Number of shard files currently present (diagnostics)."""
+        return sum(1 for _ in self.dir.glob("shard-*.json"))

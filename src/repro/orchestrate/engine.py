@@ -1,0 +1,93 @@
+"""The campaign orchestration engine.
+
+Glues the layers of this package together: expand a
+:class:`~repro.orchestrate.spec.CampaignSpec` into its canonical run
+list, plan shards, satisfy what it can from the on-disk cache, fan the
+rest out through an executor, and re-assemble the result stream into
+the exact ordering the serial runners produce.
+
+The engine is deliberately deterministic end to end: run enumeration is
+canonical, shard planning is contiguous, and aggregation is by run
+index — so ``workers=16`` and ``workers=1`` return *equal* result
+lists, and a cache hit returns the same objects a fresh simulation
+would.  ``strategy="verify"`` campaigns (via ``harness_kwargs``) plus
+the determinism tests in ``tests/orchestrate/`` are the correctness
+harness for that claim.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Union
+
+from .cache import ResultCache
+from .executor import default_workers, make_executor
+from .progress import ProgressReporter
+from .spec import CampaignSpec, plan_shards
+
+
+def run_campaign_spec(
+    spec: CampaignSpec,
+    workers: Optional[int] = None,
+    shard_size: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[Union[bool, IO[str], ProgressReporter]] = None,
+) -> List:
+    """Execute *spec* and return results in canonical run order.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` consults ``REPRO_WORKERS`` (default 1 =
+        serial, in-process).  Each worker builds its own harness per
+        run, so no simulator state is shared.
+    shard_size:
+        Runs per unit of work; 1 (the default) gives the best load
+        balancing and the finest cache granularity.
+    cache_dir:
+        When set, completed shards are persisted there (keyed by the
+        spec hash) and re-runs skip them without simulating.
+    progress:
+        ``True`` / a text stream for a live status line with ETA, or a
+        pre-built :class:`ProgressReporter`.
+    """
+    if workers is None:
+        workers = default_workers()
+    runs = spec.runs()
+    shards = plan_shards(runs, shard_size=shard_size)
+    cache = ResultCache(cache_dir, spec) if cache_dir is not None else None
+
+    reporter: Optional[ProgressReporter] = None
+    if isinstance(progress, ProgressReporter):
+        reporter = progress
+    elif progress:
+        reporter = ProgressReporter(
+            len(runs), stream=None if progress is True else progress
+        )
+
+    results_by_shard: Dict[int, List] = {}
+    pending = []
+    for shard in shards:
+        cached = cache.load_shard(shard) if cache is not None else None
+        if cached is not None:
+            results_by_shard[shard.index] = cached
+            if reporter:
+                reporter.shard_done(len(shard.runs), cached=True)
+        else:
+            pending.append(shard)
+
+    executor = make_executor(workers)
+    for index, results in executor.map(pending):
+        results_by_shard[index] = results
+        if cache is not None:
+            cache.store_shard(shards[index], results)
+        if reporter:
+            reporter.shard_done(len(shards[index].runs))
+    if reporter:
+        reporter.finish()
+
+    ordered: List = [None] * len(runs)
+    for shard in shards:
+        for run, result in zip(shard.runs, results_by_shard[shard.index]):
+            ordered[run.index] = result
+    return ordered

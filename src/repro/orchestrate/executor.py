@@ -1,0 +1,125 @@
+"""Shard executors: in-process serial and multiprocessing worker pool.
+
+Both executors expose the same contract — ``map(shards)`` yields
+``(shard_index, [result, ...])`` pairs, in *any* order — and both build
+every harness inside the process that simulates it, so no
+:class:`~repro.sim.kernel.Simulator` state ever crosses a process
+boundary.  Only plain :class:`~repro.orchestrate.spec.RunSpec` data
+travels to workers and only result dataclasses travel back.
+
+Worker count resolution order: explicit argument, then the
+``REPRO_WORKERS`` environment variable, then 1 (serial).  The
+multiprocessing start method honours ``REPRO_MP_START`` when set
+(``fork``/``spawn``/``forkserver``) and otherwise uses the platform
+default.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from .spec import RunSpec, Shard
+
+#: Environment variable selecting the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable overriding the multiprocessing start method.
+START_METHOD_ENV = "REPRO_MP_START"
+
+ShardResult = Tuple[int, list]
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS``, defaulting to serial."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    count = int(raw)
+    if count <= 0:
+        raise ValueError(f"{WORKERS_ENV} must be positive, got {raw!r}")
+    return count
+
+
+def execute_run(run: RunSpec):
+    """Simulate one injection described by *run*, in this process.
+
+    A fresh harness/SoC is constructed per run — sharing nothing is what
+    makes campaigns embarrassingly parallel and results independent of
+    execution order.
+    """
+    # Imported lazily: this module is imported by repro.faults.campaign
+    # (via the orchestrate package) for its parallel path, so top-level
+    # imports of the runners would cycle.
+    from ..faults.types import InjectionStage
+    from ..tmu.config import Variant
+
+    stage = InjectionStage(run.stage)
+    if run.kind == "ip":
+        from ..faults.campaign import run_injection
+        from .serialize import config_from_dict
+
+        return run_injection(
+            config_from_dict(run.config),
+            stage,
+            beats=run.beats,
+            detect_timeout=run.detect_timeout,
+            recovery_timeout=run.recovery_timeout,
+            harness_kwargs=dict(run.harness_kwargs) or None,
+            issue_delay=run.seed,
+        )
+    from ..soc.experiment import run_system_injection
+
+    return run_system_injection(
+        Variant(run.config["variant"]),
+        stage,
+        beats=run.beats,
+        background=run.background,
+        detect_timeout=run.detect_timeout,
+        recovery_timeout=run.recovery_timeout,
+        start_delay=run.seed,
+    )
+
+
+def execute_shard(shard: Shard) -> ShardResult:
+    """Worker entry point: run every injection of one shard, in order."""
+    return shard.index, [execute_run(run) for run in shard.runs]
+
+
+class SerialExecutor:
+    """Runs shards one after another in the calling process."""
+
+    workers = 1
+
+    def map(self, shards: Sequence[Shard]) -> Iterator[ShardResult]:
+        for shard in shards:
+            yield execute_shard(shard)
+
+
+class WorkerPoolExecutor:
+    """Fans shards out across a ``multiprocessing`` pool.
+
+    Completion order is arbitrary (``imap_unordered``); the engine
+    re-assembles results by run index, so scheduling jitter never
+    changes the aggregated output.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+
+    def map(self, shards: Sequence[Shard]) -> Iterator[ShardResult]:
+        if not shards:
+            return
+        method = os.environ.get(START_METHOD_ENV, "").strip() or None
+        context = multiprocessing.get_context(method)
+        processes = min(self.workers, len(shards))
+        with context.Pool(processes=processes) as pool:
+            yield from pool.imap_unordered(execute_shard, shards, chunksize=1)
+
+
+def make_executor(workers: int):
+    """Pick the executor matching *workers* (1 → serial)."""
+    return SerialExecutor() if workers <= 1 else WorkerPoolExecutor(workers)

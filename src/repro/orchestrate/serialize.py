@@ -1,0 +1,137 @@
+"""Canonical JSON forms of campaign inputs and outputs.
+
+The orchestration engine ships work to worker processes and persists
+results in an on-disk cache, so every object crossing those boundaries
+needs a faithful, *stable* JSON representation:
+
+* :func:`config_to_dict` / :func:`config_from_dict` round-trip a
+  :class:`~repro.tmu.config.TmuConfig` including its budget policy.
+  Stability matters doubly here — the canonical dict also feeds the
+  campaign spec hash that keys the result cache.
+* :func:`result_to_dict` / :func:`result_from_dict` round-trip both
+  :class:`~repro.faults.campaign.InjectionResult` and
+  :class:`~repro.soc.experiment.SystemInjectionResult` without losing
+  any field, so cache hits reproduce the exact objects a live run
+  returns (unlike the lossy report-oriented exports in
+  :mod:`repro.analysis.export`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+from ..tmu.budget import (
+    AdaptiveBudgetPolicy,
+    FixedBudgetPolicy,
+    PhaseBudgets,
+    SpanBudgets,
+)
+from ..tmu.config import TmuConfig, Variant
+
+
+class SpecSerializationError(TypeError):
+    """Raised when a campaign input cannot be canonically serialized."""
+
+
+# ----------------------------------------------------------------------
+# TmuConfig
+# ----------------------------------------------------------------------
+def budgets_to_dict(budgets: AdaptiveBudgetPolicy) -> Dict[str, Any]:
+    """Canonical dict of a budget policy (adaptive or fixed)."""
+    if type(budgets) is FixedBudgetPolicy:
+        return {
+            "type": "fixed",
+            "phase_budget": budgets.phase_budget,
+            "span_budget_cycles": budgets.span_budget_cycles,
+        }
+    if type(budgets) is AdaptiveBudgetPolicy:
+        return {
+            "type": "adaptive",
+            "phases": dataclasses.asdict(budgets.phases),
+            "span": dataclasses.asdict(budgets.span),
+        }
+    raise SpecSerializationError(
+        f"cannot serialize budget policy of type {type(budgets).__name__}; "
+        f"campaign specs support AdaptiveBudgetPolicy and FixedBudgetPolicy"
+    )
+
+
+def budgets_from_dict(data: Dict[str, Any]) -> AdaptiveBudgetPolicy:
+    if data["type"] == "fixed":
+        return FixedBudgetPolicy(
+            phase_budget=data["phase_budget"],
+            span_budget_cycles=data["span_budget_cycles"],
+        )
+    return AdaptiveBudgetPolicy(
+        PhaseBudgets(**data["phases"]), SpanBudgets(**data["span"])
+    )
+
+
+def config_to_dict(config: TmuConfig) -> Dict[str, Any]:
+    """Canonical, JSON-ready dict of a :class:`TmuConfig`."""
+    return {
+        "variant": config.variant.value,
+        "max_uniq_ids": config.max_uniq_ids,
+        "txn_per_id": config.txn_per_id,
+        "prescale_step": config.prescale_step,
+        "sticky": config.sticky,
+        "budgets": budgets_to_dict(config.budgets),
+        "protocol_check_immediate": config.protocol_check_immediate,
+        "max_txn_cycles": config.max_txn_cycles,
+        "error_log_depth": config.error_log_depth,
+        "enabled": config.enabled,
+        "trip_on_error_resp": config.trip_on_error_resp,
+    }
+
+
+def config_from_dict(data: Dict[str, Any]) -> TmuConfig:
+    return TmuConfig(
+        variant=Variant(data["variant"]),
+        max_uniq_ids=data["max_uniq_ids"],
+        txn_per_id=data["txn_per_id"],
+        prescale_step=data["prescale_step"],
+        sticky=data["sticky"],
+        budgets=budgets_from_dict(data["budgets"]),
+        protocol_check_immediate=data["protocol_check_immediate"],
+        max_txn_cycles=data["max_txn_cycles"],
+        error_log_depth=data["error_log_depth"],
+        enabled=data["enabled"],
+        trip_on_error_resp=data["trip_on_error_resp"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Injection results (IP and system level)
+# ----------------------------------------------------------------------
+def result_to_dict(result) -> Dict[str, Any]:
+    """Full-fidelity dict of an IP- or system-level injection result."""
+    # Imported here: the orchestrator is a layer above the runners, and
+    # the runners import it lazily for their parallel paths.
+    from ..faults.campaign import InjectionResult
+    from ..soc.experiment import SystemInjectionResult
+
+    if isinstance(result, InjectionResult):
+        kind = "ip"
+    elif isinstance(result, SystemInjectionResult):
+        kind = "system"
+    else:
+        raise SpecSerializationError(
+            f"cannot serialize result of type {type(result).__name__}"
+        )
+    payload = dataclasses.asdict(result)
+    payload["stage"] = result.stage.value
+    payload["kind"] = kind
+    return payload
+
+
+def result_from_dict(data: Dict[str, Any]):
+    from ..faults.campaign import InjectionResult
+    from ..faults.types import InjectionStage
+    from ..soc.experiment import SystemInjectionResult
+
+    payload = dict(data)
+    kind = payload.pop("kind")
+    payload["stage"] = InjectionStage(payload["stage"])
+    cls = InjectionResult if kind == "ip" else SystemInjectionResult
+    return cls(**payload)

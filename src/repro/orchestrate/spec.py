@@ -1,0 +1,215 @@
+"""Work partitioning: campaign specs, run enumeration, shard plans.
+
+A fault-injection campaign is a cross-product sweep — TMU configs ×
+injection stages × phase-offset seeds.  :class:`CampaignSpec` captures
+the whole sweep as plain, canonically-ordered data; :meth:`runs` expands
+it into :class:`RunSpec` units in the exact order the serial runners
+(:func:`repro.faults.campaign.run_campaign`,
+:func:`repro.soc.experiment.run_fig11`) iterate, so the aggregated
+result list of any executor is byte-for-byte the serial one.
+
+Every run carries a stable, human-readable ``run_id`` and its canonical
+``index``; :func:`plan_shards` groups runs into contiguous
+:class:`Shard` units of work.  The spec's :meth:`spec_hash` keys the
+on-disk result cache: any parameter change produces a different hash and
+therefore a fresh cache namespace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..faults.types import InjectionStage
+from ..tmu.config import TmuConfig, Variant
+from .serialize import SpecSerializationError, config_to_dict
+
+#: Campaign kinds understood by the executors.
+KINDS = ("ip", "system")
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """One simulation unit: a single fault injection.
+
+    Everything here is plain JSON-able data so a run can cross a process
+    boundary and key a cache entry.  ``config`` is the canonical TMU
+    config dict for IP runs; system runs only need ``{"variant": ...}``
+    (the system runner derives the paper's budgets itself).
+    """
+
+    kind: str
+    index: int
+    config: Dict[str, Any]
+    stage: str
+    seed: int
+    beats: int
+    background: int
+    detect_timeout: int
+    recovery_timeout: int
+    harness_kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def run_id(self) -> str:
+        """Stable identifier, unique within the campaign."""
+        return (
+            f"{self.kind}-{self.index:06d}-{self.config['variant']}"
+            f"-{self.stage}-s{self.seed}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Shard:
+    """A contiguous slice of a campaign's runs, executed as one unit."""
+
+    index: int
+    count: int  # total shards in the plan
+    runs: Tuple[RunSpec, ...]
+
+    @property
+    def run_ids(self) -> List[str]:
+        return [run.run_id for run in self.runs]
+
+
+@dataclasses.dataclass
+class CampaignSpec:
+    """A complete sweep: configs × stages × seeds, plus run parameters."""
+
+    kind: str
+    configs: List[Dict[str, Any]]
+    stages: List[str]
+    beats: int
+    seeds: List[int]
+    background: int = 0
+    detect_timeout: int = 10_000
+    recovery_timeout: int = 2_000
+    harness_kwargs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown campaign kind {self.kind!r}")
+        if not self.configs or not self.stages or not self.seeds:
+            raise ValueError("campaign needs at least one config, stage and seed")
+        try:
+            json.dumps(self.canonical_dict(), sort_keys=True)
+        except TypeError as exc:
+            raise SpecSerializationError(
+                f"campaign spec is not JSON-serializable: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def ip(
+        cls,
+        configs: Iterable[TmuConfig],
+        stages: Iterable[InjectionStage],
+        beats: int = 8,
+        seeds: Sequence[int] = (0,),
+        detect_timeout: int = 10_000,
+        recovery_timeout: int = 2_000,
+        harness_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> "CampaignSpec":
+        """IP-level sweep over full TMU configurations (Fig. 9 shape)."""
+        return cls(
+            kind="ip",
+            configs=[config_to_dict(config) for config in configs],
+            stages=[stage.value for stage in stages],
+            beats=beats,
+            seeds=list(seeds),
+            detect_timeout=detect_timeout,
+            recovery_timeout=recovery_timeout,
+            harness_kwargs=dict(harness_kwargs or {}),
+        )
+
+    @classmethod
+    def system(
+        cls,
+        variants: Iterable[Variant],
+        stages: Iterable[InjectionStage],
+        beats: int = 250,
+        seeds: Sequence[int] = (0,),
+        background: int = 0,
+        detect_timeout: int = 20_000,
+        recovery_timeout: int = 5_000,
+    ) -> "CampaignSpec":
+        """System-level sweep over TMU variants (Fig. 11 shape)."""
+        return cls(
+            kind="system",
+            configs=[{"variant": variant.value} for variant in variants],
+            stages=[stage.value for stage in stages],
+            beats=beats,
+            seeds=list(seeds),
+            background=background,
+            detect_timeout=detect_timeout,
+            recovery_timeout=recovery_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # Enumeration and identity
+    # ------------------------------------------------------------------
+    def runs(self) -> List[RunSpec]:
+        """All runs in canonical (config-major, then stage, then seed) order.
+
+        This is exactly the nesting of the serial runners, which is what
+        lets the engine's aggregated output replace their result lists.
+        """
+        harness_items = tuple(sorted(self.harness_kwargs.items()))
+        out: List[RunSpec] = []
+        for config in self.configs:
+            for stage in self.stages:
+                for seed in self.seeds:
+                    out.append(
+                        RunSpec(
+                            kind=self.kind,
+                            index=len(out),
+                            config=config,
+                            stage=stage,
+                            seed=seed,
+                            beats=self.beats,
+                            background=self.background,
+                            detect_timeout=self.detect_timeout,
+                            recovery_timeout=self.recovery_timeout,
+                            harness_kwargs=harness_items,
+                        )
+                    )
+        return out
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The spec as plain data, suitable for hashing and archiving."""
+        return {
+            "kind": self.kind,
+            "configs": self.configs,
+            "stages": self.stages,
+            "beats": self.beats,
+            "seeds": self.seeds,
+            "background": self.background,
+            "detect_timeout": self.detect_timeout,
+            "recovery_timeout": self.recovery_timeout,
+            "harness_kwargs": dict(sorted(self.harness_kwargs.items())),
+        }
+
+    def spec_hash(self) -> str:
+        """Content hash keying the result cache (first 16 hex chars)."""
+        canonical = json.dumps(self.canonical_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def plan_shards(runs: Sequence[RunSpec], shard_size: int = 1) -> List[Shard]:
+    """Partition *runs* into contiguous shards of at most *shard_size*.
+
+    The default of one run per shard maximizes both pool load balancing
+    and cache granularity (a completed run is never re-simulated, even
+    if a later shard of the same campaign crashed).  Larger shards
+    amortize per-task pickling for very short runs.
+    """
+    if shard_size <= 0:
+        raise ValueError("shard_size must be positive")
+    chunks = [runs[i : i + shard_size] for i in range(0, len(runs), shard_size)]
+    return [
+        Shard(index=i, count=len(chunks), runs=tuple(chunk))
+        for i, chunk in enumerate(chunks)
+    ]

@@ -101,6 +101,10 @@ class Simulator:
         self._updaters: List[Callable[[], None]] = []
         #: Declared writers per wire id, from Component.outputs().
         self._declared_writers: Dict[int, List[Component]] = {}
+        #: Wires that changed since the end of the last step's probes;
+        #: only populated once track_changes() has been called.
+        self._changed_wires: set = set()
+        self._track_changes = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -114,16 +118,17 @@ class Simulator:
         # dirty sink: a wire feeds the worklist of the simulator it was
         # most recently registered with, and only that one.
         sink = self._pending if incremental else None
+        log = self._changed_wires if self._track_changes else None
         for wire in component.wires():
             self._wires[id(wire)] = wire
-            self._adopt_wire(wire, sink)
+            self._adopt_wire(wire, sink, log)
 
         declared = component.inputs()
         component._auto_trace = declared is None
         if declared is not None:
             for wire in declared:
                 self._wires.setdefault(id(wire), wire)
-                self._adopt_wire(wire, sink)
+                self._adopt_wire(wire, sink, log)
                 if incremental:
                     wire.readers.add(component)
 
@@ -150,17 +155,39 @@ class Simulator:
         return component
 
     @staticmethod
-    def _adopt_wire(wire: Wire, sink: Optional[set]) -> None:
+    def _adopt_wire(
+        wire: Wire, sink: Optional[set], log: Optional[set] = None
+    ) -> None:
         """Point *wire* at this simulator's worklist (or detach it).
 
         Changing owners also drops the reader set: readers accumulated
         under a previous simulator would otherwise be scheduled — and
         executed — by this one.  The new owner's components re-trace (or
-        re-declare) their reads on their first evaluation here.
+        re-declare) their reads on their first evaluation here.  The
+        change log follows ownership the same way.
         """
         if wire._dirty_sink is not sink:
             wire._dirty_sink = sink
             wire.readers.clear()
+        wire._change_log = log
+
+    def track_changes(self) -> set:
+        """Start recording which wires change each cycle; return the live set.
+
+        The returned set always holds the wires that changed since the
+        end of the previous step's probes (the kernel clears it after
+        each step's probes run), so a probe reading it sees every
+        settle-, update- and between-cycle change of the step it is
+        observing — a superset of the wires whose settled values differ.
+        Wires registered after this call are tracked too.  Probes such
+        as the VCD writer use this instead of re-formatting every wire
+        every cycle.
+        """
+        if not self._track_changes:
+            self._track_changes = True
+            for wire in self._wires.values():
+                wire._change_log = self._changed_wires
+        return self._changed_wires
 
     def add_probe(self, probe: Callable[["Simulator"], None]) -> None:
         """Register a callable invoked after every cycle's update phase.
@@ -276,6 +303,8 @@ class Simulator:
         self.cycle += 1
         for probe in self._probes:
             probe(self)
+        if self._track_changes:
+            self._changed_wires.clear()
 
     def run(self, cycles: int) -> None:
         """Advance by *cycles* clock cycles."""

@@ -47,7 +47,10 @@ class Wire:
         Bit width hint for waveform dumps (bools are width 1).
     """
 
-    __slots__ = ("name", "_value", "init", "width", "readers", "_dirty_sink")
+    __slots__ = (
+        "name", "_value", "init", "width", "readers", "_dirty_sink",
+        "_change_log",
+    )
 
     def __init__(self, name: str, init: Any = False, width: int = 1) -> None:
         self.name = name
@@ -59,6 +62,9 @@ class Wire:
         #: The owning simulator's pending worklist (a set of components),
         #: or ``None`` when the wire is unregistered / exhaustively swept.
         self._dirty_sink: Optional[set] = None
+        #: The owning simulator's changed-wire set, or ``None`` when no
+        #: probe asked for change tracking (see Simulator.track_changes).
+        self._change_log: Optional[set] = None
 
     @property
     def value(self) -> Any:
@@ -77,6 +83,9 @@ class Wire:
             sink = self._dirty_sink
             if sink is not None:
                 sink.update(self.readers)
+            log = self._change_log
+            if log is not None:
+                log.add(self)
 
     def reset(self) -> None:
         self.value = self.init

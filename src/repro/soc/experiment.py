@@ -55,6 +55,10 @@ class SystemInjectionResult:
     recovered: bool
 
     @property
+    def detected(self) -> bool:
+        return self.detect_cycle is not None
+
+    @property
     def latency_from_injection(self) -> Optional[int]:
         if self.detect_cycle is None or self.inject_cycle is None:
             return None
@@ -93,13 +97,21 @@ def run_system_injection(
     background: int = 0,
     detect_timeout: int = 20_000,
     recovery_timeout: int = 5_000,
+    start_delay: int = 0,
 ) -> SystemInjectionResult:
-    """One Fig. 11 data point: inject *stage* during the Ethernet frame."""
+    """One Fig. 11 data point: inject *stage* during the Ethernet frame.
+
+    *start_delay* idles the SoC for that many cycles before the frame is
+    queued — campaign seeds map here, shifting the transaction (and the
+    injection) relative to the TMU's prescaler phase.
+    """
     # Imported here: repro.faults.campaign builds IP harnesses with the
     # reset unit from this package, so a module-level import would cycle.
     from ..faults.campaign import apply_stage_fault
 
     soc = CheshireSoC(system_tmu_config(variant, frame_beats=beats))
+    if start_delay:
+        soc.sim.run(start_delay)
     soc.send_ethernet_frame(beats)
     if background:
         soc.submit_background_traffic(background)
@@ -210,14 +222,37 @@ def _manifested(soc: CheshireSoC, stage: InjectionStage, wlast_seen: bool) -> bo
 
 
 def run_fig11(
-    beats: int = 250, background: int = 0
+    beats: int = 250,
+    background: int = 0,
+    workers: Optional[int] = None,
+    shard_size: int = 1,
+    cache_dir=None,
+    progress=None,
 ) -> Dict[str, List[SystemInjectionResult]]:
-    """All Fig. 11 series: both variants across the six write stages."""
-    results: Dict[str, List[SystemInjectionResult]] = {}
-    for variant in (Variant.FULL, Variant.TINY):
-        series = [
-            run_system_injection(variant, stage, beats=beats, background=background)
-            for stage in FIG11_STAGES
-        ]
-        results[variant.value] = series
-    return results
+    """All Fig. 11 series: both variants across the six write stages.
+
+    The sweep runs through the orchestration engine
+    (:mod:`repro.orchestrate`): *workers* > 1 shards the twelve runs
+    across a process pool (each worker builds its own
+    :class:`CheshireSoC`), *cache_dir* lets re-runs skip completed
+    shards, and the aggregated series are identical to the serial
+    ones whatever the executor.
+    """
+    from ..orchestrate import CampaignSpec, run_campaign_spec
+
+    variants = (Variant.FULL, Variant.TINY)
+    spec = CampaignSpec.system(
+        variants, FIG11_STAGES, beats=beats, background=background
+    )
+    flat = run_campaign_spec(
+        spec,
+        workers=workers,
+        shard_size=shard_size,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
+    stride = len(FIG11_STAGES)
+    return {
+        variant.value: flat[i * stride : (i + 1) * stride]
+        for i, variant in enumerate(variants)
+    }

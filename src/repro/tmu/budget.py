@@ -132,17 +132,17 @@ class FixedBudgetPolicy(AdaptiveBudgetPolicy):
 
     def __init__(self, phase_budget: int = 64, span_budget_cycles: int = 128) -> None:
         super().__init__()
-        self._phase_budget = phase_budget
-        self._span_budget = span_budget_cycles
+        self.phase_budget = phase_budget
+        self.span_budget_cycles = span_budget_cycles
 
     def write_phase_budget(self, phase, beats, queued_ahead=0):
-        return self._phase_budget
+        return self.phase_budget
 
     def read_phase_budget(self, phase, beats, queued_ahead=0):
-        return self._phase_budget
+        return self.phase_budget
 
     def span_budget(self, beats, queued_ahead=0):
-        return self._span_budget
+        return self.span_budget_cycles
 
     def max_budget(self, max_beats, max_outstanding):
-        return max(self._phase_budget, self._span_budget)
+        return max(self.phase_budget, self.span_budget_cycles)

@@ -40,6 +40,58 @@ class TmuState(enum.Enum):
     RECOVER = "recover"
 
 
+#: The five AXI channels, request side first.
+_CHANNELS = ("aw", "w", "ar", "b", "r")
+
+#: Channels whose source is the host side (the rest source from device).
+_REQUEST_CHANNELS = frozenset({"aw", "w", "ar"})
+
+
+class _TmuChannel(Component):
+    """Drive-only child covering one AXI channel of the TMU.
+
+    Mirrors the crossbar's per-channel children: the kernel re-runs
+    exactly the channels whose wires moved, so a long W burst streams
+    through the W passthrough without re-probing the ID remap tables or
+    re-evaluating the guards' capacity stalls on AW/AR, and idle
+    response channels cost nothing.  All state lives in the parent TMU;
+    the parent re-schedules every channel (via its overridden
+    ``schedule_drive``) whenever mode or drive-visible monitor state
+    changes.
+    """
+
+    demand_driven = True
+
+    def __init__(self, tmu: "TransactionMonitoringUnit", channel: str) -> None:
+        super().__init__(f"{tmu.name}.{channel}")
+        self.tmu = tmu
+        self.channel = channel
+
+    def inputs(self):
+        src, dst = _channel_endpoints(self.tmu, self.channel)
+        return (src.valid, src.payload, dst.ready)
+
+    def outputs(self):
+        src, dst = _channel_endpoints(self.tmu, self.channel)
+        return (dst.valid, dst.payload, src.ready)
+
+    def drive(self) -> None:
+        self.tmu._drive_channel(self.channel)
+
+
+def _channel_endpoints(tmu: "TransactionMonitoringUnit", ch: str):
+    """(source channel, destination channel) for one AXI channel.
+
+    Single source of truth for the direction mapping: the children's
+    declared sensitivity lists and the parent's ``_drive_channel`` must
+    agree on which side sources each channel, or the scheduler would
+    skip re-runs the drive actually needs.
+    """
+    if ch in _REQUEST_CHANNELS:
+        return getattr(tmu.host, ch), getattr(tmu.device, ch)
+    return getattr(tmu.device, ch), getattr(tmu.host, ch)
+
+
 class TransactionMonitoringUnit(Component):
     """Drop-in AXI4 transaction monitor (Tiny- or Full-Counter).
 
@@ -78,6 +130,7 @@ class TransactionMonitoringUnit(Component):
         self.read_guard = ReadGuard(self.config)
         self.remap_w = IdRemapTable(self.config.max_uniq_ids)
         self.remap_r = IdRemapTable(self.config.max_uniq_ids)
+        self._channels = [_TmuChannel(self, ch) for ch in _CHANNELS]
 
         #: interrupt request to the platform interrupt controller.
         self.irq = Wire(f"{name}.irq", False)
@@ -128,71 +181,73 @@ class TransactionMonitoringUnit(Component):
         yield self.reset_req
         yield self.reset_ack
 
+    def children(self):
+        return self._channels
+
     def inputs(self):
-        # Union of the wires every drive mode reads: the monitor/raw
-        # passthrough forwards requests host→device and responses
-        # device→host; recover mode reads no wires at all.  reset_ack is
+        # Wire sensitivity lives on the per-channel children; the parent
+        # drive only refreshes irq/reset_req from registered state and
+        # must not re-trigger on datapath wire changes.  reset_ack is
         # only sampled in update(), which always runs.
-        host, device = self.host, self.device
-        return (
-            host.aw.valid, host.aw.payload, device.aw.ready,
-            host.w.valid, host.w.payload, device.w.ready,
-            host.ar.valid, host.ar.payload, device.ar.ready,
-            device.b.valid, device.b.payload, host.b.ready,
-            device.r.valid, device.r.payload, host.r.ready,
-        )
+        return ()
 
     def outputs(self):
-        host, device = self.host, self.device
-        return (
-            device.aw.valid, device.aw.payload, host.aw.ready,
-            device.w.valid, device.w.payload, host.w.ready,
-            device.ar.valid, device.ar.payload, host.ar.ready,
-            host.b.valid, host.b.payload, device.b.ready,
-            host.r.valid, host.r.payload, device.r.ready,
-            self.irq, self.reset_req,
-        )
+        return (self.irq, self.reset_req)
+
+    def schedule_drive(self) -> None:
+        """Invalidate the irq/reset drive *and* every channel drive.
+
+        The TMU's drive-visible state (FSM mode, remap tables, guard
+        occupancy, abort queues, the software enable bit) is shared by
+        all five channel children, so any mutation conservatively
+        re-schedules them all — wire-level sensitivity still keeps idle
+        channels from re-running in steady state.  Callers (register
+        writes, ``clear_irq``, update-phase changes) go through here
+        unchanged.
+        """
+        super().schedule_drive()
+        for channel in self._channels:
+            channel.schedule_drive()
 
     def drive(self) -> None:
         self.irq.value = self._irq_pending
         self.reset_req.value = self._req_state
-        if not self.config.enabled:
-            self._drive_passthrough_raw()
-        elif self.state == TmuState.MONITOR:
-            self._drive_monitor()
-        else:
-            self._drive_recover()
 
     # -- drive helpers ---------------------------------------------------
-    def _drive_passthrough_raw(self) -> None:
-        """Disabled TMU: a pure wire, no remapping, no monitoring."""
-        host, device = self.host, self.device
-        for src, dst in ((host.aw, device.aw), (host.w, device.w), (host.ar, device.ar)):
+    def _drive_channel(self, ch: str) -> None:
+        """Drive one AXI channel according to the current mode."""
+        src, dst = _channel_endpoints(self, ch)
+        if not self.config.enabled:
+            # Disabled TMU: a pure wire, no remapping, no monitoring.
             dst.valid.value = src.valid.value
             dst.payload.value = src.payload.value
             src.ready.value = dst.ready.value
-        for src, dst in ((device.b, host.b), (device.r, host.r)):
-            dst.valid.value = src.valid.value
-            dst.payload.value = src.payload.value
-            src.ready.value = dst.ready.value
+        elif self.state == TmuState.MONITOR:
+            self._drive_monitor_channel(ch)
+        else:
+            self._drive_recover_channel(ch)
 
-    def _drive_monitor(self) -> None:
+    def _drive_monitor_channel(self, ch: str) -> None:
         host, device = self.host, self.device
-        # AW: remap + capacity stall.
-        self._drive_request_addr(
-            host.aw, device.aw, self.remap_w, self.write_guard
-        )
-        # W: straight passthrough (no ID on the W channel).
-        device.w.valid.value = host.w.valid.value
-        device.w.payload.value = host.w.payload.value
-        host.w.ready.value = device.w.ready.value
-        # AR: remap + capacity stall.
-        self._drive_request_addr(
-            host.ar, device.ar, self.remap_r, self.read_guard
-        )
-        # B / R: un-remap; sink responses whose ID is not live.
-        self._drive_response(device.b, host.b, self.remap_w)
-        self._drive_response(device.r, host.r, self.remap_r)
+        if ch == "aw":
+            # AW: remap + capacity stall.
+            self._drive_request_addr(
+                host.aw, device.aw, self.remap_w, self.write_guard
+            )
+        elif ch == "w":
+            # W: straight passthrough (no ID on the W channel).
+            device.w.valid.value = host.w.valid.value
+            device.w.payload.value = host.w.payload.value
+            host.w.ready.value = device.w.ready.value
+        elif ch == "ar":
+            self._drive_request_addr(
+                host.ar, device.ar, self.remap_r, self.read_guard
+            )
+        elif ch == "b":
+            # B / R: un-remap; sink responses whose ID is not live.
+            self._drive_response(device.b, host.b, self.remap_w)
+        else:
+            self._drive_response(device.r, host.r, self.remap_r)
 
     def _drive_request_addr(self, src, dst, remap, guard) -> None:
         beat = src.payload.value
@@ -221,31 +276,30 @@ class TransactionMonitoringUnit(Component):
             dst.idle()
             src.ready.value = dst.ready.value
 
-    def _drive_recover(self) -> None:
+    def _drive_recover_channel(self, ch: str) -> None:
         host, device = self.host, self.device
-        # Device side severed: no requests forwarded, responses drained.
-        device.aw.valid.value = False
-        device.aw.payload.value = None
-        device.w.valid.value = False
-        device.w.payload.value = None
-        device.ar.valid.value = False
-        device.ar.payload.value = None
-        device.b.ready.value = True
-        device.r.ready.value = True
-        # Host side: act as a default error subordinate.
-        host.aw.ready.value = True
-        host.w.ready.value = True
-        host.ar.ready.value = True
-        if self._abort_b:
-            host.b.drive(BBeat(id=self._abort_b[0], resp=Resp.SLVERR))
+        if ch in _REQUEST_CHANNELS:
+            # Device side severed (no requests forwarded); host side
+            # accepted and discarded — the TMU acts as a default error
+            # subordinate so the manager never deadlocks.
+            dst = getattr(device, ch)
+            dst.valid.value = False
+            dst.payload.value = None
+            getattr(host, ch).ready.value = True
+        elif ch == "b":
+            device.b.ready.value = True  # drain device responses
+            if self._abort_b:
+                host.b.drive(BBeat(id=self._abort_b[0], resp=Resp.SLVERR))
+            else:
+                host.b.idle()
         else:
-            host.b.idle()
-        if self._abort_r:
-            host.r.drive(
-                RBeat(id=self._abort_r[0], data=0, resp=Resp.SLVERR, last=True)
-            )
-        else:
-            host.r.idle()
+            device.r.ready.value = True
+            if self._abort_r:
+                host.r.drive(
+                    RBeat(id=self._abort_r[0], data=0, resp=Resp.SLVERR, last=True)
+                )
+            else:
+                host.r.idle()
 
     # -- update ------------------------------------------------------------
     def update(self) -> None:

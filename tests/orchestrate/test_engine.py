@@ -1,0 +1,186 @@
+"""Engine tests: sharded determinism, caching, progress, executors.
+
+The headline guarantees: a campaign sharded across 4 worker processes
+returns the *identical* result list the serial path produces (for both
+the Fig. 9 IP sweep and the Fig. 11 system sweep), and a warm cache
+returns identical results without simulating anything.
+"""
+
+import io
+
+import pytest
+
+from tests.conftest import fast_budgets
+
+from repro.faults.campaign import run_campaign
+from repro.faults.types import FIG9_WRITE_STAGES, InjectionStage
+from repro.orchestrate import (
+    CampaignSpec,
+    ProgressReporter,
+    SerialExecutor,
+    WorkerPoolExecutor,
+    default_workers,
+    make_executor,
+    plan_shards,
+    run_campaign_spec,
+)
+from repro.orchestrate import executor as executor_module
+from repro.soc.experiment import run_fig11
+from repro.tmu.config import full_config, tiny_config
+
+FIG9_SUBSET = (
+    InjectionStage.AW_READY_MISSING,
+    InjectionStage.DATA_TRANSFER_STALL,
+    InjectionStage.WLAST_TO_BVALID,
+)
+
+
+def fig9_configs():
+    return [full_config(budgets=fast_budgets()), tiny_config(budgets=fast_budgets())]
+
+
+# ----------------------------------------------------------------------
+# Determinism: sharded == serial
+# ----------------------------------------------------------------------
+def test_fig9_sweep_sharded_equals_serial():
+    serial = run_campaign(fig9_configs(), FIG9_SUBSET, beats=4, seeds=(0, 1))
+    sharded = run_campaign(
+        fig9_configs(), FIG9_SUBSET, beats=4, seeds=(0, 1), workers=4
+    )
+    assert len(serial) == 2 * len(FIG9_SUBSET) * 2
+    assert sharded == serial
+    assert all(result.detected and result.recovered for result in serial)
+
+
+def test_fig11_sweep_sharded_equals_serial():
+    serial = run_fig11(beats=16)
+    sharded = run_fig11(beats=16, workers=4)
+    assert sharded == serial
+    assert set(serial) == {"full", "tiny"}
+    assert all(
+        result.detected for series in serial.values() for result in series
+    )
+
+
+def test_sharded_campaign_under_verify_strategy():
+    """The parallel path holds up the kernel's own correctness check."""
+    results = run_campaign(
+        [full_config(budgets=fast_budgets())],
+        (InjectionStage.AW_READY_MISSING, InjectionStage.R_VALID_MISSING),
+        beats=4,
+        workers=2,
+        harness_kwargs={"sim_strategy": "verify"},
+    )
+    assert all(result.detected for result in results)
+
+
+def test_shard_size_does_not_change_results():
+    spec = CampaignSpec.ip(
+        fig9_configs(), FIG9_SUBSET, beats=4, recovery_timeout=2_000
+    )
+    fine = run_campaign_spec(spec, workers=1, shard_size=1)
+    coarse = run_campaign_spec(spec, workers=2, shard_size=4)
+    assert fine == coarse
+
+
+# ----------------------------------------------------------------------
+# Caching
+# ----------------------------------------------------------------------
+def test_cache_hit_skips_simulation_and_matches(tmp_path, monkeypatch):
+    kwargs = dict(beats=4, seeds=(0,), cache_dir=tmp_path)
+    first = run_campaign(fig9_configs(), FIG9_SUBSET, **kwargs)
+    # Any attempt to simulate on the second pass is a test failure.
+    monkeypatch.setattr(
+        executor_module,
+        "execute_shard",
+        lambda shard: pytest.fail("cache hit must not re-simulate"),
+    )
+    second = run_campaign(fig9_configs(), FIG9_SUBSET, **kwargs)
+    assert second == first
+
+
+def test_cache_namespace_follows_spec_hash(tmp_path):
+    run_campaign(fig9_configs(), FIG9_SUBSET[:1], beats=4, cache_dir=tmp_path)
+    run_campaign(fig9_configs(), FIG9_SUBSET[:1], beats=8, cache_dir=tmp_path)
+    # Two different sweeps, two cache namespaces.
+    assert len(list(tmp_path.iterdir())) == 2
+
+
+def test_corrupt_cache_entry_is_re_executed(tmp_path):
+    kwargs = dict(beats=4, cache_dir=tmp_path)
+    first = run_campaign(fig9_configs(), FIG9_SUBSET[:1], **kwargs)
+    for shard_file in tmp_path.glob("*/shard-*.json"):
+        shard_file.write_text("{not json")
+    second = run_campaign(fig9_configs(), FIG9_SUBSET[:1], **kwargs)
+    assert second == first
+
+
+# ----------------------------------------------------------------------
+# Executors and workers resolution
+# ----------------------------------------------------------------------
+def test_make_executor_selects_by_worker_count():
+    assert isinstance(make_executor(1), SerialExecutor)
+    assert isinstance(make_executor(4), WorkerPoolExecutor)
+    with pytest.raises(ValueError):
+        WorkerPoolExecutor(0)
+
+
+def test_default_workers_env(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert default_workers() == 1
+    monkeypatch.setenv("REPRO_WORKERS", "6")
+    assert default_workers() == 6
+    monkeypatch.setenv("REPRO_WORKERS", "0")
+    with pytest.raises(ValueError):
+        default_workers()
+
+
+def test_worker_pool_reorders_are_invisible():
+    """Unordered shard completion must not leak into result order."""
+    spec = CampaignSpec.ip(fig9_configs(), FIG9_SUBSET, beats=4)
+    shards = plan_shards(spec.runs())
+
+    class Reversed(SerialExecutor):
+        def map(self, pending):
+            yield from reversed(list(super().map(pending)))
+
+    scrambled = run_campaign_spec(spec, workers=1)
+    # Hand the engine a deliberately reversed completion stream.
+    from repro.orchestrate import engine as engine_module
+
+    original = engine_module.make_executor
+    try:
+        engine_module.make_executor = lambda workers: Reversed()
+        reordered = run_campaign_spec(spec, workers=1)
+    finally:
+        engine_module.make_executor = original
+    assert reordered == scrambled
+    assert len(shards) == len(scrambled)
+
+
+# ----------------------------------------------------------------------
+# Progress reporting
+# ----------------------------------------------------------------------
+def test_progress_reporter_eta_and_rendering():
+    now = [0.0]
+    stream = io.StringIO()
+    reporter = ProgressReporter(4, stream=stream, clock=lambda: now[0])
+    now[0] = 2.0
+    reporter.shard_done(1)            # 1/4 executed in 2s -> eta 6s
+    assert reporter.eta_seconds() == pytest.approx(6.0)
+    reporter.shard_done(2, cached=True)  # cached runs don't skew ETA
+    assert reporter.eta_seconds() == pytest.approx(2.0)
+    reporter.shard_done(1)
+    reporter.finish()
+    output = stream.getvalue()
+    assert "4/4 runs (100.0%)" in output
+    assert "2 cached" in output
+    assert output.endswith("\n")
+
+
+def test_engine_reports_progress_through_stream():
+    stream = io.StringIO()
+    run_campaign(
+        fig9_configs()[:1], FIG9_SUBSET[:1], beats=4, progress=stream
+    )
+    assert "campaign: 1/1 runs (100.0%)" in stream.getvalue()

@@ -1,0 +1,160 @@
+"""Unit tests for campaign specs, run enumeration, hashing and shards."""
+
+import pytest
+
+from repro.faults.types import FIG9_WRITE_STAGES, InjectionStage
+from repro.orchestrate import (
+    CampaignSpec,
+    SpecSerializationError,
+    config_from_dict,
+    config_to_dict,
+    plan_shards,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.soc.experiment import FIG11_STAGES, SystemInjectionResult
+from repro.faults.campaign import InjectionResult
+from repro.tmu.budget import AdaptiveBudgetPolicy, FixedBudgetPolicy
+from repro.tmu.config import Variant, full_config, tiny_config
+
+
+def ip_spec(**kwargs):
+    kwargs.setdefault("beats", 4)
+    return CampaignSpec.ip(
+        [full_config(), tiny_config()],
+        [InjectionStage.AW_READY_MISSING, InjectionStage.WLAST_TO_BVALID],
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Config serialization
+# ----------------------------------------------------------------------
+def test_config_round_trip_adaptive():
+    config = full_config(prescale_step=4, max_txn_cycles=128)
+    assert config_to_dict(config_from_dict(config_to_dict(config))) == (
+        config_to_dict(config)
+    )
+
+
+def test_config_round_trip_fixed_budgets():
+    config = tiny_config(budgets=FixedBudgetPolicy(32, span_budget_cycles=48))
+    restored = config_from_dict(config_to_dict(config))
+    assert isinstance(restored.budgets, FixedBudgetPolicy)
+    assert restored.budgets.span_budget(beats=200) == 48
+
+
+def test_custom_budget_policy_rejected():
+    class Custom(AdaptiveBudgetPolicy):
+        pass
+
+    with pytest.raises(SpecSerializationError):
+        config_to_dict(full_config(budgets=Custom()))
+
+
+def test_unserializable_harness_kwargs_rejected():
+    with pytest.raises(SpecSerializationError):
+        ip_spec(harness_kwargs={"callback": lambda: None})
+
+
+# ----------------------------------------------------------------------
+# Run enumeration and identity
+# ----------------------------------------------------------------------
+def test_runs_enumerate_config_major_stage_then_seed():
+    spec = ip_spec(seeds=(0, 1))
+    runs = spec.runs()
+    assert len(runs) == 2 * 2 * 2
+    assert [run.index for run in runs] == list(range(8))
+    # config-major nesting: first half full, second half tiny.
+    assert [run.config["variant"] for run in runs] == ["full"] * 4 + ["tiny"] * 4
+    # then stage, then seed.
+    assert [run.stage for run in runs[:4]] == [
+        "aw_stage_error", "aw_stage_error",
+        "wlast_bvalid_error", "wlast_bvalid_error",
+    ]
+    assert [run.seed for run in runs[:4]] == [0, 1, 0, 1]
+
+
+def test_run_ids_unique_and_stable():
+    ids_a = [run.run_id for run in ip_spec(seeds=(0, 1)).runs()]
+    ids_b = [run.run_id for run in ip_spec(seeds=(0, 1)).runs()]
+    assert ids_a == ids_b
+    assert len(set(ids_a)) == len(ids_a)
+    assert ids_a[0] == "ip-000000-full-aw_stage_error-s0"
+
+
+def test_spec_hash_stable_and_parameter_sensitive():
+    assert ip_spec().spec_hash() == ip_spec().spec_hash()
+    assert ip_spec().spec_hash() != ip_spec(beats=8).spec_hash()
+    assert ip_spec().spec_hash() != ip_spec(seeds=(0, 1)).spec_hash()
+    system = CampaignSpec.system((Variant.FULL,), FIG11_STAGES)
+    assert system.spec_hash() != ip_spec().spec_hash()
+
+
+def test_spec_requires_nonempty_axes():
+    with pytest.raises(ValueError):
+        CampaignSpec.ip([], FIG9_WRITE_STAGES)
+    with pytest.raises(ValueError):
+        CampaignSpec.ip([full_config()], [])
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+def test_plan_shards_partitions_in_order():
+    runs = ip_spec(seeds=(0, 1)).runs()  # 8 runs
+    shards = plan_shards(runs, shard_size=3)
+    assert [shard.index for shard in shards] == [0, 1, 2]
+    assert all(shard.count == 3 for shard in shards)
+    assert [len(shard.runs) for shard in shards] == [3, 3, 2]
+    flattened = [run for shard in shards for run in shard.runs]
+    assert flattened == runs
+
+
+def test_plan_shards_default_one_run_per_shard():
+    runs = ip_spec().runs()
+    shards = plan_shards(runs)
+    assert len(shards) == len(runs)
+    assert all(len(shard.runs) == 1 for shard in shards)
+
+
+def test_plan_shards_rejects_bad_size():
+    with pytest.raises(ValueError):
+        plan_shards(ip_spec().runs(), shard_size=0)
+
+
+# ----------------------------------------------------------------------
+# Result round trips
+# ----------------------------------------------------------------------
+def test_ip_result_round_trip():
+    result = InjectionResult(
+        stage=InjectionStage.WLAST_TO_BVALID,
+        variant="full",
+        txn_start_cycle=3,
+        inject_cycle=10,
+        detect_cycle=42,
+        fault_kind="timeout",
+        fault_phase="WLAST_BVLD",
+        recovered=True,
+        resets_taken=1,
+    )
+    assert result_from_dict(result_to_dict(result)) == result
+
+
+def test_system_result_round_trip():
+    result = SystemInjectionResult(
+        stage=InjectionStage.DATA_TRANSFER_STALL,
+        variant="tiny",
+        txn_start_cycle=7,
+        inject_cycle=130,
+        w_first_cycle=12,
+        detect_cycle=340,
+        fault_phase=None,
+        fault_kind="timeout",
+        ethernet_resets=1,
+        cpu_recoveries=1,
+        recovered=True,
+    )
+    restored = result_from_dict(result_to_dict(result))
+    assert restored == result
+    assert restored.fig11_latency == result.fig11_latency

@@ -137,12 +137,48 @@ def build_injector_scenario(strategy):
     return sim, events, state
 
 
+def build_tmu_burst_scenario(strategy):
+    """Long W burst through the TMU's per-channel children + enable flip.
+
+    Exercises exactly the paths the per-channel split changed: a
+    64-beat W stream (only the W child should re-run per beat), a
+    concurrent read, and a software disable/enable round-trip through
+    the register file mid-traffic (all five channels must re-drive as
+    raw passthrough and back).
+    """
+    from repro.tmu.registers import REG_CTRL, TmuRegisters
+
+    harness = IpHarness(fast_tmu_config(), sim_strategy=strategy)
+    manager, tmu = harness.manager, harness.tmu
+    regs = TmuRegisters(tmu)
+    manager.submit(write_spec(0, 0x100, beats=64))
+    manager.submit(read_spec(1, 0x400, beats=8))
+
+    def events(cycle):
+        if cycle == 100:
+            regs.write(REG_CTRL, 0)  # disable: pure-wire passthrough
+            manager.submit(write_spec(2, 0x800, beats=4))
+        if cycle == 130:
+            regs.write(REG_CTRL, 1)  # re-enable monitoring
+            manager.submit(write_spec(3, 0xC00, beats=4))
+
+    state = lambda: (  # noqa: E731 - compact scenario closure
+        len(manager.completed),
+        [txn.resp for txn in manager.completed],
+        tmu.state.value,
+        tmu.write_guard.perf.completed,
+        tmu.read_guard.perf.completed,
+    )
+    return harness.sim, events, state
+
+
 SCENARIOS = {
     "crossbar": build_crossbar_scenario,
     "tmu_fault": build_tmu_fault_scenario,
+    "tmu_burst": build_tmu_burst_scenario,
     "injector": build_injector_scenario,
 }
-CYCLES = {"crossbar": 160, "tmu_fault": 260, "injector": 80}
+CYCLES = {"crossbar": 160, "tmu_fault": 260, "tmu_burst": 180, "injector": 80}
 
 
 def trace(sim):

@@ -70,6 +70,54 @@ def test_unchanged_wires_not_re_emitted():
     assert body.count("1!") == 1
 
 
+def test_change_list_output_identical_to_full_scan():
+    """The kernel-fed change-list path must emit byte-identical VCD.
+
+    Same scenario built twice — one writer on the changed-wire set
+    (the default), one forced to re-scan every wire per cycle — over a
+    TMU harness with real traffic and a mid-run fault, so wires change
+    in settle, in update, and from between-cycle pokes.
+    """
+    from repro.axi.traffic import write_spec
+    from repro.faults.campaign import IpHarness
+    from tests.conftest import fast_budgets
+    from repro.tmu.config import TmuConfig
+
+    outputs = {}
+    for use_change_list in (True, False):
+        harness = IpHarness(TmuConfig(budgets=fast_budgets()))
+        harness.manager.submit(write_spec(0, 0x100, beats=8))
+        stream = io.StringIO()
+        writer = VcdWriter(
+            stream,
+            list(harness.host.wires()) + [harness.tmu.irq],
+            use_change_list=use_change_list,
+        )
+        harness.sim.add_probe(writer.sample)
+        for cycle in range(120):
+            if cycle == 30:
+                harness.subordinate.faults.mute_b = True  # between-cycle poke
+            harness.step()
+        writer.close()
+        outputs[use_change_list] = stream.getvalue()
+    assert outputs[True] == outputs[False]
+
+
+def test_change_list_tracks_unregistered_wires():
+    """Wires the probed simulator does not own fall back to full scans."""
+    sim = Simulator()
+    toggler = sim.add(Toggler("t"))
+    foreign = Wire("foreign", 0, width=8)  # never registered with sim
+    stream = io.StringIO()
+    writer = VcdWriter(stream, [toggler.bit, foreign])
+    sim.add_probe(writer.sample)
+    sim.run(2)
+    foreign.value = 5  # between cycles, invisible to the kernel
+    sim.run(2)
+    body = stream.getvalue().split("$enddefinitions $end\n", 1)[1]
+    assert "b101 " in body  # the poke still reached the dump
+
+
 def test_payload_wires_dump_presence_bit():
     stream = io.StringIO()
     payload = Wire("payload", None, width=64)

@@ -64,6 +64,53 @@ def test_table2_command(capsys):
     assert "Xilinx AXI Timeout" in out
 
 
+def test_inject_multi_stage_sweep(capsys):
+    code = main(
+        ["inject", "--variant", "full",
+         "--stage", "aw_stage_error", "--stage", "wlast_bvalid_error",
+         "--workers", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 injections on full" in out
+    assert "aw_stage_error" in out and "wlast_bvalid_error" in out
+
+
+def test_campaign_command_sharded(capsys, tmp_path):
+    args = [
+        "campaign", "--kind", "ip", "--variant", "full",
+        "--stage", "aw_stage_error", "--stage", "wlast_bvalid_error",
+        "--beats", "4", "--workers", "2",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--json", str(tmp_path / "campaign.json"),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "2 runs | 2 detected | 2 recovered" in out
+    assert "ip-000000-full-aw_stage_error-s0" in out
+    assert (tmp_path / "campaign.json").exists()
+    # Second invocation is served from the cache, byte-identically.
+    assert main(args[:-2]) == 0
+    assert "2 runs | 2 detected | 2 recovered" in capsys.readouterr().out
+
+
+def test_campaign_system_kind(capsys):
+    code = main(
+        ["campaign", "--kind", "system", "--variant", "full",
+         "--stage", "aw_stage_error", "--beats", "16"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "system-000000-full-aw_stage_error-s0" in out
+
+
+def test_fig11_workers_flag_matches_serial(capsys):
+    assert main(["fig11"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["fig11", "--workers", "2"]) == 0
+    assert capsys.readouterr().out == serial
+
+
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
