@@ -1,17 +1,18 @@
-"""Kernel scheduling micro-benchmark: dirty-set worklist vs exhaustive sweep.
+"""Kernel scheduling micro-benchmarks: settle worklist + update live set.
 
-Times the same manager↔subordinate farm under both settle strategies at
-two activity levels:
+Three experiments on the same kernel:
 
-* **dense** — every link streams transactions continuously, so nearly
-  every component is on the worklist every cycle (worst case for the
-  dirty scheduler: bookkeeping with no skippable work);
-* **sparse** — one link out of N is active, the rest idle, the regime
-  the dirty scheduler exists for (an SoC mostly waiting on one
-  peripheral, e.g. the paper's total-stall measurement scenario).
+* **settle** — the original dirty-set-vs-exhaustive comparison on a
+  manager↔subordinate farm at dense and sparse activity;
+* **update skip (idle-fraction sweep)** — the quiescence-aware update
+  phase against the pre-quiescence static updater list (``Simulator
+  (update_skipping=False)``) as the idle fraction of the farm grows;
+* **stall-dominated campaign** — the paper's Fig. 9/11 regime: a muted
+  response channel hangs the Cheshire SoC for thousands of cycles while
+  only the TMU's armed counters tick.  This is the scenario the
+  quiescence contract exists for; asserts the ≥1.5x win.
 
-Asserts that both strategies complete identical work, and that the
-dirty scheduler beats the exhaustive sweep on the sparse workload.
+All variants must complete identical architectural work.
 """
 
 import time
@@ -28,9 +29,11 @@ LINKS = 8
 CYCLES = 1500
 BURSTS = 40
 
+STALL_BUDGET = 6000  # long-timeout Fig. 9/11 point: detection after ~6k cycles
 
-def build_farm(strategy, active_links):
-    sim = Simulator(strategy=strategy)
+
+def build_farm(strategy, active_links, update_skipping=True):
+    sim = Simulator(strategy=strategy, update_skipping=update_skipping)
     managers = []
     for i in range(LINKS):
         bus = AxiInterface(f"link{i}")
@@ -44,13 +47,46 @@ def build_farm(strategy, active_links):
     return sim, managers
 
 
-def run_farm(strategy, active_links):
-    sim, managers = build_farm(strategy, active_links)
+def run_farm(strategy, active_links, update_skipping=True):
+    sim, managers = build_farm(strategy, active_links, update_skipping)
     start = time.perf_counter()
     sim.run(CYCLES)
     elapsed = time.perf_counter() - start
     completed = sum(len(m.completed) for m in managers)
     return elapsed, completed
+
+
+def build_stalled_soc(update_skipping):
+    """Cheshire SoC hung by a mute-B Ethernet fault under a long budget."""
+    import dataclasses
+
+    from repro.soc.cheshire import CheshireSoC, system_tmu_config
+    from repro.tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
+    from repro.tmu.config import Variant
+
+    budget = STALL_BUDGET
+    phases = PhaseBudgets(
+        aw_handshake=budget, w_entry=budget, w_first_hs=budget,
+        w_data_base=budget, b_wait=budget, b_handshake=budget,
+        ar_handshake=budget, r_entry=budget, r_first_hs=budget,
+        r_data_base=budget,
+    )
+    config = dataclasses.replace(
+        system_tmu_config(Variant.FULL),
+        budgets=AdaptiveBudgetPolicy(phases, SpanBudgets(base=budget, per_beat=1)),
+    )
+    soc = CheshireSoC(config, sim_update_skipping=update_skipping)
+    soc.ethernet.faults.mute_b = True
+    soc.send_ethernet_frame(64)
+    return soc
+
+
+def run_stalled_soc(update_skipping):
+    soc = build_stalled_soc(update_skipping)
+    start = time.perf_counter()
+    detect = soc.sim.run_until(lambda _s: soc.tmu.irq.value, timeout=20_000)
+    elapsed = time.perf_counter() - start
+    return elapsed, detect
 
 
 def measure():
@@ -59,6 +95,20 @@ def measure():
         for strategy in ("dirty", "exhaustive"):
             results[(label, strategy)] = run_farm(strategy, active)
     return results
+
+
+def measure_update_skip():
+    results = {}
+    for label, active in (("0/8 idle", 8), ("4/8 idle", 4), ("7/8 idle", 1)):
+        for skipping in (True, False):
+            results[(label, skipping)] = run_farm("dirty", active, skipping)
+    return results
+
+
+def measure_stall():
+    return {
+        skipping: run_stalled_soc(skipping) for skipping in (True, False)
+    }
 
 
 def test_kernel_scheduling(benchmark):
@@ -94,3 +144,63 @@ def test_kernel_scheduling(benchmark):
     dense_dirty = results[("dense", "dirty")][0]
     dense_exact = results[("dense", "exhaustive")][0]
     assert dense_dirty < 1.5 * dense_exact
+
+
+def test_update_skip_idle_fraction(benchmark):
+    results = run_once(benchmark, measure_update_skip)
+
+    rows = []
+    for label in ("0/8 idle", "4/8 idle", "7/8 idle"):
+        skip_s, skip_done = results[(label, True)]
+        static_s, static_done = results[(label, False)]
+        assert skip_done == static_done, label
+        rows.append(
+            f"{label:<9}| {1000 * skip_s:8.1f} ms | {1000 * static_s:8.1f} ms "
+            f"| {static_s / skip_s:5.2f}x"
+        )
+    body = "\n".join(
+        [
+            f"{LINKS} links (dirty settle in both), {CYCLES} cycles",
+            "idle     | live set    | static list | speedup",
+            "---------+-------------+-------------+--------",
+            *rows,
+        ]
+    )
+    report("Update-phase quiescence: live updater set vs static list", body)
+
+    # Mostly-idle farms are where quiescence pays; fully-busy ones must
+    # not regress materially (every component stays in the live set).
+    idle_skip = results[("7/8 idle", True)][0]
+    idle_static = results[("7/8 idle", False)][0]
+    assert idle_static > 1.3 * idle_skip
+    busy_skip = results[("0/8 idle", True)][0]
+    busy_static = results[("0/8 idle", False)][0]
+    assert busy_skip < 1.3 * busy_static
+
+
+def test_update_skip_stall_campaign(benchmark):
+    results = run_once(benchmark, measure_stall)
+
+    skip_s, skip_detect = results[True]
+    static_s, static_detect = results[False]
+    # Identical physics: the detection cycle must not move.
+    assert skip_detect == static_detect
+    body = "\n".join(
+        [
+            f"Cheshire SoC, mute-B Ethernet stall, {STALL_BUDGET}-cycle budget",
+            f"detected at cycle {skip_detect} under both update phases",
+            "update phase | wall clock | speedup",
+            "-------------+------------+--------",
+            f"live set     | {1000 * skip_s:7.1f} ms |"
+            f" {static_s / skip_s:5.2f}x",
+            f"static list  | {1000 * static_s:7.1f} ms |  1.00x",
+        ]
+    )
+    report(
+        "Update-phase quiescence: stall-dominated campaign (Fig. 9/11 regime)",
+        body,
+    )
+
+    # The acceptance bar for the quiescence contract: a stall-dominated
+    # campaign runs at least 1.5x faster end to end.
+    assert static_s > 1.5 * skip_s

@@ -14,15 +14,36 @@ from ..sim.signal import Wire
 
 
 class IrqLatencyProbe:
-    """Records the cycle each rising edge of an interrupt wire occurs."""
+    """Records the cycle each rising edge of an interrupt wire occurs.
+
+    Rides the kernel's change tracking
+    (:meth:`~repro.sim.kernel.Simulator.track_changes`): on its first
+    invocation the probe subscribes to the per-cycle changed-wire set
+    and thereafter inspects its wire only on cycles where the wire
+    actually moved — an idle interrupt line costs nothing per cycle.
+    Wires the simulator does not own (never registered) fall back to
+    per-cycle sampling.
+    """
 
     def __init__(self, wire: Wire) -> None:
         self.wire = wire
         self.assert_cycles: List[int] = []
         self._last = False
+        self._changed: Optional[set] = None
+        self._primed = False
 
     def __call__(self, sim: Simulator) -> None:
-        value = bool(self.wire.value)
+        wire = self.wire
+        if self._changed is None:
+            self._changed = sim.track_changes()
+        if (
+            self._primed
+            and wire._change_log is self._changed
+            and wire not in self._changed
+        ):
+            return  # unchanged since the last look: no edge possible
+        self._primed = True
+        value = bool(wire._value)
         if value and not self._last:
             self.assert_cycles.append(sim.cycle)
         self._last = value

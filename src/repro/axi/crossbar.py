@@ -129,6 +129,7 @@ class Crossbar(Component):
     """
 
     demand_driven = True
+    demand_update = True
 
     def __init__(
         self,
@@ -155,6 +156,14 @@ class Crossbar(Component):
             ch: [getattr(bus, ch) for bus in self.subordinates] for ch in CHANNELS
         }
         self._channels = [_XbarChannel(self, ch) for ch in CHANNELS]
+        # update() commits state only on fired handshakes, and a fire
+        # needs a valid; these wires gate its quiescence and wake it.
+        self._watch_valids = [
+            ch.valid
+            for group in (self._mgr_ch, self._sub_ch)
+            for channels in group.values()
+            for ch in channels
+        ]
 
         # Registered routing/arbitration state.
         self._mgr_w_route: List[Deque[int]] = [deque() for _ in range(n_mgr)]
@@ -202,6 +211,35 @@ class Crossbar(Component):
     def outputs(self):
         for child in self._channels:
             yield from child.outputs()
+
+    def update_inputs(self):
+        return self._watch_valids
+
+    def quiescent(self):
+        # Routing and arbitration state move only on fired handshakes;
+        # with every valid low on both sides nothing can fire, whatever
+        # the DECERR queues or round-robin pointers currently hold.
+        return not any(wire._value for wire in self._watch_valids)
+
+    def snapshot_state(self):
+        return (
+            tuple(tuple(queue) for queue in self._mgr_w_route),
+            tuple(tuple(queue) for queue in self._sub_w_owner),
+            tuple(self._aw_rr),
+            tuple(self._ar_rr),
+            tuple(self._b_rr),
+            tuple(self._r_rr),
+            tuple(self._decerr_b),
+            tuple(self._decerr_r),
+            self._decerr_w_drain,
+            self.decode_errors,
+            tuple(sorted(
+                (key, tuple(queue)) for key, queue in self._w_outstanding.items()
+            )),
+            tuple(sorted(
+                (key, tuple(queue)) for key, queue in self._r_outstanding.items()
+            )),
+        )
 
     def _schedule_channels(self) -> None:
         """Invalidate every per-channel drive after a routing-state change.
@@ -498,3 +536,4 @@ class Crossbar(Component):
         self._w_outstanding.clear()
         self._r_outstanding.clear()
         self._schedule_channels()
+        self.schedule_update()

@@ -88,6 +88,14 @@ class IdRemapTable:
     def refs(self, slot: int) -> int:
         return self._refs[slot] if 0 <= slot < self.capacity else 0
 
+    def snapshot_state(self):
+        """Comparable copy of the full mapping state (verify diffs)."""
+        return (
+            tuple(sorted(self._slot_of.items())),
+            tuple(self._orig_of),
+            tuple(self._refs),
+        )
+
     def clear(self) -> None:
         self._slot_of.clear()
         self._orig_of = [None] * self.capacity

@@ -94,6 +94,7 @@ class Manager(Component):
     """
 
     demand_driven = True
+    demand_update = True
 
     def __init__(
         self,
@@ -139,6 +140,7 @@ class Manager(Component):
                 self._ar_delay = spec.issue_delay
             self._ar_queue.append(spec)
         self.schedule_drive()
+        self.schedule_update()
 
     def submit_all(self, specs: Iterable[TransactionSpec]) -> None:
         for spec in specs:
@@ -183,6 +185,61 @@ class Manager(Component):
             bus.ar.valid, bus.ar.payload,
             bus.w.valid, bus.w.payload,
             bus.b.ready, bus.r.ready,
+        )
+
+    def update_inputs(self):
+        # Registered state moves only on fired handshakes (valid & ready
+        # — the valids the manager sources are covered by its quiescence
+        # predicate, so the ready edges must wake it) and on inbound
+        # responses; submit() and the fault block wake it through
+        # schedule_update().
+        bus = self.bus
+        return (
+            bus.aw.ready, bus.ar.ready, bus.w.ready,
+            bus.b.valid, bus.b.payload, bus.r.valid, bus.r.payload,
+        )
+
+    def quiescent(self):
+        # No countdown is running, no handshake is in flight on either
+        # side, and the next drive() asserts nothing new (a countdown
+        # that just expired raises a valid next settle — sleeping now
+        # would miss our own handshake).  Transactions parked behind a
+        # full outstanding window or a freeze fault are safe to sleep
+        # on: unparking needs a response fire or a fault flip, and both
+        # find us awake.
+        bus = self.bus
+        if (
+            bus.aw.valid._value or bus.ar.valid._value or bus.w.valid._value
+            or bus.b.valid._value or bus.r.valid._value
+        ):
+            return False
+        if self._aw_delay or self._ar_delay or self._w_gap:
+            return False
+        if self._b_wait or self._r_wait:
+            return False
+        if self._w_active is not None and not self.faults.freeze_w:
+            return False
+        if (self._aw_queue or self._ar_queue) and self._issue_allowed():
+            return False
+        return True
+
+    def snapshot_state(self):
+        # _cycle is clock-derived (resynced from the simulator in
+        # update()) and deliberately excluded.
+        return (
+            len(self._aw_queue),
+            len(self._ar_queue),
+            self._aw_delay,
+            self._ar_delay,
+            len(self._w_pending),
+            self._w_active is None,
+            self._w_active[2] if self._w_active is not None else -1,
+            self._w_gap,
+            self._inflight,
+            self._b_wait,
+            self._r_wait,
+            len(self.completed),
+            len(self.surprises),
         )
 
     def _issue_allowed(self) -> bool:
@@ -259,7 +316,11 @@ class Manager(Component):
         # drive-phase tracing needed), mirroring Channel.fired().
         bus = self.bus
         aw, ar, w, b, r = bus.aw, bus.ar, bus.w, bus.b, bus.r
-        self._cycle += 1
+        # Scoreboard timestamps come from the global clock so quiescent
+        # (skipped) spans cannot skew them; standalone use falls back to
+        # self-counting.
+        sim = self._sim
+        self._cycle = sim.cycle + 1 if sim is not None else self._cycle + 1
         changed = False
         if self._aw_delay > 0:
             self._aw_delay -= 1
@@ -433,3 +494,4 @@ class Manager(Component):
         self.surprises.clear()
         self.faults.clear()
         self.schedule_drive()
+        self.schedule_update()

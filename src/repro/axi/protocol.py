@@ -207,7 +207,11 @@ class ProtocolChecker(Component):
 
     # ------------------------------------------------------------------
     def update(self) -> None:
-        self._cycle += 1
+        # Violation timestamps follow the owning simulator's clock when
+        # registered (directly or via the AxiChecker wrapper), so
+        # skipped quiescent spans cannot skew them.
+        sim = self._sim
+        self._cycle = sim.cycle + 1 if sim is not None else self._cycle + 1
         self._check_stability()
         bus = self.bus
         if bus.aw.fired():

@@ -138,6 +138,7 @@ class Subordinate(Component):
     """
 
     demand_driven = True
+    demand_update = True
 
     def __init__(
         self,
@@ -204,6 +205,60 @@ class Subordinate(Component):
             bus.aw.ready, bus.w.ready, bus.ar.ready,
             bus.b.valid, bus.b.payload,
             bus.r.valid, bus.r.payload,
+        )
+
+    def update_inputs(self):
+        # Inbound requests, the ready edges that can complete a stalled
+        # response handshake, and the hardware reset end quiescence;
+        # fault flips arrive through DriveSensitiveState.
+        bus = self.bus
+        return (
+            bus.aw.valid, bus.ar.valid, bus.w.valid,
+            bus.b.ready, bus.r.ready, self.hw_reset,
+        )
+
+    def quiescent(self):
+        # No wait/latency countdown is running (a queued write job ticks
+        # its w_wait every cycle), no handshake is in flight, and the
+        # next drive() asserts nothing new — response work is only safe
+        # to sleep on while a mute fault parks it (clearing the fault
+        # wakes us).  A countdown that just expired raises b/r valid
+        # next settle, so it must keep us awake for the handshake.
+        bus, faults = self.bus, self.faults
+        if self.hw_reset._value:
+            # Held in reset: update() returns immediately until release.
+            return self._in_reset
+        if self._in_reset or self._writes:
+            return False
+        if (
+            bus.aw.valid._value or bus.ar.valid._value or bus.w.valid._value
+            or bus.b.valid._value or bus.r.valid._value
+        ):
+            return False
+        if self._aw_wait or self._ar_wait:
+            return False
+        if self._b_queue and not faults.mute_b:
+            return False
+        if self._reads and not faults.mute_r:
+            return False
+        if any(entry[1] != 0 for entry in self._b_queue):
+            return False
+        if any(job.countdown or job.gap for job in self._reads):
+            return False
+        return True
+
+    def snapshot_state(self):
+        return (
+            self._aw_wait,
+            self._ar_wait,
+            tuple((job.index, job.w_wait) for job in self._writes),
+            tuple(tuple(entry) for entry in self._b_queue),
+            tuple((job.index, job.countdown, job.gap) for job in self._reads),
+            self._r_rr,
+            self._in_reset,
+            self.resets_taken,
+            self.writes_done,
+            self.reads_done,
         )
 
     def _write_capacity(self) -> bool:
@@ -436,3 +491,4 @@ class Subordinate(Component):
         self.reads_done = 0
         self.faults.clear()
         self.schedule_drive()
+        self.schedule_update()

@@ -25,9 +25,11 @@ class AxiChecker(Component):
     """
 
     demand_driven = True
+    demand_update = True
 
     def __init__(self, name: str, bus: AxiInterface, log_depth: int = 64) -> None:
         super().__init__(name)
+        self.bus = bus
         self._checker = ProtocolChecker(f"{name}.rules", bus)
         self.log_depth = log_depth
         self.error = Wire(f"{name}.error", False)
@@ -43,12 +45,43 @@ class AxiChecker(Component):
     def outputs(self):
         return (self.error,)
 
+    def update_inputs(self):
+        bus = self.bus
+        return tuple(getattr(bus, ch).valid for ch in ("aw", "w", "b", "ar", "r"))
+
+    def quiescent(self):
+        # With every valid low no handshake can fire and every stability
+        # watch is disarmed (pending requires valid & !ready), so a full
+        # rule sweep observes nothing.
+        bus = self.bus
+        return not any(
+            getattr(bus, ch).valid._value for ch in ("aw", "w", "b", "ar", "r")
+        )
+
+    def snapshot_state(self):
+        checker = self._checker
+        return (
+            len(checker.violations),
+            self._error_state,
+            tuple(stab.pending for stab in checker._stab.values()),
+            tuple(sorted(
+                (tid, len(queue)) for tid, queue in checker._writes.items()
+            )),
+            len(checker._write_order),
+            tuple(sorted(
+                (tid, len(queue)) for tid, queue in checker._reads.items()
+            )),
+        )
+
     def drive(self) -> None:
         self.error.value = self._error_state
 
     def update(self) -> None:
-        before = len(self._checker.violations)
-        self._checker.update()
+        checker = self._checker
+        if checker._sim is not self._sim:
+            checker._sim = self._sim  # share the wrapper's clock source
+        before = len(checker.violations)
+        checker.update()
         if len(self._checker.violations) > before:
             if not self._error_state:
                 self._error_state = True
@@ -72,3 +105,4 @@ class AxiChecker(Component):
         self._checker.reset()
         self._error_state = False
         self.schedule_drive()
+        self.schedule_update()

@@ -45,6 +45,7 @@ class AxiFirewall(Component):
     """
 
     demand_driven = True
+    demand_update = True
 
     def __init__(
         self,
@@ -70,6 +71,28 @@ class AxiFirewall(Component):
     def wires(self):
         yield from self.host.wires()
         yield from self.device.wires()
+
+    def update_inputs(self):
+        host, device = self.host, self.device
+        return (
+            host.aw.valid, host.ar.valid, host.w.valid,
+            host.b.valid, host.r.valid,
+            device.b.valid, device.r.valid,
+        )
+
+    def quiescent(self):
+        # Queue movement needs a fired handshake, which needs a valid;
+        # rejection responses keep host.b/host.r asserted until drained.
+        return not any(wire._value for wire in self.update_inputs())
+
+    def snapshot_state(self):
+        return (
+            self.rejected_writes,
+            self.rejected_reads,
+            tuple(self._reject_b),
+            tuple(self._reject_r),
+            tuple(self._w_forward),
+        )
 
     # ------------------------------------------------------------------
     def drive(self) -> None:
@@ -177,3 +200,4 @@ class AxiFirewall(Component):
         self._w_drain = 0
         self._w_forward.clear()
         self.schedule_drive()
+        self.schedule_update()

@@ -28,7 +28,15 @@ class TrafficCounters:
 
 
 class AxiPerfMonitor(Component):
-    """Statistics-only observer on one AXI interface."""
+    """Statistics-only observer on one AXI interface.
+
+    Update-quiescent while the bus is idle: idle cycles contribute only
+    zeros to the windowed-throughput accumulator, so a skipped span is
+    reconstructed exactly (same window boundaries, same averages) from
+    the simulator clock on wake.
+    """
+
+    demand_update = True
 
     def __init__(
         self, name: str, bus: AxiInterface, window: int = 1024
@@ -42,13 +50,84 @@ class AxiPerfMonitor(Component):
         # Per-ID FIFO of (start_cycle, bytes_per_beat) for latency pairing.
         self._w_pending: Dict[int, Deque[int]] = {}
         self._r_pending: Dict[int, Deque[int]] = {}
-        self._window_beats: Deque[int] = deque()
-        self.window_history: List[float] = []
+        # Windowed throughput as a running (sum, count) pair — O(1) to
+        # fast-forward over skipped idle cycles.
+        self._window_sum = 0
+        self._window_count = 0
+        self._window_history: List[float] = []
 
     def wires(self):
         yield from self.bus.wires()
 
+    def update_inputs(self):
+        bus = self.bus
+        return (bus.aw.valid, bus.ar.valid, bus.w.valid, bus.b.valid, bus.r.valid)
+
+    def quiescent(self):
+        bus = self.bus
+        return not (
+            bus.aw.valid._value
+            or bus.ar.valid._value
+            or bus.w.valid._value
+            or bus.b.valid._value
+            or bus.r.valid._value
+        )
+
+    def snapshot_state(self):
+        # The window accumulator and _cycle are clock-derived (resynced
+        # on wake) and excluded; window_history flushes driven purely by
+        # idle cycles are likewise reconstruction, not new information.
+        return (
+            self.write.transactions, self.write.beats, self.write.bytes,
+            self.read.transactions, self.read.beats, self.read.bytes,
+            tuple(sorted(
+                (tid, tuple(queue)) for tid, queue in self._w_pending.items()
+            )),
+            tuple(sorted(
+                (tid, tuple(queue)) for tid, queue in self._r_pending.items()
+            )),
+        )
+
+    @property
+    def window_history(self) -> List[float]:
+        """Completed window averages, including any quiescent tail."""
+        self._sync()
+        return self._window_history
+
+    def _tick_window(self, beats: int) -> None:
+        self._window_sum += beats
+        self._window_count += 1
+        if self._window_count >= self.window:
+            self._window_history.append(self._window_sum / self._window_count)
+            self._window_sum = 0
+            self._window_count = 0
+
+    def _sync(self) -> None:
+        """Account every skipped idle (zero-beat) cycle into the window.
+
+        Idempotent reconstruction from the simulator clock — called on
+        wake and before any windowed read, so observers cannot tell the
+        monitor ever slept.
+        """
+        sim = self._sim
+        if sim is None:
+            return
+        skipped = sim.cycle - self._cycle
+        if skipped <= 0:
+            return
+        self._cycle = sim.cycle
+        fill = self.window - self._window_count
+        if skipped >= fill:
+            self._window_history.append(self._window_sum / self.window)
+            skipped -= fill
+            full_windows, skipped = divmod(skipped, self.window)
+            self._window_history.extend([0.0] * full_windows)
+            self._window_sum = 0
+            self._window_count = 0
+        self._window_count += skipped
+
     def update(self) -> None:
+        self._sync()
         self._cycle += 1
         bus = self.bus
         beats_this_cycle = 0
@@ -78,12 +157,7 @@ class AxiPerfMonitor(Component):
                 queue = self._r_pending.get(beat.id)
                 if queue:
                     self.read.latency.record(self._cycle - queue.popleft())
-        self._window_beats.append(beats_this_cycle)
-        if len(self._window_beats) >= self.window:
-            self.window_history.append(
-                sum(self._window_beats) / len(self._window_beats)
-            )
-            self._window_beats.clear()
+        self._tick_window(beats_this_cycle)
 
     @property
     def total_transactions(self) -> int:
@@ -91,6 +165,7 @@ class AxiPerfMonitor(Component):
 
     def throughput(self) -> float:
         """Beats per cycle observed so far."""
+        self._sync()
         if self._cycle == 0:
             return 0.0
         return (self.write.beats + self.read.beats) / self._cycle
@@ -101,5 +176,7 @@ class AxiPerfMonitor(Component):
         self._cycle = 0
         self._w_pending.clear()
         self._r_pending.clear()
-        self._window_beats.clear()
-        self.window_history.clear()
+        self._window_sum = 0
+        self._window_count = 0
+        self._window_history.clear()
+        self.schedule_update()

@@ -20,9 +20,15 @@ class Sp805Watchdog(Component):
     and only the expiry transitions — plus ``clear_irq`` and reset —
     re-run the drive.  A kicked, healthy watchdog costs the scheduler
     zero work.
+
+    The update phase is the opposite story: an enabled watchdog is an
+    *armed counter* and must tick every cycle — exactly the component
+    the paper's stall campaigns keep alive — so it is only
+    update-quiescent while disabled or after its reset output latched.
     """
 
     demand_driven = True
+    demand_update = True
 
     def __init__(self, name: str, load: int = 1000) -> None:
         super().__init__(name)
@@ -31,7 +37,7 @@ class Sp805Watchdog(Component):
         self.load = load
         self.irq = Wire(f"{name}.irq", False)
         self.reset_out = Wire(f"{name}.reset_out", False)
-        self.enabled = True
+        self._enabled = True
         self._counter = load
         self._irq_state = False
         self._reset_state = False
@@ -41,6 +47,17 @@ class Sp805Watchdog(Component):
     # ------------------------------------------------------------------
     # Software interface
     # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        # A property so campaign code flipping the switch directly
+        # re-arms the countdown, mirroring DriveSensitiveState.
+        self._enabled = bool(value)
+        self.schedule_update()
+
     def kick(self) -> None:
         """Reload the counter (the periodic software 'pet')."""
         self._counter = self.load
@@ -65,8 +82,23 @@ class Sp805Watchdog(Component):
         self.irq.value = self._irq_state
         self.reset_out.value = self._reset_state
 
+    def update_inputs(self):
+        return ()  # nothing on the wire side can re-arm the countdown
+
+    def quiescent(self):
+        return not self._enabled or self._reset_state
+
+    def snapshot_state(self):
+        return (
+            self._counter,
+            self._irq_state,
+            self._reset_state,
+            self.interrupts_raised,
+            self.resets_raised,
+        )
+
     def update(self) -> None:
-        if not self.enabled or self._reset_state:
+        if not self._enabled or self._reset_state:
             return
         self._counter -= 1
         if self._counter > 0:
@@ -88,3 +120,4 @@ class Sp805Watchdog(Component):
         self.interrupts_raised = 0
         self.resets_raised = 0
         self.schedule_drive()
+        self.schedule_update()

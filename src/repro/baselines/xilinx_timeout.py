@@ -26,6 +26,7 @@ class XilinxStyleTimeout(Component):
     """
 
     demand_driven = True
+    demand_update = True
 
     def __init__(self, name: str, bus: AxiInterface, window: int = 256) -> None:
         super().__init__(name)
@@ -51,11 +52,40 @@ class XilinxStyleTimeout(Component):
     def outputs(self):
         return (self.irq,)
 
+    def update_inputs(self):
+        bus = self.bus
+        return (bus.aw.valid, bus.ar.valid, bus.b.valid, bus.r.valid)
+
+    def quiescent(self):
+        # With nothing outstanding the stall timer cannot run, and with
+        # the channels idle nothing can fire; a valid rising re-arms.
+        bus = self.bus
+        return (
+            self._outstanding_w == 0
+            and self._outstanding_r == 0
+            and self._stall_timer == 0
+            and not bus.aw.valid._value
+            and not bus.ar.valid._value
+            and not bus.b.valid._value
+            and not bus.r.valid._value
+        )
+
+    def snapshot_state(self):
+        # _cycle (timeout timestamps) is clock-derived and excluded.
+        return (
+            self._outstanding_w,
+            self._outstanding_r,
+            self._stall_timer,
+            self._irq_state,
+            tuple(self.timeouts),
+        )
+
     def drive(self) -> None:
         self.irq.value = self._irq_state
 
     def update(self) -> None:
-        self._cycle += 1
+        sim = self._sim
+        self._cycle = sim.cycle + 1 if sim is not None else self._cycle + 1
         bus = self.bus
         if bus.aw.fired():
             self._outstanding_w += 1
@@ -94,3 +124,4 @@ class XilinxStyleTimeout(Component):
         self.timeouts.clear()
         self._cycle = 0
         self.schedule_drive()
+        self.schedule_update()

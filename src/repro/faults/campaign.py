@@ -40,8 +40,11 @@ class IpHarness:
         reset_duration: int = 4,
         with_reset_unit: bool = True,
         sim_strategy: str = "dirty",
+        sim_update_skipping: bool = True,
     ) -> None:
-        self.sim = Simulator(strategy=sim_strategy)
+        self.sim = Simulator(
+            strategy=sim_strategy, update_skipping=sim_update_skipping
+        )
         self.host = AxiInterface("host")
         self.device = AxiInterface("device")
         self.manager = Manager("manager", self.host)

@@ -60,6 +60,7 @@ class FaultInjector(Component):
     _REQUEST_CHANNELS = ("aw", "w", "ar")
 
     demand_driven = True
+    demand_update = True
 
     def __init__(
         self, name: str, upstream: AxiInterface, downstream: AxiInterface
@@ -90,6 +91,7 @@ class FaultInjector(Component):
         entry.ready = ready
         entry.mutate = mutate
         self.schedule_drive()
+        self.schedule_update()
 
     def release(self, channel: Optional[str] = None) -> None:
         """Remove overrides from *channel*, or from all channels."""
@@ -99,6 +101,7 @@ class FaultInjector(Component):
         else:
             self.forces[channel].clear()
         self.schedule_drive()
+        self.schedule_update()
 
     @property
     def any_force_active(self) -> bool:
@@ -147,6 +150,14 @@ class FaultInjector(Component):
         if self.any_force_active:
             self.forced_cycles += 1
 
+    def quiescent(self):
+        # forced_cycles counts only while a force is applied, and only
+        # force()/release() (which wake us) can change that.
+        return not self.any_force_active
+
+    def snapshot_state(self):
+        return (self.forced_cycles,)
+
     def reset(self) -> None:
-        self.release()  # schedules a re-drive as a side effect
+        self.release()  # schedules re-evaluation of both phases
         self.forced_cycles = 0

@@ -79,6 +79,7 @@ def execute_run(run: RunSpec):
         detect_timeout=run.detect_timeout,
         recovery_timeout=run.recovery_timeout,
         start_delay=run.seed,
+        **dict(run.harness_kwargs),
     )
 
 

@@ -135,8 +135,16 @@ class CampaignSpec:
         background: int = 0,
         detect_timeout: int = 20_000,
         recovery_timeout: int = 5_000,
+        harness_kwargs: Optional[Dict[str, Any]] = None,
     ) -> "CampaignSpec":
-        """System-level sweep over TMU variants (Fig. 11 shape)."""
+        """System-level sweep over TMU variants (Fig. 11 shape).
+
+        *harness_kwargs* (e.g. ``{"sim_strategy": "exhaustive"}``) are
+        forwarded to :func:`~repro.soc.experiment.run_system_injection`
+        — the hook the kernel-scheduling differential tests use to pit
+        the dirty/quiescent kernel against the reference sweep on the
+        very same campaign.
+        """
         return cls(
             kind="system",
             configs=[{"variant": variant.value} for variant in variants],
@@ -146,6 +154,7 @@ class CampaignSpec:
             background=background,
             detect_timeout=detect_timeout,
             recovery_timeout=recovery_timeout,
+            harness_kwargs=dict(harness_kwargs or {}),
         )
 
     # ------------------------------------------------------------------

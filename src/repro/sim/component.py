@@ -43,6 +43,37 @@ component's ``drive()`` only when it might produce different outputs:
 Components that never override :meth:`drive` (pure update-phase models
 such as the PLIC or the recovery CPU) are excluded from the settle
 worklist entirely.
+
+Quiescence contract (update phase)
+----------------------------------
+
+Symmetric to the drive contract, a component may opt out of running
+``update()`` on cycles where it is provably a no-op — no in-flight
+transactions, no armed counters, no pending interrupts.  A component
+that sets ``demand_update = True`` promises:
+
+* :meth:`quiescent` returns ``True`` only when the *next* ``update()``
+  would change nothing — neither registered state nor future behaviour
+  — given that none of its :meth:`update_inputs` wires change and no
+  one calls :meth:`schedule_update` in the meantime.  The kernel checks
+  it after every ``update()`` run and removes quiescent components from
+  the live updater set.
+* :meth:`update_inputs` declares every wire whose *change* must re-arm
+  the component (the update-phase analogue of ``inputs()``; there is no
+  traced fallback — updates read wire slots directly).
+* every software-facing API that re-enables update work (``submit()``,
+  fault switches, register writes, ``connect``-style wiring) calls
+  :meth:`schedule_update`.
+
+State that is a pure function of the global clock — private cycle
+counters used for timestamps, free-running prescaler phases, windowed
+statistics over idle cycles — is exempt from the no-op requirement
+*provided* the component resynchronizes it from ``self._sim.cycle`` at
+the start of ``update()``; skipped spans are then reconstructed exactly
+on wake.  :meth:`snapshot_state` must exclude such clock-derived state,
+because ``Simulator(strategy="verify")`` replays the updates of every
+skipped component each cycle and raises ``SchedulerDivergenceError``
+when a replay moves the snapshot (an under-declared wake path).
 """
 
 from __future__ import annotations
@@ -68,6 +99,7 @@ class DriveSensitiveState:
         owner = getattr(self, "_owner", None)
         if owner is not None:
             owner.schedule_drive()
+            owner.schedule_update()
 
 
 class Component:
@@ -79,11 +111,22 @@ class Component:
     #: every cycle, which is always safe.
     demand_driven: bool = False
 
+    #: When True, the kernel runs ``update()`` only while the component
+    #: is *awake*: it leaves the live updater set when :meth:`quiescent`
+    #: returns True and re-arms on an :meth:`update_inputs` wire change
+    #: or an explicit :meth:`schedule_update` — see the quiescence
+    #: contract in the module docstring.  The default (False) runs
+    #: ``update()`` every cycle, which is always safe.
+    demand_update: bool = False
+
     def __init__(self, name: str) -> None:
         self.name = name
-        # Set by Simulator.add(): the simulator's pending worklist and
+        # Set by Simulator.add(): the simulator's pending worklist, the
+        # live updater set, the simulator itself (for clock resync), and
         # this component's deterministic evaluation rank.
         self._scheduler: Optional[set] = None
+        self._update_scheduler: Optional[set] = None
+        self._sim = None
         self._order: int = 0
 
     def wires(self) -> Iterable[Wire]:
@@ -125,6 +168,42 @@ class Component:
         """
         return None
 
+    def update_inputs(self) -> Optional[Iterable[Wire]]:
+        """Wires whose value changes must re-arm :meth:`update`.
+
+        Only consulted for ``demand_update`` components.  Return ``None``
+        (the default) when no wire change can end the component's
+        quiescence — it then relies solely on :meth:`schedule_update`.
+        There is no traced fallback: clock-edge code reads wire slots
+        directly, so the sensitivity list must be declared.
+        """
+        return None
+
+    def quiescent(self) -> bool:
+        """Whether the next :meth:`update` is provably a no-op.
+
+        Called by the kernel right after this component's ``update()``
+        ran, with the cycle's settled wires still in place.  Returning
+        True removes the component from the live updater set until an
+        :meth:`update_inputs` wire changes or :meth:`schedule_update` is
+        called.  The default (False) keeps the component always on.
+        """
+        return False
+
+    def snapshot_state(self):
+        """Cheap, comparable snapshot of update-mutable registered state.
+
+        ``Simulator(strategy="verify")`` replays the update of every
+        skipped component and compares this snapshot before and after;
+        any difference raises ``SchedulerDivergenceError``.  Must copy
+        mutable containers (tuples of deque contents, not the deques)
+        and must *exclude* clock-derived state the component resyncs on
+        wake (cycle stamps, prescaler phases).  ``None`` (the default)
+        opts out of state diffing — scheduling side effects are still
+        checked.
+        """
+        return None
+
     def schedule_drive(self) -> None:
         """Mark this component's combinational outputs as possibly stale.
 
@@ -135,6 +214,23 @@ class Component:
         scheduler = self._scheduler
         if scheduler is not None:
             scheduler.add(self)
+
+    def schedule_update(self) -> None:
+        """Re-arm this component's :meth:`update` (end its quiescence).
+
+        Demand-update components call this from every software-facing
+        path that creates new sequential work (traffic submission, fault
+        switches, register writes).  Safe to call at any time; a no-op
+        until the component is registered with a simulator, and for
+        components that did not opt into ``demand_update``.
+        """
+        scheduler = self._update_scheduler
+        if scheduler is not None:
+            scheduler.add(self)
+
+    def wake_update(self) -> None:
+        """Alias for :meth:`schedule_update` (respects overrides)."""
+        self.schedule_update()
 
     def drive(self) -> None:
         """Combinational phase: compute outputs from inputs + state."""

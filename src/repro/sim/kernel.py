@@ -7,9 +7,15 @@ One simulated clock cycle proceeds as:
    subordinate asserting ``ready`` in response to a manager's ``valid``
    routed through a crossbar and a TMU passthrough) exactly as a
    delta-cycle RTL simulator would.
-2. **Update** — every component's ``update()`` runs once against the
+2. **Update** — component ``update()`` methods run once against the
    settled wire values; registered state advances.  Handshakes "fire"
-   here: both endpoints of a channel observe ``valid & ready``.
+   here: both endpoints of a channel observe ``valid & ready``.  The
+   kernel maintains a *live updater set*: components that opted into the
+   quiescence contract (``demand_update = True``) leave it when their
+   ``quiescent()`` predicate holds — their ``update()`` is provably a
+   no-op — and re-arm when a declared ``update_inputs()`` wire changes
+   or ``schedule_update()`` is called.  Components that did not opt in
+   run every cycle, interleaved in registration order.
 
 Three settle strategies share those semantics:
 
@@ -27,8 +33,13 @@ Three settle strategies share those semantics:
 ``verify``
     Runs the dirty scheduler, then replays one exhaustive sweep and
     raises :class:`SchedulerDivergenceError` if any wire moves — i.e.
-    the dirty scheduler skipped a component it should not have.  Slower
-    than both; meant for tests and debugging of sensitivity contracts.
+    the dirty scheduler skipped a component it should not have.  It
+    also covers the update phase: every cycle, the updates of skipped
+    (quiescent) components are differentially replayed against their
+    declared state snapshots, so an under-declared wake path raises
+    :class:`SchedulerDivergenceError` instead of silently dropping a
+    clock edge.  Slower than both; meant for tests and debugging of
+    sensitivity and quiescence contracts.
 
 A combinational loop (no fixed point) raises :class:`SettleError` under
 every strategy rather than silently oscillating.
@@ -36,6 +47,7 @@ every strategy rather than silently oscillating.
 
 from __future__ import annotations
 
+import heapq
 import operator
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -72,12 +84,18 @@ class Simulator:
         generous.
     strategy:
         One of :data:`STRATEGIES`; see the module docstring.
+    update_skipping:
+        When False, every ``update()`` runs every cycle even for
+        components that opted into the quiescence contract — the
+        pre-quiescence behaviour, kept for A/B debugging and benchmark
+        ablations.  ``exhaustive`` simulators never skip regardless.
     """
 
     def __init__(
         self,
         max_settle_iterations: int = 64,
         strategy: str = "dirty",
+        update_skipping: bool = True,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -87,6 +105,7 @@ class Simulator:
         self.cycle = 0
         self.max_settle_iterations = max_settle_iterations
         self.strategy = strategy
+        self.update_skipping = update_skipping and strategy != "exhaustive"
         self._wires: Dict[int, Wire] = {}
         self._probes: List[Callable[["Simulator"], None]] = []
         #: Worklist of components whose drive() must (re)run.  Shared by
@@ -97,10 +116,26 @@ class Simulator:
         self._always: List[Component] = []
         #: All components with a real drive(), for reset re-seeding.
         self._drivers: List[Component] = []
-        #: Pre-bound update() methods (no-op updates excluded).
-        self._updaters: List[Callable[[], None]] = []
+        #: Live updater set: demand_update components currently awake.
+        #: Shared by identity with every registered wire's update sink
+        #: and every component's schedule_update().
+        self._update_pending: set = set()
+        #: Components whose update() runs unconditionally every cycle
+        #: (did not opt into quiescence), in registration order, plus
+        #: their pre-bound update() methods for the statics-only path.
+        self._static_updaters: List[Component] = []
+        self._static_updates: List[Callable[[], None]] = []
+        #: Every demand_update component, for reset re-seeding and the
+        #: verify strategy's differential update replay.
+        self._demand_updaters: List[Component] = []
+        #: Ordered update queue cache, valid while the awake membership
+        #: recorded in _update_queue_key holds.
+        self._update_queue: List[Component] = []
+        self._update_queue_key: Optional[set] = None
         #: Declared writers per wire id, from Component.outputs().
         self._declared_writers: Dict[int, List[Component]] = {}
+        #: Flat wire list for the verify settle check; None until built.
+        self._verify_wires: Optional[List[Wire]] = None
         #: Wires that changed since the end of the last step's probes;
         #: only populated once track_changes() has been called.
         self._changed_wires: set = set()
@@ -113,22 +148,26 @@ class Simulator:
         """Register *component* (and its wires) with the simulator."""
         component._order = len(self.components)
         self.components.append(component)
+        self._verify_wires = None
+        # A new updater (static or demand) invalidates the queue cache.
+        self._update_queue_key = None
         incremental = self.strategy != "exhaustive"
         # Repoint (or, for exhaustive simulators, detach) each wire's
         # dirty sink: a wire feeds the worklist of the simulator it was
         # most recently registered with, and only that one.
         sink = self._pending if incremental else None
+        usink = self._update_pending if self.update_skipping else None
         log = self._changed_wires if self._track_changes else None
         for wire in component.wires():
             self._wires[id(wire)] = wire
-            self._adopt_wire(wire, sink, log)
+            self._adopt_wire(wire, sink, usink, log)
 
         declared = component.inputs()
         component._auto_trace = declared is None
         if declared is not None:
             for wire in declared:
                 self._wires.setdefault(id(wire), wire)
-                self._adopt_wire(wire, sink, log)
+                self._adopt_wire(wire, sink, usink, log)
                 if incremental:
                     wire.readers.add(component)
 
@@ -141,6 +180,7 @@ class Simulator:
         # simulator it was most recently registered with — or none, when
         # that simulator sweeps exhaustively.
         component._scheduler = sink
+        component._sim = self
         if type(component).drive is not Component.drive:
             self._drivers.append(component)
             if incremental:
@@ -149,26 +189,46 @@ class Simulator:
                 else:
                     self._always.append(component)
         if type(component).update is not Component.update:
-            self._updaters.append(component.update)
+            if usink is not None and component.demand_update:
+                component._update_scheduler = usink
+                self._demand_updaters.append(component)
+                # Seed awake: the first cycle after registration always
+                # runs, and quiescence is re-judged from there.
+                usink.add(component)
+                declared_wakes = component.update_inputs()
+                if declared_wakes is not None:
+                    for wire in declared_wakes:
+                        self._wires.setdefault(id(wire), wire)
+                        self._adopt_wire(wire, sink, usink, log)
+                        wire.update_readers.add(component)
+            else:
+                component._update_scheduler = None
+                self._static_updaters.append(component)
+                self._static_updates.append(component.update)
         for child in component.children():
             self.add(child)
         return component
 
     @staticmethod
     def _adopt_wire(
-        wire: Wire, sink: Optional[set], log: Optional[set] = None
+        wire: Wire,
+        sink: Optional[set],
+        usink: Optional[set],
+        log: Optional[set] = None,
     ) -> None:
-        """Point *wire* at this simulator's worklist (or detach it).
+        """Point *wire* at this simulator's worklists (or detach it).
 
-        Changing owners also drops the reader set: readers accumulated
+        Changing owners also drops the reader sets: readers accumulated
         under a previous simulator would otherwise be scheduled — and
         executed — by this one.  The new owner's components re-trace (or
         re-declare) their reads on their first evaluation here.  The
-        change log follows ownership the same way.
+        update sink and change log follow ownership the same way.
         """
         if wire._dirty_sink is not sink:
             wire._dirty_sink = sink
             wire.readers.clear()
+            wire.update_readers.clear()
+        wire._update_sink = usink
         wire._change_log = log
 
     def track_changes(self) -> set:
@@ -215,11 +275,29 @@ class Simulator:
         for component in self.components:
             component.reset()
         self.cycle = 0
-        # Registered state moved arbitrarily: every drive is stale.
+        # Registered state moved arbitrarily: every drive is stale and
+        # every quiescence judgment is void.
         self._pending.update(self._drivers)
+        self._update_pending.update(self._demand_updaters)
 
     def _snapshot(self) -> Tuple[Any, ...]:
         return tuple(wire._value for wire in self._wires.values())
+
+    def _verify_watch_wires(self) -> List[Wire]:
+        """Every wire, as a cached flat list, for the verify settle check.
+
+        Deliberately *not* narrowed to declared ``outputs()`` — the
+        verify strategy exists to distrust declarations, and a drive
+        writing a wire missing from its outputs() list must still trip
+        the cross-check.  The cached list plus the caller's in-place
+        slot comparison is what replaced the old per-cycle double
+        ``_snapshot()`` tuple rebuild.
+        """
+        wires = self._verify_wires
+        if wires is None:
+            wires = list(self._wires.values())
+            self._verify_wires = wires
+        return wires
 
     def _run_drive(self, component: Component) -> None:
         if component._auto_trace:
@@ -271,16 +349,16 @@ class Simulator:
 
     def _settle_verify(self) -> None:
         self._settle_dirty()
-        before = self._snapshot()
+        watched = self._verify_watch_wires()
+        before = [wire._value for wire in watched]
         for component in self.components:
             self._run_drive(component)
-        after = self._snapshot()
-        if before != after:
-            moved = [
-                wire.name
-                for wire, old, new in zip(self._wires.values(), before, after)
-                if old is not new and old != new
-            ]
+        moved = [
+            wire.name
+            for wire, old in zip(watched, before)
+            if old is not wire._value and old != wire._value
+        ]
+        if moved:
             raise SchedulerDivergenceError(
                 f"dirty-set scheduler under-evaluated at cycle {self.cycle}: "
                 f"an exhaustive sweep still changed {moved}; a component is "
@@ -295,21 +373,166 @@ class Simulator:
         else:
             self._settle_verify()
 
+    @staticmethod
+    def _merge_by_order(
+        left: List[Component], right: List[Component]
+    ) -> List[Component]:
+        """Merge two `_order`-sorted component lists into one."""
+        return list(heapq.merge(left, right, key=_BY_ORDER))
+
+    def _update_phase(self) -> None:
+        """Run the sequential phase: static updaters plus the live set.
+
+        All updates run in registration (`_order`) sequence, exactly as
+        the pre-quiescence static list did.
+        """
+        awake = self._update_pending
+        if not awake:
+            statics = self._static_updaters
+            for i, update in enumerate(self._static_updates):
+                update()
+                if awake:
+                    # Rare: this static update woke demand components
+                    # (e.g. a stimulus component submitting traffic).
+                    # Finish the phase through the general path so wakes
+                    # whose registration slot has not yet passed still
+                    # run this cycle, exactly as the static order would.
+                    last_order = statics[i]._order
+                    self._run_update_queue(
+                        self._merge_by_order(
+                            statics[i + 1:],
+                            sorted(
+                                (c for c in awake if c._order > last_order),
+                                key=_BY_ORDER,
+                            ),
+                        )
+                    )
+                    return
+            return
+        # Stall-dominated runs keep the same components awake for
+        # thousands of cycles; reuse the ordered queue until the set
+        # actually changes (any wake, sleep or registration rebuilds).
+        if awake == self._update_queue_key:
+            queue = self._update_queue
+        else:
+            queue = sorted(awake, key=_BY_ORDER)
+            if self._static_updaters:
+                queue = self._merge_by_order(self._static_updaters, queue)
+            self._update_queue = queue
+            self._update_queue_key = set(awake)
+        self._run_update_queue(queue)
+
+    def _run_update_queue(self, queue: List[Component]) -> None:
+        """Run *queue* (order-sorted) with mid-phase wake splicing.
+
+        Never mutates *queue* in place (the caller may be handing over
+        the cached ordered queue); a splice rebinds to a fresh list.
+        """
+        awake = self._update_pending
+        expected = len(awake)
+        i = 0
+        n = len(queue)
+        while i < n:
+            component = queue[i]
+            i += 1
+            component.update()
+            # Registration truth, not the class attribute: statics (and
+            # everything under update_skipping=False) never quiesce.
+            if component._update_scheduler is not None and component.quiescent():
+                awake.discard(component)
+                expected -= 1
+            if len(awake) != expected:
+                # Rare: this update() woke components mid-phase.  To
+                # match the static reference exactly, only wakes whose
+                # registration-order turn has not yet passed run this
+                # cycle; an earlier-ordered wake was quiescent when its
+                # turn came (its update would have been the no-op it
+                # declared) and keeps its arming for the next cycle.
+                known = set(queue)
+                late = [
+                    c
+                    for c in awake
+                    if c not in known and c._order > component._order
+                ]
+                expected = len(awake)
+                if late:
+                    queue = queue[:i] + sorted(
+                        queue[i:] + late, key=_BY_ORDER
+                    )
+                    n = len(queue)
+
+    def _update_phase_verify(self) -> None:
+        """Update phase with in-slot differential replay of skipped work.
+
+        Every updater — static, awake, or quiescent — runs at its
+        registration-order slot, so a replayed (skipped) update observes
+        exactly the state its real counterpart would have: earlier
+        components' mutations applied, later components' not.  Awake
+        components run normally; quiescent components run under the
+        no-op contract — any state-snapshot movement or newly scheduled
+        drive/update work raises :class:`SchedulerDivergenceError`.
+        Clock-derived state (cycle stamps, prescaler phases, idle window
+        accumulators) is excluded by the components' ``snapshot_state()``
+        and resyncs idempotently, so a legitimate replay leaves no trace.
+        """
+        awake = self._update_pending
+        queue = self._merge_by_order(
+            self._static_updaters, self._demand_updaters
+        )
+        pending = self._pending
+        for component in queue:
+            # Classify by how the component was *registered*, not by its
+            # class attribute: with update_skipping=False every updater
+            # (demand_update or not) is a static and must simply run.
+            if component._update_scheduler is None:
+                component.update()
+                continue
+            if component in awake:
+                component.update()
+                if component.quiescent():
+                    awake.discard(component)
+                continue
+            # Skipped by quiescence: replay it in place and require a
+            # provable no-op.
+            before = component.snapshot_state()
+            drives_before = len(pending)
+            awake_before = len(awake)
+            component.update()
+            if component.snapshot_state() != before:
+                raise SchedulerDivergenceError(
+                    f"update-quiescence under-declared at cycle "
+                    f"{self.cycle}: {component!r} was skipped but replaying "
+                    f"its update() changed registered state; a wake path "
+                    f"(update_inputs() wire or schedule_update() call) is "
+                    f"missing"
+                )
+            if len(pending) != drives_before or len(awake) != awake_before:
+                raise SchedulerDivergenceError(
+                    f"update-quiescence under-declared at cycle "
+                    f"{self.cycle}: replaying {component!r} scheduled new "
+                    f"work; its quiescent() returned True while sequential "
+                    f"work was still pending"
+                )
+
     def step(self) -> None:
         """Advance simulated time by one clock cycle."""
         self._settle()
-        for update in self._updaters:
-            update()
+        if self.strategy == "verify":
+            self._update_phase_verify()
+        else:
+            self._update_phase()
         self.cycle += 1
-        for probe in self._probes:
-            probe(self)
+        if self._probes:
+            for probe in self._probes:
+                probe(self)
         if self._track_changes:
             self._changed_wires.clear()
 
     def run(self, cycles: int) -> None:
         """Advance by *cycles* clock cycles."""
+        step = self.step
         for _ in range(cycles):
-            self.step()
+            step()
 
     def run_until(
         self,
@@ -321,8 +544,9 @@ class Simulator:
         Returns ``None`` if *timeout* cycles elapse first.  The condition
         is evaluated after each cycle's update phase.
         """
+        step = self.step
         for _ in range(timeout):
-            self.step()
+            step()
             if condition(self):
                 return self.cycle
         return None

@@ -49,7 +49,7 @@ class Wire:
 
     __slots__ = (
         "name", "_value", "init", "width", "readers", "_dirty_sink",
-        "_change_log",
+        "update_readers", "_update_sink", "_change_log",
     )
 
     def __init__(self, name: str, init: Any = False, width: int = 1) -> None:
@@ -62,6 +62,12 @@ class Wire:
         #: The owning simulator's pending worklist (a set of components),
         #: or ``None`` when the wire is unregistered / exhaustively swept.
         self._dirty_sink: Optional[set] = None
+        #: Components whose ``update()`` must be re-armed when this wire
+        #: changes (declared via Component.update_inputs; never traced).
+        self.update_readers: set = set()
+        #: The owning simulator's live-updater set, or ``None`` for
+        #: unregistered wires / exhaustive simulators.
+        self._update_sink: Optional[set] = None
         #: The owning simulator's changed-wire set, or ``None`` when no
         #: probe asked for change tracking (see Simulator.track_changes).
         self._change_log: Optional[set] = None
@@ -83,6 +89,9 @@ class Wire:
             sink = self._dirty_sink
             if sink is not None:
                 sink.update(self.readers)
+            usink = self._update_sink
+            if usink is not None and self.update_readers:
+                usink.update(self.update_readers)
             log = self._change_log
             if log is not None:
                 log.add(self)

@@ -112,8 +112,11 @@ class CheshireSoC:
         monitor_dram: bool = False,
         dram_tmu_config: Optional[TmuConfig] = None,
         sim_strategy: str = "dirty",
+        sim_update_skipping: bool = True,
     ) -> None:
-        self.sim = Simulator(strategy=sim_strategy)
+        self.sim = Simulator(
+            strategy=sim_strategy, update_skipping=sim_update_skipping
+        )
         config = tmu_config if tmu_config is not None else system_tmu_config()
 
         # Manager ports.

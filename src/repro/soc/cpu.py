@@ -41,7 +41,17 @@ class _IsrState(enum.Enum):
 
 
 class RecoveryCpu(Component):
-    """Polls the PLIC and services TMU interrupts via the register file."""
+    """Polls the PLIC and services TMU interrupts via the register file.
+
+    Update-quiescent while idle with nothing pending: the hart sleeps
+    (WFI-style) until an interrupt source wire rises.  Because a PLIC
+    claim can race registration order, quiescence additionally requires
+    every source wire low — a level interrupt therefore always wakes the
+    hart on the cycle the PLIC latches it, whichever of the two updates
+    runs first.
+    """
+
+    demand_update = True
 
     def __init__(
         self,
@@ -100,8 +110,32 @@ class RecoveryCpu(Component):
         self.regbus.write(base + offset, value, done)
 
     # ------------------------------------------------------------------
+    def update_inputs(self):
+        return self.plic.sources
+
+    def quiescent(self):
+        return (
+            self._state is _IsrState.IDLE
+            and not self.plic.any_pending
+            and not any(wire._value for wire in self.plic._sources)
+        )
+
+    def snapshot_state(self):
+        return (
+            self._state,
+            self._servicing,
+            self._countdown,
+            self._status,
+            self._kind,
+            self._awaiting_bus,
+            len(self.recoveries),
+        )
+
     def update(self) -> None:
-        self._cycle += 1
+        # claim_cycle stamps come from the global clock so quiescent
+        # spans cannot skew them; standalone use falls back to counting.
+        sim = self._sim
+        self._cycle = sim.cycle + 1 if sim is not None else self._cycle + 1
         if self._state == _IsrState.IDLE:
             source = self.plic.claim()
             if source is not None:
@@ -157,3 +191,4 @@ class RecoveryCpu(Component):
         self._status = 0
         self._kind = 0
         self._awaiting_bus = False
+        self.schedule_update()

@@ -77,3 +77,10 @@ class DmaEngine(Manager):
             else:
                 self._descriptor_txns[0] -= finished
                 finished = 0
+
+    def snapshot_state(self):
+        return (
+            super().snapshot_state(),
+            self.descriptors_done,
+            tuple(self._descriptor_txns),
+        )

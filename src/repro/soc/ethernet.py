@@ -65,6 +65,18 @@ class EthernetMac(Subordinate):
                 0.0, self.tx_beats_buffered - self.line_rate
             )
 
+    def quiescent(self):
+        # A buffered TX frame keeps draining to the line every cycle.
+        return self.tx_beats_buffered == 0 and super().quiescent()
+
+    def snapshot_state(self):
+        return (
+            super().snapshot_state(),
+            self.tx_beats_buffered,
+            self.frames_sent,
+            self.beats_received,
+        )
+
     def _take_reset(self) -> None:
         super()._take_reset()
         self.tx_beats_buffered = 0.0

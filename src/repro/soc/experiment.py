@@ -98,18 +98,28 @@ def run_system_injection(
     detect_timeout: int = 20_000,
     recovery_timeout: int = 5_000,
     start_delay: int = 0,
+    sim_strategy: str = "dirty",
+    sim_update_skipping: bool = True,
 ) -> SystemInjectionResult:
     """One Fig. 11 data point: inject *stage* during the Ethernet frame.
 
     *start_delay* idles the SoC for that many cycles before the frame is
     queued — campaign seeds map here, shifting the transaction (and the
-    injection) relative to the TMU's prescaler phase.
+    injection) relative to the TMU's prescaler phase.  *sim_strategy*
+    selects the kernel (``dirty``/``exhaustive``/``verify``) and
+    *sim_update_skipping* the quiescence ablation, so differential tests
+    and benchmarks can replay the identical campaign on the reference
+    kernels.
     """
     # Imported here: repro.faults.campaign builds IP harnesses with the
     # reset unit from this package, so a module-level import would cycle.
     from ..faults.campaign import apply_stage_fault
 
-    soc = CheshireSoC(system_tmu_config(variant, frame_beats=beats))
+    soc = CheshireSoC(
+        system_tmu_config(variant, frame_beats=beats),
+        sim_strategy=sim_strategy,
+        sim_update_skipping=sim_update_skipping,
+    )
     if start_delay:
         soc.sim.run(start_delay)
     soc.send_ethernet_frame(beats)

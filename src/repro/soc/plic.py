@@ -15,7 +15,16 @@ from ..sim.signal import Wire
 
 
 class Plic(Component):
-    """Level-sensitive interrupt collector with claim/complete."""
+    """Level-sensitive interrupt collector with claim/complete.
+
+    Update-quiescent: latching happens only while some source is high
+    and neither pending nor claimed, so an idle (or fully serviced)
+    interrupt fabric costs the update phase nothing.  Sources must be
+    connected *before* the PLIC is registered with a simulator — the
+    wake list is declared at registration time.
+    """
+
+    demand_update = True
 
     def __init__(self, name: str) -> None:
         super().__init__(name)
@@ -27,15 +36,51 @@ class Plic(Component):
 
     def connect(self, source: Wire, name: str) -> int:
         """Register an interrupt source; returns its source ID."""
+        if self._sim is not None:
+            # The wake list (update_inputs) was captured when the PLIC —
+            # and any hart polling it — registered with the simulator; a
+            # late source would never wake the quiescent PLIC and its
+            # interrupts would be silently dropped.  Fail fast instead.
+            raise RuntimeError(
+                f"{self.name}: connect() after simulator registration would "
+                "miss the update-wake plumbing; connect every source before "
+                "sim.add()"
+            )
         self._sources.append(source)
         self._names.append(name)
         self._pending.append(False)
         self._claimed.append(False)
         self.irq_counts[name] = 0
+        self.schedule_update()
         return len(self._sources) - 1
+
+    @property
+    def sources(self) -> List[Wire]:
+        """The connected interrupt source wires, in source-ID order."""
+        return list(self._sources)
 
     def wires(self):
         yield from self._sources
+
+    def update_inputs(self):
+        return self._sources
+
+    def quiescent(self):
+        # No latch can fire: every high source is already pending or
+        # claimed.  complete() re-arms (the level may re-latch).
+        return not any(
+            source._value and not pending and not claimed
+            for source, pending, claimed in zip(
+                self._sources, self._pending, self._claimed
+            )
+        )
+
+    def snapshot_state(self):
+        return (
+            tuple(self._pending),
+            tuple(self._claimed),
+            tuple(sorted(self.irq_counts.items())),
+        )
 
     def update(self) -> None:
         for i, source in enumerate(self._sources):
@@ -60,6 +105,8 @@ class Plic(Component):
         if not 0 <= source_id < len(self._claimed):
             raise ValueError(f"unknown interrupt source {source_id}")
         self._claimed[source_id] = False
+        # A still-high level source re-latches on the next update.
+        self.schedule_update()
 
     def source_name(self, source_id: int) -> str:
         return self._names[source_id]
@@ -73,3 +120,4 @@ class Plic(Component):
         self._claimed = [False] * len(self._sources)
         for name in self.irq_counts:
             self.irq_counts[name] = 0
+        self.schedule_update()

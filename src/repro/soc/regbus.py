@@ -86,6 +86,7 @@ class RegBusDemux(Component):
     """
 
     demand_driven = True
+    demand_update = True
 
     def __init__(
         self,
@@ -110,6 +111,15 @@ class RegBusDemux(Component):
 
     def outputs(self):
         return (self.port.rsp_valid, self.port.rsp)
+
+    def update_inputs(self):
+        return (self.port.req_valid, self.port.req)
+
+    def quiescent(self):
+        return self._pending is None and not self.port.req_valid._value
+
+    def snapshot_state(self):
+        return (self._pending, self.accesses, self.errors)
 
     def _decode(self, addr: int) -> Optional[Tuple[int, RegBusTarget]]:
         for base, size, target in self.targets:
@@ -160,6 +170,7 @@ class RegBusDemux(Component):
         self.accesses = 0
         self.errors = 0
         self.schedule_drive()
+        self.schedule_update()
 
 
 class RegBusMaster(Component):
@@ -170,6 +181,7 @@ class RegBusMaster(Component):
     """
 
     demand_driven = True
+    demand_update = True
 
     def __init__(self, name: str, port: RegBusPort) -> None:
         super().__init__(name)
@@ -187,8 +199,18 @@ class RegBusMaster(Component):
     def outputs(self):
         return (self.port.req_valid, self.port.req)
 
+    def update_inputs(self):
+        return (self.port.rsp_valid, self.port.rsp)
+
+    def quiescent(self):
+        return self._inflight is None and not self._queue
+
+    def snapshot_state(self):
+        return (len(self._queue), self._inflight is None, len(self.responses))
+
     def submit(self, request: RegRequest, callback=None) -> None:
         self._queue.append((request, callback))
+        self.schedule_update()
 
     def read(self, addr: int, callback=None) -> None:
         self.submit(RegRequest(addr=addr, write=False), callback)
@@ -230,3 +252,4 @@ class RegBusMaster(Component):
         self._inflight = None
         self.responses.clear()
         self.schedule_drive()
+        self.schedule_update()

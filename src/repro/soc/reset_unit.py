@@ -38,6 +38,7 @@ class ResetUnit(Component):
     """
 
     demand_driven = True
+    demand_update = True
 
     def __init__(
         self,
@@ -68,8 +69,26 @@ class ResetUnit(Component):
 
     def inputs(self):
         # drive() is a pure function of the handshake FSM state; req is
-        # only sampled in update(), which always runs.
+        # only sampled in update(), which the req wire re-arms.
         return ()
+
+    def update_inputs(self):
+        return (self.req,)
+
+    def quiescent(self):
+        # Idle with no request pending: the FSM cannot move until req
+        # rises.  RESETTING counts down and ACK watches for req falling,
+        # so both stay awake.
+        return self._state is _ResetState.IDLE and not self.req._value
+
+    def snapshot_state(self):
+        # _cycle (reset_log timestamps) is clock-derived and excluded.
+        return (
+            self._state,
+            self._countdown,
+            self.resets_issued,
+            len(self.reset_log),
+        )
 
     def outputs(self):
         if self.subordinate is not None:
@@ -83,7 +102,8 @@ class ResetUnit(Component):
         self.ack.value = self._state == _ResetState.ACK
 
     def update(self) -> None:
-        self._cycle += 1
+        sim = self._sim
+        self._cycle = sim.cycle + 1 if sim is not None else self._cycle + 1
         if self._state == _ResetState.IDLE:
             if self.req.value:
                 self._state = _ResetState.RESETTING
@@ -108,3 +128,4 @@ class ResetUnit(Component):
         self.reset_log.clear()
         self._cycle = 0
         self.schedule_drive()
+        self.schedule_update()

@@ -49,6 +49,17 @@ class Prescaler:
         self._phase = 0 if edge else self._phase + 1
         return edge
 
+    def skip(self, cycles: int) -> None:
+        """Fast-forward *cycles* idle advances in O(1).
+
+        Exactly equivalent to calling :meth:`advance` *cycles* times and
+        discarding the edges — valid only when no counter is armed to
+        consume them (the guard's update-quiescence precondition).
+        """
+        if cycles < 0:
+            raise ValueError(f"cannot skip {cycles} cycles")
+        self._phase = (self._phase + cycles) % self.step
+
     @property
     def phase(self) -> int:
         return self._phase

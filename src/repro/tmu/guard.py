@@ -194,6 +194,44 @@ class GuardBase:
         self._edge_state.clear()
         self.completed_tids.clear()
 
+    @property
+    def idle(self) -> bool:
+        """No armed counters: nothing enqueued, front watch released.
+
+        The TMU's update-quiescence precondition — with the channels
+        idle on top, :meth:`observe` moves nothing but the free-running
+        prescaler (which resyncs in O(1) on wake).
+        """
+        return self.ott.occupancy == 0 and not self.front.active
+
+    def snapshot_state(self):
+        """Wake-independent registered state, for verify-strategy diffs.
+
+        Excludes the prescaler phase (clock-derived, resynced on wake)
+        and normalizes the rising-edge detector map (absent and False
+        entries are equivalent).
+        """
+        return (
+            self.ott.occupancy,
+            tuple(
+                (entry.tid, entry.beats_seen, entry.timeout,
+                 entry.counter.count if entry.counter is not None else -1)
+                for entry in self.ott.live_entries()
+            ),
+            self.front.active,
+            self.front.counter.count if self.front.counter is not None else -1,
+            self.timeouts_detected,
+            self.violations_detected,
+            tuple(self.completed_tids),
+            len(self.log),
+            self.perf.completed,
+            self.perf.beats_transferred,
+            self.stab_addr._pending,
+            self.stab_data._pending,
+            self.stab_resp._pending,
+            tuple(sorted(k for k, v in self._edge_state.items() if v)),
+        )
+
     # ------------------------------------------------------------------
     # Counter sweep
     # ------------------------------------------------------------------

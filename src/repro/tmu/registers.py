@@ -120,8 +120,10 @@ class TmuRegisters:
                 f"register offset {offset:#x} is read-only or unmapped"
             )
         # Register writes mutate state the TMU's drive() may read
-        # (enable bit, interrupt line); re-evaluate its outputs.
+        # (enable bit, interrupt line) and can re-enable sequential work
+        # (monitoring after an enable flip); re-evaluate both phases.
         tmu.schedule_drive()
+        tmu.schedule_update()
 
     def dump(self) -> Dict[str, int]:
         """Snapshot of all readable registers (debug aid)."""

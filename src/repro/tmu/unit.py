@@ -111,6 +111,7 @@ class TransactionMonitoringUnit(Component):
     """
 
     demand_driven = True
+    demand_update = True
 
     def __init__(
         self,
@@ -131,6 +132,11 @@ class TransactionMonitoringUnit(Component):
         self.remap_w = IdRemapTable(self.config.max_uniq_ids)
         self.remap_r = IdRemapTable(self.config.max_uniq_ids)
         self._channels = [_TmuChannel(self, ch) for ch in _CHANNELS]
+        # Any traffic on either side keeps the guards observing; the
+        # update-quiescence predicate and wake list both key off these.
+        self._watch_valids = [
+            getattr(bus, ch).valid for bus in (host, device) for ch in _CHANNELS
+        ]
 
         #: interrupt request to the platform interrupt controller.
         self.irq = Wire(f"{name}.irq", False)
@@ -193,6 +199,45 @@ class TransactionMonitoringUnit(Component):
 
     def outputs(self):
         return (self.irq, self.reset_req)
+
+    def update_inputs(self):
+        # A valid rising anywhere (or the reset handshake moving) ends
+        # quiescence; ready-only changes cannot fire a handshake while
+        # every valid is low.
+        return (*self._watch_valids, self.reset_ack)
+
+    def quiescent(self):
+        # Provably no-op update: monitoring, nothing tracked by either
+        # guard (no armed counters), and both interfaces idle.  The only
+        # state the skipped cycles would have moved — self.cycle and the
+        # guards' free-running prescalers — resyncs in update() on wake.
+        # A disabled TMU stays awake: its update is already trivial, and
+        # direct config.enabled flips need no wake path.
+        return (
+            self.config.enabled
+            and self.state is TmuState.MONITOR
+            and self.write_guard.idle
+            and self.read_guard.idle
+            and not any(wire._value for wire in self._watch_valids)
+        )
+
+    def snapshot_state(self):
+        return (
+            self.state,
+            self.faults_handled,
+            len(self.fault_events),
+            self._irq_pending,
+            self._req_state,
+            self._ack_seen,
+            self._self_ack_countdown,
+            tuple(self._abort_b),
+            tuple(self._abort_r),
+            self._w_drain_remaining,
+            self.remap_w.snapshot_state(),
+            self.remap_r.snapshot_state(),
+            self.write_guard.snapshot_state(),
+            self.read_guard.snapshot_state(),
+        )
 
     def schedule_drive(self) -> None:
         """Invalidate the irq/reset drive *and* every channel drive.
@@ -303,7 +348,21 @@ class TransactionMonitoringUnit(Component):
 
     # -- update ------------------------------------------------------------
     def update(self) -> None:
-        self.cycle += 1
+        sim = self._sim
+        if sim is not None:
+            now = sim.cycle + 1
+            skipped = now - self.cycle - 1
+            if skipped > 0:
+                # Waking from quiescence (enabled MONITOR, guards empty,
+                # channels idle — nothing else ever skips): the skipped
+                # span advanced only the free-running prescalers, whose
+                # idle edges no armed counter consumed.  Fast-forward
+                # them so detection timing stays cycle-exact.
+                self.write_guard.prescaler.skip(skipped)
+                self.read_guard.prescaler.skip(skipped)
+            self.cycle = now
+        else:
+            self.cycle += 1
         if not self.config.enabled:
             return
         if self.state == TmuState.MONITOR:

@@ -1,0 +1,80 @@
+"""Byte-identity of campaign outputs across kernel scheduling modes.
+
+The acceptance bar for the quiescence-aware update phase: the Fig. 9
+(IP-level) and Fig. 11 (system-level) campaigns must serialize to
+byte-identical JSON whether they run on the default dirty/quiescent
+kernel or on the exhaustive reference sweep — every detection cycle,
+latency, recovery flag and log count equal, not merely statistically
+close.
+"""
+
+from repro.analysis.export import campaign_dict, to_json
+from repro.faults.campaign import run_campaign
+from repro.faults.types import InjectionStage
+from repro.orchestrate import CampaignSpec, run_campaign_spec
+from repro.tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
+from repro.tmu.config import TmuConfig, Variant
+
+FIG9_STAGES = (
+    InjectionStage.AW_READY_MISSING,
+    InjectionStage.WLAST_TO_BVALID,
+    InjectionStage.R_VALID_MISSING,
+)
+
+FIG11_STAGES = (
+    InjectionStage.W_READY_MISSING,
+    InjectionStage.B_READY_MISSING,
+)
+
+
+def small_config(variant: Variant) -> TmuConfig:
+    budgets = AdaptiveBudgetPolicy(
+        PhaseBudgets(aw_handshake=24), SpanBudgets(base=48, per_beat=1)
+    )
+    return TmuConfig(
+        variant=variant,
+        max_uniq_ids=4,
+        txn_per_id=4,
+        prescale_step=2,
+        budgets=budgets,
+        max_txn_cycles=96,
+    )
+
+
+def fig9_json(sim_strategy: str) -> str:
+    results = run_campaign(
+        [small_config(Variant.FULL), small_config(Variant.TINY)],
+        FIG9_STAGES,
+        beats=4,
+        seeds=(0, 3),
+        harness_kwargs={"sim_strategy": sim_strategy},
+    )
+    return to_json(campaign_dict(results))
+
+
+def fig11_json(sim_strategy: str) -> str:
+    spec = CampaignSpec.system(
+        (Variant.FULL, Variant.TINY),
+        FIG11_STAGES,
+        beats=16,
+        harness_kwargs={"sim_strategy": sim_strategy},
+    )
+    return to_json(campaign_dict(run_campaign_spec(spec)))
+
+
+def test_fig9_campaign_identical_with_update_skipping():
+    assert fig9_json("dirty") == fig9_json("exhaustive")
+
+
+def test_fig9_campaign_verify_strategy_clean():
+    # verify covers both phases: settle divergence AND quiescence
+    # under-declaration raise SchedulerDivergenceError mid-campaign.
+    assert fig9_json("verify") == fig9_json("dirty")
+
+
+def test_fig11_campaign_identical_with_update_skipping():
+    assert fig11_json("dirty") == fig11_json("exhaustive")
+
+
+def test_fig11_campaign_verify_strategy_clean():
+    assert fig11_json("verify") == fig11_json("dirty")

@@ -172,13 +172,145 @@ def build_tmu_burst_scenario(strategy):
     return harness.sim, events, state
 
 
+def build_polling_subordinate_scenario(strategy):
+    """Subordinate's polling paths: every wait/latency counter engaged.
+
+    ROADMAP "Demand-driven coverage" remainder: the subordinate's
+    ``_aw_wait``/``_ar_wait``/``w_ready_delay``/``b_latency``/
+    ``r_latency``/``r_gap`` countdowns all gate drive() through
+    threshold comparisons — this scenario keeps each of them ticking
+    (with interleaved reads on top) and proves the declared
+    sensitivities against the exhaustive reference.
+    """
+    sim = Simulator(strategy=strategy)
+    bus = AxiInterface("bus")
+    manager = Manager("mgr", bus)
+    subordinate = Subordinate(
+        "sub",
+        bus,
+        aw_ready_delay=3,
+        w_ready_delay=2,
+        b_latency=4,
+        ar_ready_delay=2,
+        r_latency=5,
+        r_gap=2,
+        interleave_reads=True,
+    )
+    sim.add(manager)
+    sim.add(subordinate)
+    manager.submit(write_spec(0, 0x100, beats=3))
+    manager.submit(read_spec(1, 0x200, beats=4))
+    manager.submit(read_spec(2, 0x300, beats=2))
+
+    def events(cycle):
+        if cycle == 40:
+            spec = read_spec(3, 0x400, beats=3)
+            spec.resp_ready_delay = 6  # manager-side polling too
+            manager.submit(spec)
+
+    state = lambda: (  # noqa: E731
+        len(manager.completed),
+        subordinate.writes_done,
+        subordinate.reads_done,
+    )
+    return sim, events, state
+
+
+def build_ethernet_dma_scenario(strategy):
+    """EthernetMac + DmaEngine (the other two ROADMAP remainders).
+
+    A descriptor-driven DMA streams a frame into the MAC (TX-drain
+    bookkeeping active every cycle), a mid-run ``DriveSensitiveState``
+    flip mutes the B channel, and a hardware reset repairs it.
+    """
+    from repro.sim.signal import Wire
+    from repro.soc.dma import DmaDescriptor, DmaEngine
+    from repro.soc.ethernet import EthernetMac
+
+    sim = Simulator(strategy=strategy)
+    bus = AxiInterface("bus")
+    dma = DmaEngine("dma", bus)
+    mac = EthernetMac("mac", bus, line_rate_beats_per_cycle=0.25)
+    sim.add(dma)
+    sim.add(mac)
+    dma.enqueue_descriptor(DmaDescriptor(dst=0x0, length_bytes=32 * 8))
+
+    def events(cycle):
+        if cycle == 20:
+            mac.faults.mute_b = True
+        if cycle == 60:
+            mac.hw_reset.value = True  # reset repairs the fault block
+        if cycle == 66:
+            mac.hw_reset.value = False
+        if cycle == 80:
+            dma.enqueue_descriptor(DmaDescriptor(dst=0x400, length_bytes=8 * 8))
+
+    state = lambda: (  # noqa: E731
+        dma.descriptors_done,
+        len(dma.completed),
+        mac.frames_sent,
+        mac.beats_received,
+        mac.resets_taken,
+        round(mac.tx_beats_buffered, 6),
+    )
+    return sim, events, state
+
+
+def build_cheshire_scenario(strategy):
+    """Fig. 11 system configuration: Ethernet frame, mid-run fault flip.
+
+    The full Cheshire SoC (managers, crossbar, TMU, MAC, reset unit,
+    PLIC, recovery CPU) runs the paper's Ethernet workload; a
+    ``DriveSensitiveState`` fault flip mid-transfer mutes the B channel,
+    the TMU detects and recovers, and the run ends with the SoC idle —
+    long quiescent stretches bracket the burst, so the update-phase
+    live set is exercised through sleep, wake and recovery.
+    """
+    from repro.soc.cheshire import CheshireSoC, system_tmu_config
+    from repro.tmu.config import Variant
+
+    soc = CheshireSoC(
+        system_tmu_config(Variant.FULL, frame_beats=16),
+        sim_strategy=strategy,
+    )
+
+    def events(cycle):
+        if cycle == 30:
+            soc.send_ethernet_frame(beats=16)
+        if cycle == 45:
+            soc.ethernet.faults.mute_b = True  # DriveSensitiveState flip
+        if cycle == 260:
+            soc.submit_background_traffic(2)  # wake from deep quiescence
+
+    state = lambda: (  # noqa: E731 - compact scenario closure
+        [len(m.completed) for m in soc.managers],
+        soc.tmu.state.value,
+        soc.tmu.faults_handled,
+        soc.ethernet.resets_taken,
+        len(soc.cpu.recoveries),
+        soc.plic.irq_counts,
+    )
+    return soc.sim, events, state
+
+
 SCENARIOS = {
     "crossbar": build_crossbar_scenario,
     "tmu_fault": build_tmu_fault_scenario,
     "tmu_burst": build_tmu_burst_scenario,
     "injector": build_injector_scenario,
+    "polling_subordinate": build_polling_subordinate_scenario,
+    "ethernet_dma": build_ethernet_dma_scenario,
+    "cheshire": build_cheshire_scenario,
 }
-CYCLES = {"crossbar": 160, "tmu_fault": 260, "tmu_burst": 180, "injector": 80}
+CYCLES = {
+    "crossbar": 160,
+    "tmu_fault": 260,
+    "tmu_burst": 180,
+    "injector": 80,
+    "polling_subordinate": 120,
+    "ethernet_dma": 140,
+    "cheshire": 340,
+}
 
 
 def trace(sim):
