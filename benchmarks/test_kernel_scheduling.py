@@ -1,6 +1,6 @@
 """Kernel scheduling micro-benchmarks: settle worklist + update live set.
 
-Three experiments on the same kernel:
+Four experiments on the same kernel:
 
 * **settle** — the original dirty-set-vs-exhaustive comparison on a
   manager↔subordinate farm at dense and sparse activity;
@@ -11,13 +11,21 @@ Three experiments on the same kernel:
   response channel hangs the Cheshire SoC for thousands of cycles while
   only the TMU's armed counters tick.  This is the scenario the
   quiescence contract exists for; asserts the ≥1.5x win.
+* **time leap** — the same stall under the timed-wake queue: with only
+  countdowns pending, ``run_until`` fast-forwards the clock to the
+  TMU's declared expiry instead of ticking the empty cycles, so the
+  stall costs one heap pop however long the budget.  Asserts ≥3x over
+  the quiescence-only kernel (typically far more: the leaped span is
+  O(1) instead of O(budget)).
 
-All variants must complete identical architectural work.
+All variants must complete identical architectural work; each test also
+records machine-readable metrics (cycles/sec, speedups, leap counts) in
+``BENCH_kernel.json`` via ``record_json``.
 """
 
 import time
 
-from conftest import report, run_once
+from conftest import record_json, report, run_once
 
 from repro.axi.interface import AxiInterface
 from repro.axi.manager import Manager
@@ -30,6 +38,11 @@ CYCLES = 1500
 BURSTS = 40
 
 STALL_BUDGET = 6000  # long-timeout Fig. 9/11 point: detection after ~6k cycles
+
+#: Budget for the time-leap bench: long enough that the run is utterly
+#: stall-dominated (the paper's watchdog-class budgets), so the win
+#: measures the leap itself rather than the surrounding traffic.
+LEAP_BUDGET = 60_000
 
 
 def build_farm(strategy, active_links, update_skipping=True):
@@ -56,7 +69,7 @@ def run_farm(strategy, active_links, update_skipping=True):
     return elapsed, completed
 
 
-def build_stalled_soc(update_skipping):
+def build_stalled_soc(update_skipping, time_leaping=False, budget=STALL_BUDGET):
     """Cheshire SoC hung by a mute-B Ethernet fault under a long budget."""
     import dataclasses
 
@@ -64,7 +77,6 @@ def build_stalled_soc(update_skipping):
     from repro.tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
     from repro.tmu.config import Variant
 
-    budget = STALL_BUDGET
     phases = PhaseBudgets(
         aw_handshake=budget, w_entry=budget, w_first_hs=budget,
         w_data_base=budget, b_wait=budget, b_handshake=budget,
@@ -75,18 +87,23 @@ def build_stalled_soc(update_skipping):
         system_tmu_config(Variant.FULL),
         budgets=AdaptiveBudgetPolicy(phases, SpanBudgets(base=budget, per_beat=1)),
     )
-    soc = CheshireSoC(config, sim_update_skipping=update_skipping)
+    soc = CheshireSoC(
+        config,
+        sim_update_skipping=update_skipping,
+        sim_time_leaping=time_leaping,
+    )
     soc.ethernet.faults.mute_b = True
     soc.send_ethernet_frame(64)
     return soc
 
 
-def run_stalled_soc(update_skipping):
-    soc = build_stalled_soc(update_skipping)
+def run_stalled_soc(update_skipping, time_leaping=False, budget=STALL_BUDGET):
+    soc = build_stalled_soc(update_skipping, time_leaping, budget)
+    timeout = max(20_000, 2 * budget)
     start = time.perf_counter()
-    detect = soc.sim.run_until(lambda _s: soc.tmu.irq.value, timeout=20_000)
+    detect = soc.sim.run_until(lambda _s: soc.tmu.irq.value, timeout=timeout)
     elapsed = time.perf_counter() - start
-    return elapsed, detect
+    return elapsed, detect, soc.sim.leaps, soc.sim.cycles_leaped
 
 
 def measure():
@@ -111,6 +128,17 @@ def measure_stall():
     }
 
 
+def measure_time_leap():
+    results = {}
+    for label, skipping, leaping in (
+        ("leap", True, True),
+        ("no-leap", True, False),
+        ("static", False, False),
+    ):
+        results[label] = run_stalled_soc(skipping, leaping, budget=LEAP_BUDGET)
+    return results
+
+
 def test_kernel_scheduling(benchmark):
     results = run_once(benchmark, measure)
 
@@ -133,6 +161,22 @@ def test_kernel_scheduling(benchmark):
         ]
     )
     report("Kernel scheduling: dirty-set worklist vs exhaustive sweep", body)
+
+    record_json(
+        "settle_dirty_vs_exhaustive",
+        {
+            "cycles": CYCLES,
+            "links": LINKS,
+            "dense_dirty_seconds": results[("dense", "dirty")][0],
+            "dense_exhaustive_seconds": results[("dense", "exhaustive")][0],
+            "sparse_dirty_seconds": results[("sparse", "dirty")][0],
+            "sparse_exhaustive_seconds": results[("sparse", "exhaustive")][0],
+            "sparse_speedup": (
+                results[("sparse", "exhaustive")][0]
+                / results[("sparse", "dirty")][0]
+            ),
+        },
+    )
 
     # The dirty scheduler's reason to exist: sparse activity must be
     # decisively cheaper than a full sweep (typically >5x; assert a
@@ -168,6 +212,21 @@ def test_update_skip_idle_fraction(benchmark):
     )
     report("Update-phase quiescence: live updater set vs static list", body)
 
+    record_json(
+        "update_skip_idle_fraction",
+        {
+            "cycles": CYCLES,
+            "links": LINKS,
+            "idle_7_8_live_seconds": results[("7/8 idle", True)][0],
+            "idle_7_8_static_seconds": results[("7/8 idle", False)][0],
+            "busy_live_seconds": results[("0/8 idle", True)][0],
+            "busy_static_seconds": results[("0/8 idle", False)][0],
+            "idle_speedup": (
+                results[("7/8 idle", False)][0] / results[("7/8 idle", True)][0]
+            ),
+        },
+    )
+
     # Mostly-idle farms are where quiescence pays; fully-busy ones must
     # not regress materially (every component stays in the live set).
     idle_skip = results[("7/8 idle", True)][0]
@@ -181,8 +240,8 @@ def test_update_skip_idle_fraction(benchmark):
 def test_update_skip_stall_campaign(benchmark):
     results = run_once(benchmark, measure_stall)
 
-    skip_s, skip_detect = results[True]
-    static_s, static_detect = results[False]
+    skip_s, skip_detect, _, _ = results[True]
+    static_s, static_detect, _, _ = results[False]
     # Identical physics: the detection cycle must not move.
     assert skip_detect == static_detect
     body = "\n".join(
@@ -200,7 +259,71 @@ def test_update_skip_stall_campaign(benchmark):
         "Update-phase quiescence: stall-dominated campaign (Fig. 9/11 regime)",
         body,
     )
+    record_json(
+        "stall_campaign_update_skip",
+        {
+            "budget_cycles": STALL_BUDGET,
+            "detect_cycle": skip_detect,
+            "live_set_seconds": skip_s,
+            "static_list_seconds": static_s,
+            "speedup": static_s / skip_s,
+        },
+    )
 
     # The acceptance bar for the quiescence contract: a stall-dominated
     # campaign runs at least 1.5x faster end to end.
     assert static_s > 1.5 * skip_s
+
+
+def test_time_leap_stall_campaign(benchmark):
+    results = run_once(benchmark, measure_time_leap)
+
+    leap_s, leap_detect, leaps, cycles_leaped = results["leap"]
+    tick_s, tick_detect, tick_leaps, _ = results["no-leap"]
+    static_s, static_detect, _, _ = results["static"]
+    # Identical physics across all three kernels — the leap must not
+    # move the detection cycle by even one.
+    assert leap_detect == tick_detect == static_detect
+    assert tick_leaps == 0
+    # The whole stall collapses into a handful of heap pops.
+    assert leaps >= 1
+    assert cycles_leaped > 0.9 * LEAP_BUDGET
+    body = "\n".join(
+        [
+            f"Cheshire SoC, mute-B Ethernet stall, {LEAP_BUDGET}-cycle budget",
+            f"detected at cycle {leap_detect} under all kernels; "
+            f"{leaps} leaps covered {cycles_leaped} cycles",
+            "kernel             | wall clock | speedup",
+            "-------------------+------------+--------",
+            f"timed-wake leap    | {1000 * leap_s:7.1f} ms |"
+            f" {tick_s / leap_s:6.2f}x",
+            f"quiescence (PR 3)  | {1000 * tick_s:7.1f} ms |   1.00x",
+            f"static updates     | {1000 * static_s:7.1f} ms |"
+            f" {tick_s / static_s:6.2f}x",
+        ]
+    )
+    report(
+        "Timed-wake queue: clock fast-forward over a stall-dominated campaign",
+        body,
+    )
+    record_json(
+        "stall_campaign_time_leap",
+        {
+            "budget_cycles": LEAP_BUDGET,
+            "detect_cycle": leap_detect,
+            "leaps": leaps,
+            "cycles_leaped": cycles_leaped,
+            "leap_seconds": leap_s,
+            "no_leap_seconds": tick_s,
+            "static_seconds": static_s,
+            "speedup_vs_quiescence": tick_s / leap_s,
+            "speedup_vs_static": static_s / leap_s,
+            "cycles_per_second_leap": leap_detect / leap_s,
+            "cycles_per_second_no_leap": tick_detect / tick_s,
+        },
+    )
+
+    # Acceptance bar: the timed-wake queue must deliver at least 3x on
+    # top of PR 3's quiescence kernel for a stall-dominated campaign
+    # (typically far more — the leaped span costs O(1), not O(budget)).
+    assert tick_s > 3.0 * leap_s

@@ -25,6 +25,12 @@ class IrqLatencyProbe:
     per-cycle sampling.
     """
 
+    #: The probe only acts on wire *changes*, and no wire can change
+    #: across a leaped span — skipping those samples observes the same
+    #: edges, so the probe opts into time leaping instead of pinning
+    #: the clock.
+    leap_aware = True
+
     def __init__(self, wire: Wire) -> None:
         self.wire = wire
         self.assert_cycles: List[int] = []

@@ -156,10 +156,13 @@ class Crossbar(Component):
             ch: [getattr(bus, ch) for bus in self.subordinates] for ch in CHANNELS
         }
         self._channels = [_XbarChannel(self, ch) for ch in CHANNELS]
-        # update() commits state only on fired handshakes, and a fire
-        # needs a valid; these wires gate its quiescence and wake it.
-        self._watch_valids = [
-            ch.valid
+        # update() commits state only on fired handshakes; these
+        # channel pairs gate its quiescence and their valid/ready wires
+        # wake it.  Watching the readys too lets the crossbar sleep
+        # through a held-valid (deaf endpoint) stall — the only event
+        # that can complete such a handshake is its ready rising.
+        self._watch_channels = [
+            ch
             for group in (self._mgr_ch, self._sub_ch)
             for channels in group.values()
             for ch in channels
@@ -213,13 +216,21 @@ class Crossbar(Component):
             yield from child.outputs()
 
     def update_inputs(self):
-        return self._watch_valids
+        return [
+            wire
+            for ch in self._watch_channels
+            for wire in (ch.valid, ch.ready)
+        ]
 
     def quiescent(self):
         # Routing and arbitration state move only on fired handshakes;
-        # with every valid low on both sides nothing can fire, whatever
-        # the DECERR queues or round-robin pointers currently hold.
-        return not any(wire._value for wire in self._watch_valids)
+        # while no channel holds valid & ready nothing can fire next
+        # edge, whatever the DECERR queues or round-robin pointers
+        # currently hold — and any change that could complete a
+        # handshake passes through a watched wire first.
+        return not any(
+            ch.valid._value and ch.ready._value for ch in self._watch_channels
+        )
 
     def snapshot_state(self):
         return (

@@ -120,6 +120,11 @@ class Manager(Component):
         self._b_wait = 0
         self._r_wait = 0
         self._cycle = 0
+        # Stamp of the last accounted update: issue delays, the W inter-
+        # beat gap and the response-readiness polls all advance by
+        # `elapsed = now - _stamp`, so slept spans reconstruct exactly
+        # (always-on operation has elapsed == 1).
+        self._stamp = 0
 
         self.completed: List[CompletedTransaction] = []
         self.surprises: List[str] = []
@@ -129,8 +134,38 @@ class Manager(Component):
     # ------------------------------------------------------------------
     # Submission API
     # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Apply the ticks a slept span accrued, before mutating state.
+
+        Software entry points (``submit``) arm fresh countdowns; the
+        pending ``elapsed`` of a quiescent stretch must be charged to
+        the *old* state first — the span was frozen, so today's wire
+        levels are the span's conditions — or the next update would
+        bill the whole stretch against the new countdown.
+        """
+        sim = self._sim
+        if sim is None:
+            return
+        now = sim.cycle  # stamp through which updates have conceptually run
+        elapsed = now - self._stamp
+        if elapsed <= 0:
+            return
+        self._stamp = now
+        if self._aw_delay > 0:
+            self._aw_delay = max(0, self._aw_delay - elapsed)
+        if self._ar_delay > 0:
+            self._ar_delay = max(0, self._ar_delay - elapsed)
+        if self._w_gap > 0:
+            self._w_gap = max(0, self._w_gap - elapsed)
+        bus = self.bus
+        if bus.b.valid._value and self._b_wait > 0:
+            self._b_wait += elapsed
+        if bus.r.valid._value and self._r_wait > 0:
+            self._r_wait += elapsed
+
     def submit(self, spec: TransactionSpec) -> None:
         """Queue one transaction for issue."""
+        self._sync()
         if spec.direction == AxiDir.WRITE:
             if len(self._aw_queue) == 0:
                 self._aw_delay = spec.issue_delay
@@ -200,44 +235,80 @@ class Manager(Component):
         )
 
     def quiescent(self):
-        # No countdown is running, no handshake is in flight on either
-        # side, and the next drive() asserts nothing new (a countdown
-        # that just expired raises a valid next settle — sleeping now
-        # would miss our own handshake).  Transactions parked behind a
-        # full outstanding window or a freeze fault are safe to sleep
-        # on: unparking needs a response fire or a fault flip, and both
-        # find us awake.
-        bus = self.bus
-        if (
-            bus.aw.valid._value or bus.ar.valid._value or bus.w.valid._value
-            or bus.b.valid._value or bus.r.valid._value
-        ):
-            return False
-        if self._aw_delay or self._ar_delay or self._w_gap:
-            return False
-        if self._b_wait or self._r_wait:
-            return False
-        if self._w_active is not None and not self.faults.freeze_w:
-            return False
-        if (self._aw_queue or self._ar_queue) and self._issue_allowed():
-            return False
+        # Sleep whenever no handshake can fire next edge and every
+        # running countdown's next *visible* transition is declared as
+        # a timed wake:
+        #
+        # * a request (or W beat) already held on a stalled channel
+        #   sleeps until the far ready rises — the deaf-subordinate
+        #   regime the paper's stall campaigns hang on;
+        # * an issue delay / W gap still counting wakes the cycle it
+        #   reaches zero (the update that raises valid next settle);
+        # * a response-readiness poll ramping toward its spec's
+        #   resp_ready_delay wakes exactly at the crossing, so the
+        #   ready wire still rises on schedule; a deaf poll ticks
+        #   silently (elapsed accounting reconstructs it).
+        #
+        # Transactions parked behind a full outstanding window or a
+        # freeze fault are safe to sleep on: unparking needs a response
+        # fire or a fault flip, and both find us awake.
+        bus, faults = self.bus, self.faults
+        now = self._stamp
+        wake = None
+        # AW / AR issue paths (we source the valids).
+        if self._aw_queue and self._issue_allowed():
+            if self._aw_delay == 0:
+                if not bus.aw.valid._value or bus.aw.ready._value:
+                    return False  # valid rising, or fire imminent
+            else:
+                wake = now + self._aw_delay
+        if self._ar_queue and self._issue_allowed():
+            if self._ar_delay == 0:
+                if not bus.ar.valid._value or bus.ar.ready._value:
+                    return False
+            elif wake is None or now + self._ar_delay < wake:
+                wake = now + self._ar_delay
+        # W data path.
+        if self._w_active is not None and not faults.freeze_w:
+            if self._w_gap == 0:
+                if not bus.w.valid._value or bus.w.ready._value:
+                    return False
+            elif wake is None or now + self._w_gap < wake:
+                wake = now + self._w_gap
+        # B / R response readiness polls (the subordinate sources the
+        # valids; our ready follows `wait >= resp_ready_delay`).
+        if bus.b.valid._value and not faults.deaf_b:
+            delay = self._resp_delay(bus.b, AxiDir.WRITE)
+            if self._b_wait >= delay:
+                return False  # ready (about to be) up: fire imminent
+            crossing = now + (delay - self._b_wait)
+            if wake is None or crossing < wake:
+                wake = crossing
+        if bus.r.valid._value and not faults.deaf_r:
+            delay = self._resp_delay(bus.r, AxiDir.READ)
+            if self._r_wait >= delay:
+                return False
+            crossing = now + (delay - self._r_wait)
+            if wake is None or crossing < wake:
+                wake = crossing
+        if wake is not None:
+            if wake <= now:
+                return False
+            if self._sim is not None:
+                self.wake_at(self._sim.cycle + (wake - now))
         return True
 
     def snapshot_state(self):
-        # _cycle is clock-derived (resynced from the simulator in
-        # update()) and deliberately excluded.
+        # _cycle and the elapsed-ticked counters (issue delays, W gap,
+        # response polls) are clock-derived and deliberately excluded;
+        # their visible transitions always happen in awake updates.
         return (
             len(self._aw_queue),
             len(self._ar_queue),
-            self._aw_delay,
-            self._ar_delay,
             len(self._w_pending),
             self._w_active is None,
             self._w_active[2] if self._w_active is not None else -1,
-            self._w_gap,
             self._inflight,
-            self._b_wait,
-            self._r_wait,
             len(self.completed),
             len(self.surprises),
         )
@@ -321,16 +392,27 @@ class Manager(Component):
         # self-counting.
         sim = self._sim
         self._cycle = sim.cycle + 1 if sim is not None else self._cycle + 1
+        now = self._cycle
+        elapsed = now - self._stamp
+        self._stamp = now
         changed = False
+        # Issue delays and the W gap tick even while parked (behind a
+        # full window or a freeze fault); only reaching zero on a live
+        # path raises a valid next settle, and that crossing always
+        # lands in an awake update (per-cycle, or as the timed wake a
+        # slept span declared).
         if self._aw_delay > 0:
-            self._aw_delay -= 1
-            changed = True
+            self._aw_delay = max(0, self._aw_delay - elapsed)
+            if self._aw_delay == 0 and self._aw_queue and self._issue_allowed():
+                changed = True
         if self._ar_delay > 0:
-            self._ar_delay -= 1
-            changed = True
+            self._ar_delay = max(0, self._ar_delay - elapsed)
+            if self._ar_delay == 0 and self._ar_queue and self._issue_allowed():
+                changed = True
         if self._w_gap > 0:
-            self._w_gap -= 1
-            changed = True
+            self._w_gap = max(0, self._w_gap - elapsed)
+            if self._w_gap == 0 and self._w_active is not None and not self.faults.freeze_w:
+                changed = True
 
         if aw.valid._value and aw.ready._value:
             self._on_addr_fired(self._aw_queue, AxiDir.WRITE)
@@ -348,26 +430,32 @@ class Manager(Component):
             changed = True
 
         # The response-wait counters feed drive() only through the
-        # "wait >= resp_ready_delay" comparisons; increments past the
-        # threshold are invisible to the readiness outputs.
+        # "wait >= resp_ready_delay" comparisons; only a threshold
+        # crossing on a non-deaf channel moves a readiness output.
         old_b_wait, old_r_wait = self._b_wait, self._r_wait
-        self._b_wait = self._b_wait + 1 if b.valid._value else 0
-        self._r_wait = self._r_wait + 1 if r.valid._value else 0
+        if b.valid._value:
+            self._b_wait = old_b_wait + elapsed if old_b_wait > 0 else 1
+        else:
+            self._b_wait = 0
+        if r.valid._value:
+            self._r_wait = old_r_wait + elapsed if old_r_wait > 0 else 1
+        else:
+            self._r_wait = 0
         if b.valid._value and b.ready._value:
             self._b_wait = 0
             self._on_b_fired(b.payload._value)
             changed = True
-        elif self._b_wait != old_b_wait:
+        elif self._b_wait != old_b_wait and not self.faults.deaf_b:
             delay = self._resp_delay(b, AxiDir.WRITE)
-            if self._b_wait <= delay or old_b_wait <= delay:
+            if (old_b_wait >= delay) != (self._b_wait >= delay):
                 changed = True
         if r.valid._value and r.ready._value:
             self._r_wait = 0
             self._on_r_fired(r.payload._value)
             changed = True
-        elif self._r_wait != old_r_wait:
+        elif self._r_wait != old_r_wait and not self.faults.deaf_r:
             delay = self._resp_delay(r, AxiDir.READ)
-            if self._r_wait <= delay or old_r_wait <= delay:
+            if (old_r_wait >= delay) != (self._r_wait >= delay):
                 changed = True
         if changed:
             self.schedule_drive()
@@ -490,8 +578,10 @@ class Manager(Component):
         self._b_wait = 0
         self._r_wait = 0
         self._cycle = 0
+        self._stamp = 0
         self.completed.clear()
         self.surprises.clear()
         self.faults.clear()
+        self.cancel_wake()
         self.schedule_drive()
         self.schedule_update()

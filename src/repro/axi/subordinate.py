@@ -186,6 +186,12 @@ class Subordinate(Component):
         self.resets_taken = 0
         self.writes_done = 0
         self.reads_done = 0
+        # Stamp of the last accounted update.  Every per-cycle counter
+        # (the ready-delay polls, the b/r latency countdowns) advances
+        # by `elapsed = now - _stamp` in update(), so a slept span is
+        # reconstructed exactly — always-on operation has elapsed == 1
+        # and is bit-identical to the historical per-cycle ticks.
+        self._stamp = 0
 
     # ------------------------------------------------------------------
     # Component protocol
@@ -218,42 +224,107 @@ class Subordinate(Component):
         )
 
     def quiescent(self):
-        # No wait/latency countdown is running (a queued write job ticks
-        # its w_wait every cycle), no handshake is in flight, and the
-        # next drive() asserts nothing new — response work is only safe
-        # to sleep on while a mute fault parks it (clearing the fault
-        # wakes us).  A countdown that just expired raises b/r valid
-        # next settle, so it must keep us awake for the handshake.
+        # Sleep whenever no handshake can fire next edge and every
+        # running counter is a pure countdown whose next *visible*
+        # transition is declared as a timed wake:
+        #
+        # * a held-but-deaf request channel (or one parked behind a
+        #   full window) just increments its poll counter — elapsed
+        #   accounting reconstructs it on wake;
+        # * a poll counter ramping toward its ready-delay threshold
+        #   wakes exactly at the crossing, so the ready wire still
+        #   rises on schedule;
+        # * b/r latency countdowns wake the cycle they reach zero (the
+        #   update that raises valid next settle); while a mute fault
+        #   parks the channel they tick silently and need no wake.
+        #
+        # Anything that could change the picture — a valid/ready edge,
+        # the hardware reset, a fault flip — arrives through a watched
+        # wire or DriveSensitiveState and wakes us first.
         bus, faults = self.bus, self.faults
         if self.hw_reset._value:
             # Held in reset: update() returns immediately until release.
             return self._in_reset
-        if self._in_reset or self._writes:
+        if self._in_reset:
             return False
-        if (
-            bus.aw.valid._value or bus.ar.valid._value or bus.w.valid._value
-            or bus.b.valid._value or bus.r.valid._value
-        ):
+        now = self._stamp
+        wake: Optional[int] = None
+
+        # AW / AR: fire imminent when a held valid meets next-settle
+        # readiness (computed from state — the wire may lag a cycle).
+        aw_open = not faults.deaf_aw and self._write_capacity()
+        if bus.aw.valid._value and aw_open:
+            if self._aw_wait >= self.aw_ready_delay:
+                return False
+            wake = now + (self.aw_ready_delay - self._aw_wait)
+        ar_open = not faults.deaf_ar and len(self._reads) < self.max_outstanding
+        if bus.ar.valid._value and ar_open:
+            if self._ar_wait >= self.ar_ready_delay:
+                return False
+            crossing = now + (self.ar_ready_delay - self._ar_wait)
+            if wake is None or crossing < wake:
+                wake = crossing
+        # W: the head job's per-beat ready delay ramps regardless of
+        # w_valid; its crossing is drive-visible (w_ready rises).
+        if self._writes and not faults.deaf_w:
+            w_wait = self._writes[0].w_wait
+            if w_wait >= self.w_ready_delay:
+                if bus.w.valid._value:
+                    return False
+            else:
+                crossing = now + (self.w_ready_delay - w_wait)
+                if wake is None or crossing < wake:
+                    wake = crossing
+        # B: a still-counting head wakes at zero (the update that raises
+        # b_valid next settle); a response already held on a stalled
+        # channel sleeps until the far ready rises; an unparked response
+        # whose valid is rising — or whose handshake can complete — must
+        # stay awake.  Muted queues tick silently.
+        if faults.spurious_b is not None and bus.b.ready._value:
             return False
-        if self._aw_wait or self._ar_wait:
+        if self._b_queue and not faults.mute_b and faults.spurious_b is None:
+            head_countdown = self._b_queue[0][1]
+            if head_countdown > 0:
+                if wake is None or now + head_countdown < wake:
+                    wake = now + head_countdown
+            elif not bus.b.valid._value or bus.b.ready._value:
+                return False
+        # R: mirror of B over the parallel per-job countdown/gap chains.
+        # Every still-counting chain arms a wake — a crossing can change
+        # which job _select_r_job() picks (and hence the driven beat),
+        # so it must be observed at its exact cycle even while the
+        # channel is stalled.
+        if faults.spurious_r is not None and bus.r.ready._value:
             return False
-        if self._b_queue and not faults.mute_b:
-            return False
-        if self._reads and not faults.mute_r:
-            return False
-        if any(entry[1] != 0 for entry in self._b_queue):
-            return False
-        if any(job.countdown or job.gap for job in self._reads):
-            return False
+        if self._reads and not faults.mute_r and faults.spurious_r is None:
+            for job in self._reads:
+                chain = job.countdown + job.gap
+                if chain > 0 and (wake is None or now + chain < wake):
+                    wake = now + chain
+            if self._select_r_job() is not None and (
+                not bus.r.valid._value or bus.r.ready._value
+            ):
+                return False
+        if wake is not None:
+            if wake <= now:
+                return False
+            if self._sim is not None:
+                # `now` is this update's stamp (sim.cycle + 1); the
+                # event update stamped `wake` runs in the step at
+                # wake - 1 == sim.cycle + (wake - now).
+                self.wake_at(self._sim.cycle + (wake - now))
         return True
 
     def snapshot_state(self):
+        # The poll counters and latency countdowns are clock-derived
+        # under the timed-wake contract (they advance by `elapsed` and
+        # are replayed exactly), so only their *structural* state — the
+        # queues, indices and completion counts whose movement needs a
+        # handshake — is snapshotted for verify-strategy diffs.
         return (
-            self._aw_wait,
-            self._ar_wait,
-            tuple((job.index, job.w_wait) for job in self._writes),
-            tuple(tuple(entry) for entry in self._b_queue),
-            tuple((job.index, job.countdown, job.gap) for job in self._reads),
+            tuple(job.index for job in self._writes),
+            tuple(entry[0] for entry in self._b_queue),
+            tuple((job.ar.id, job.index) for job in self._reads),
             self._r_rr,
             self._in_reset,
             self.resets_taken,
@@ -360,48 +431,106 @@ class Subordinate(Component):
         # drive-phase tracing needed), mirroring Channel.fired().
         bus = self.bus
         aw, ar, w, b, r = bus.aw, bus.ar, bus.w, bus.b, bus.r
+        sim = self._sim
+        now = sim.cycle + 1 if sim is not None else self._stamp + 1
         if self.hw_reset._value:
             if not self._in_reset:
                 self._take_reset()
                 self.resets_taken += 1
                 self._in_reset = True
                 self.schedule_drive()
+            self._stamp = now  # reset cycles tick nothing
             return
+        elapsed = now - self._stamp
+        self._stamp = now
         if self._in_reset:
             self._in_reset = False
             self.schedule_drive()
+            elapsed = 1  # the slept reset span ticked nothing
         changed = False
 
         # The wait counters feed drive() only through the
-        # "wait >= *_ready_delay" comparisons; ticks past the threshold
-        # do not move the readiness outputs.
+        # "wait >= *_ready_delay" comparisons, so only a threshold
+        # crossing on an open (non-deaf, in-capacity) channel moves a
+        # readiness output — and such crossings always happen in a real
+        # (awake) update: either per-cycle, or as the declared timed
+        # wake of a slept span.  A slept span's ticks are reconstructed
+        # here via `elapsed`, which is 1 in always-on operation.
         old_wait = self._aw_wait
-        self._aw_wait = self._aw_wait + 1 if aw.valid._value else 0
-        if self._aw_wait != old_wait and (
-            self._aw_wait <= self.aw_ready_delay or old_wait <= self.aw_ready_delay
+        if aw.valid._value:
+            self._aw_wait = old_wait + elapsed if old_wait > 0 else 1
+        else:
+            self._aw_wait = 0
+        if (
+            (old_wait >= self.aw_ready_delay)
+            != (self._aw_wait >= self.aw_ready_delay)
+            and not self.faults.deaf_aw
+            and self._write_capacity()
         ):
             changed = True
         old_wait = self._ar_wait
-        self._ar_wait = self._ar_wait + 1 if ar.valid._value else 0
-        if self._ar_wait != old_wait and (
-            self._ar_wait <= self.ar_ready_delay or old_wait <= self.ar_ready_delay
+        if ar.valid._value:
+            self._ar_wait = old_wait + elapsed if old_wait > 0 else 1
+        else:
+            self._ar_wait = 0
+        if (
+            (old_wait >= self.ar_ready_delay)
+            != (self._ar_wait >= self.ar_ready_delay)
+            and not self.faults.deaf_ar
+            and len(self._reads) < self.max_outstanding
         ):
             changed = True
         if self._writes:
-            if self._writes[0].w_wait <= self.w_ready_delay:
+            job = self._writes[0]
+            old_wait = job.w_wait
+            job.w_wait = old_wait + elapsed
+            if (
+                (old_wait >= self.w_ready_delay)
+                != (job.w_wait >= self.w_ready_delay)
+                and not self.faults.deaf_w
+            ):
                 changed = True
-            self._writes[0].w_wait += 1
+        # b_latency counts down serially (the front-most nonzero entry,
+        # one tick per cycle); a span of `elapsed` cycles distributes
+        # across the queue in that order.  Only the head reaching zero
+        # on an unparked channel raises b_valid next settle.
+        remaining = elapsed
         for entry in self._b_queue:
-            if entry[1] > 0:
-                entry[1] -= 1
-                changed = True
+            if remaining <= 0:
                 break
-        for job in self._reads:
-            if job.countdown > 0:
-                job.countdown -= 1
+            if entry[1] <= 0:
+                continue
+            ticks = entry[1] if entry[1] < remaining else remaining
+            entry[1] -= ticks
+            remaining -= ticks
+            if (
+                entry[1] == 0
+                and entry is self._b_queue[0]
+                and not self.faults.mute_b
+                and self.faults.spurious_b is None
+            ):
                 changed = True
-            elif job.gap > 0:
-                job.gap -= 1
+        # r_latency/r_gap chains count down in parallel across jobs
+        # (countdown first, then gap); a chain reaching zero on an
+        # unparked channel makes its job selectable next settle.
+        for job in self._reads:
+            ticked = False
+            rest = elapsed
+            if job.countdown > 0:
+                ticks = job.countdown if job.countdown < rest else rest
+                job.countdown -= ticks
+                rest -= ticks
+                ticked = ticks > 0
+            if rest > 0 and job.gap > 0:
+                job.gap -= job.gap if job.gap < rest else rest
+                ticked = True
+            if (
+                ticked
+                and job.countdown == 0
+                and job.gap == 0
+                and not self.faults.mute_r
+                and self.faults.spurious_r is None
+            ):
                 changed = True
 
         if aw.valid._value and aw.ready._value:
@@ -489,6 +618,8 @@ class Subordinate(Component):
         self.resets_taken = 0
         self.writes_done = 0
         self.reads_done = 0
+        self._stamp = 0
         self.faults.clear()
+        self.cancel_wake()
         self.schedule_drive()
         self.schedule_update()

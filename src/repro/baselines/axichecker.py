@@ -46,16 +46,29 @@ class AxiChecker(Component):
         return (self.error,)
 
     def update_inputs(self):
+        # Valid, ready *and* payload on every channel: the checker may
+        # sleep through a frozen (held-valid) stall, and each of the
+        # events that could produce a fresh observation — a handshake
+        # completing (ready rise), a valid drop (stability violation),
+        # a payload mutating under a held valid (stability violation) —
+        # is a change on one of these wires.
         bus = self.bus
-        return tuple(getattr(bus, ch).valid for ch in ("aw", "w", "b", "ar", "r"))
+        wires = []
+        for ch in ("aw", "w", "b", "ar", "r"):
+            channel = getattr(bus, ch)
+            wires.extend((channel.valid, channel.ready, channel.payload))
+        return tuple(wires)
 
     def quiescent(self):
-        # With every valid low no handshake can fire and every stability
-        # watch is disarmed (pending requires valid & !ready), so a full
-        # rule sweep observes nothing.
+        # No handshake can fire next edge: every rule sweep over a
+        # frozen interface observes exactly what this one did.  The
+        # armed stability watches hold their pending state (valid high,
+        # ready low is a legal wait, not a violation) and any wire
+        # movement that could change the verdict re-arms us first.
         bus = self.bus
         return not any(
-            getattr(bus, ch).valid._value for ch in ("aw", "w", "b", "ar", "r")
+            getattr(bus, ch).valid._value and getattr(bus, ch).ready._value
+            for ch in ("aw", "w", "b", "ar", "r")
         )
 
     def snapshot_state(self):

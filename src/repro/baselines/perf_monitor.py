@@ -60,17 +60,23 @@ class AxiPerfMonitor(Component):
         yield from self.bus.wires()
 
     def update_inputs(self):
+        # Valids and readys: the monitor observes fires only, so it may
+        # sleep through a held-valid (stalled) span — the only event
+        # that can complete such a handshake is its ready rising.
         bus = self.bus
-        return (bus.aw.valid, bus.ar.valid, bus.w.valid, bus.b.valid, bus.r.valid)
+        wires = []
+        for ch in (bus.aw, bus.ar, bus.w, bus.b, bus.r):
+            wires.extend((ch.valid, ch.ready))
+        return tuple(wires)
 
     def quiescent(self):
+        # No handshake can fire next edge: every skipped cycle
+        # contributes zero beats, which _sync() reconstructs exactly
+        # into the throughput window on wake.
         bus = self.bus
-        return not (
-            bus.aw.valid._value
-            or bus.ar.valid._value
-            or bus.w.valid._value
-            or bus.b.valid._value
-            or bus.r.valid._value
+        return not any(
+            ch.valid._value and ch.ready._value
+            for ch in (bus.aw, bus.ar, bus.w, bus.b, bus.r)
         )
 
     def snapshot_state(self):

@@ -21,10 +21,13 @@ class Sp805Watchdog(Component):
     re-run the drive.  A kicked, healthy watchdog costs the scheduler
     zero work.
 
-    The update phase is the opposite story: an enabled watchdog is an
-    *armed counter* and must tick every cycle — exactly the component
-    the paper's stall campaigns keep alive — so it is only
-    update-quiescent while disabled or after its reset output latched.
+    The update phase holds an *armed counter*, but a pure one: between
+    software interactions nothing can change its trajectory, so the
+    countdown is kept as an absolute expiry stamp plus the stamp of the
+    last accounted update, ``update()`` applies the elapsed span in
+    O(1), and the component sleeps under a timed wake at the expiry —
+    the exact component the paper's stall campaigns keep alive, now
+    reduced to one heap pop per stage.
     """
 
     demand_driven = True
@@ -38,7 +41,12 @@ class Sp805Watchdog(Component):
         self.irq = Wire(f"{name}.irq", False)
         self.reset_out = Wire(f"{name}.reset_out", False)
         self._enabled = True
-        self._counter = load
+        # Countdown as timestamps: the expiry update is stamped
+        # `_deadline`; `_stamp` is the last update (or software poke)
+        # already accounted, so `_deadline - _stamp` is the classical
+        # counter value.
+        self._deadline = load
+        self._stamp = 0
         self._irq_state = False
         self._reset_state = False
         self.interrupts_raised = 0
@@ -47,6 +55,19 @@ class Sp805Watchdog(Component):
     # ------------------------------------------------------------------
     # Software interface
     # ------------------------------------------------------------------
+    def _now(self) -> int:
+        """Stamp of the latest completed update (for software pokes)."""
+        return self._sim.cycle if self._sim is not None else self._stamp
+
+    @property
+    def counter(self) -> int:
+        """Cycles until the current stage expires (0 once latched)."""
+        if self._reset_state:
+            return 0
+        if not self._enabled:
+            return self._deadline - self._stamp
+        return max(0, self._deadline - self._now())
+
     @property
     def enabled(self) -> bool:
         return self._enabled
@@ -54,18 +75,36 @@ class Sp805Watchdog(Component):
     @enabled.setter
     def enabled(self, value: bool) -> None:
         # A property so campaign code flipping the switch directly
-        # re-arms the countdown, mirroring DriveSensitiveState.
-        self._enabled = bool(value)
+        # re-arms (or freezes) the countdown, mirroring
+        # DriveSensitiveState.  The deadline is rebased around the
+        # flip so disabled spans do not count — exactly the behaviour
+        # of the per-cycle tick that froze while disabled.
+        value = bool(value)
+        if value != self._enabled:
+            now = self._now()
+            if value:
+                # Re-enable: push the expiry out by the frozen span.
+                self._deadline = now + (self._deadline - self._stamp)
+            self._stamp = now
+            self._enabled = value
         self.schedule_update()
 
     def kick(self) -> None:
         """Reload the counter (the periodic software 'pet')."""
-        self._counter = self.load
+        now = self._now()
+        self._deadline = now + self.load
+        self._stamp = now
+        # No wake re-arm needed: kicks only push the expiry out, so if
+        # asleep the superseded wake pops as a spurious (harmless) wake
+        # whose update re-arms the new one.
 
     def clear_irq(self) -> None:
+        now = self._now()
         self._irq_state = False
-        self._counter = self.load
+        self._deadline = now + self.load
+        self._stamp = now
         self.schedule_drive()
+        self.schedule_update()
 
     # ------------------------------------------------------------------
     def wires(self):
@@ -86,11 +125,17 @@ class Sp805Watchdog(Component):
         return ()  # nothing on the wire side can re-arm the countdown
 
     def quiescent(self):
-        return not self._enabled or self._reset_state
+        # Always: disabled and latched-reset states need no wake at all,
+        # and an armed countdown sleeps under the timed wake update()
+        # arms at its expiry stamp.
+        return True
 
     def snapshot_state(self):
+        # _stamp is clock-derived; _deadline moves only on the expiry /
+        # software transitions verify must observe.
         return (
-            self._counter,
+            self._deadline,
+            self._enabled,
             self._irq_state,
             self._reset_state,
             self.interrupts_raised,
@@ -98,15 +143,25 @@ class Sp805Watchdog(Component):
         )
 
     def update(self) -> None:
+        sim = self._sim
+        now = sim.cycle + 1 if sim is not None else self._stamp + 1
         if not self._enabled or self._reset_state:
+            # Frozen: the span does not count.  _stamp stays at the
+            # freeze boundary (the last counted stamp) so the enabled
+            # setter can rebase the deadline around the frozen span.
             return
-        self._counter -= 1
-        if self._counter > 0:
+        self._stamp = now
+        if now < self._deadline:
+            # Still counting: sleep until the expiry update's step.
+            if sim is not None:
+                self.wake_at(sim.cycle + (self._deadline - now))
             return
         if not self._irq_state:
             self._irq_state = True
             self.interrupts_raised += 1
-            self._counter = self.load
+            self._deadline = now + self.load
+            if sim is not None:
+                self.wake_at(sim.cycle + self.load)
         else:
             # Second expiry with the interrupt unserviced: assert reset.
             self._reset_state = True
@@ -114,10 +169,12 @@ class Sp805Watchdog(Component):
         self.schedule_drive()
 
     def reset(self) -> None:
-        self._counter = self.load
+        self._deadline = self.load
+        self._stamp = 0
         self._irq_state = False
         self._reset_state = False
         self.interrupts_raised = 0
         self.resets_raised = 0
+        self.cancel_wake()
         self.schedule_drive()
         self.schedule_update()

@@ -10,7 +10,7 @@ outstanding transactions beyond a counter.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..axi.interface import AxiInterface
 from ..sim.component import Component
@@ -37,10 +37,22 @@ class XilinxStyleTimeout(Component):
         self.irq = Wire(f"{name}.irq", False)
         self._outstanding_w = 0
         self._outstanding_r = 0
-        self._stall_timer = 0
+        # The shared stall timer as a timestamp: its classical value at
+        # update stamp `t` is `t - _stall_since`; None while rewound.
+        # A stalled-but-frozen interface is then a pure countdown, slept
+        # through under a timed wake at `_stall_since + window`.
+        self._stall_since: Optional[int] = None
         self._irq_state = False
         self.timeouts: List[int] = []
         self._cycle = 0
+
+    @property
+    def stall_timer(self) -> int:
+        """The classical running stall-timer value (for introspection)."""
+        if self._stall_since is None:
+            return 0
+        now = self._sim.cycle if self._sim is not None else self._cycle
+        return max(0, now - self._stall_since)
 
     def wires(self):
         yield from self.bus.wires()
@@ -53,29 +65,41 @@ class XilinxStyleTimeout(Component):
         return (self.irq,)
 
     def update_inputs(self):
-        bus = self.bus
-        return (bus.aw.valid, bus.ar.valid, bus.b.valid, bus.r.valid)
-
-    def quiescent(self):
-        # With nothing outstanding the stall timer cannot run, and with
-        # the channels idle nothing can fire; a valid rising re-arms.
+        # Ready wires are watched alongside the valids: the block may
+        # now sleep through a held-valid (deaf-channel) stall, and the
+        # only event that can unfreeze such a handshake is its ready
+        # rising.
         bus = self.bus
         return (
-            self._outstanding_w == 0
-            and self._outstanding_r == 0
-            and self._stall_timer == 0
-            and not bus.aw.valid._value
-            and not bus.ar.valid._value
-            and not bus.b.valid._value
-            and not bus.r.valid._value
+            bus.aw.valid, bus.aw.ready, bus.ar.valid, bus.ar.ready,
+            bus.b.valid, bus.b.ready, bus.r.valid, bus.r.ready,
         )
 
+    def quiescent(self):
+        # No observed handshake can fire next edge (any change that
+        # could complete one passes through a watched wire first).  An
+        # armed stall window is a pure countdown across such a frozen
+        # span: sleep under a timed wake at its expiry stamp.
+        bus = self.bus
+        for ch in (bus.aw, bus.ar, bus.b, bus.r):
+            if ch.valid._value and ch.ready._value:
+                return False
+        if self._irq_state or self._outstanding_w + self._outstanding_r == 0:
+            return True
+        if self._stall_since is None:
+            return False  # timer not engaged yet: let the update run
+        if self._sim is not None:
+            expiry = self._stall_since + self.window
+            self.wake_at(self._sim.cycle + (expiry - self._cycle))
+        return True
+
     def snapshot_state(self):
-        # _cycle (timeout timestamps) is clock-derived and excluded.
+        # _cycle (timeout timestamps) is clock-derived and excluded;
+        # _stall_since moves only on progress/engagement transitions.
         return (
             self._outstanding_w,
             self._outstanding_r,
-            self._stall_timer,
+            self._stall_since,
             self._irq_state,
             tuple(self.timeouts),
         )
@@ -103,25 +127,33 @@ class XilinxStyleTimeout(Component):
         # One shared timer: any response progress rewinds it, which is
         # exactly why this block cannot attribute stalls per transaction.
         if self._outstanding_w + self._outstanding_r > 0 and not progress:
-            self._stall_timer += 1
-            if self._stall_timer >= self.window and not self._irq_state:
+            if self._stall_since is None:
+                # First stalled update counts 1: value = now - since.
+                self._stall_since = self._cycle - 1
+            if (
+                self._cycle - self._stall_since >= self.window
+                and not self._irq_state
+            ):
                 self.timeouts.append(self._cycle)
                 self._irq_state = True
                 self.schedule_drive()
         else:
-            self._stall_timer = 0
+            self._stall_since = None
 
     def clear_irq(self) -> None:
         self._irq_state = False
-        self._stall_timer = 0
+        self._stall_since = None
         self.schedule_drive()
+        # A still-stalled interface must re-engage the window timer.
+        self.schedule_update()
 
     def reset(self) -> None:
         self._outstanding_w = 0
         self._outstanding_r = 0
-        self._stall_timer = 0
+        self._stall_since = None
         self._irq_state = False
         self.timeouts.clear()
         self._cycle = 0
+        self.cancel_wake()
         self.schedule_drive()
         self.schedule_update()

@@ -41,9 +41,12 @@ class IpHarness:
         with_reset_unit: bool = True,
         sim_strategy: str = "dirty",
         sim_update_skipping: bool = True,
+        sim_time_leaping: bool = True,
     ) -> None:
         self.sim = Simulator(
-            strategy=sim_strategy, update_skipping=sim_update_skipping
+            strategy=sim_strategy,
+            update_skipping=sim_update_skipping,
+            time_leaping=sim_time_leaping,
         )
         self.host = AxiInterface("host")
         self.device = AxiInterface("device")
@@ -77,9 +80,19 @@ class IpHarness:
         self.aw_fired_cycle: Optional[int] = None
         self.ar_fired_cycle: Optional[int] = None
         self.wlast_cycle: Optional[int] = None
+        self._observed_cycle = -1
 
-    def step(self) -> None:
-        self.sim.step()
+    def _observe(self) -> None:
+        """Record this cycle's device-side fire events (idempotent).
+
+        The counters move only on fired handshakes, which always happen
+        in stepped (never leaped) cycles, so observing after each real
+        step sees every event; the cycle guard makes double observation
+        (e.g. a pre-leap condition check) harmless.
+        """
+        if self.sim.cycle == self._observed_cycle:
+            return
+        self._observed_cycle = self.sim.cycle
         if self.device.w.fired():
             self.w_beats_fired += 1
             beat = self.device.w.payload.value
@@ -91,6 +104,17 @@ class IpHarness:
             self.aw_fired_cycle = self.sim.cycle
         if self.device.ar.fired() and self.ar_fired_cycle is None:
             self.ar_fired_cycle = self.sim.cycle
+
+    def step(self) -> None:
+        self.sim.step()
+        self._observe()
+
+    def run_until(self, condition, timeout: int) -> Optional[int]:
+        """Leap-compatible loop: observe, then evaluate *condition*."""
+        return self.sim.run_until(
+            lambda _sim: (self._observe(), condition(self))[1],
+            timeout=timeout,
+        )
 
     @property
     def cycle(self) -> int:
@@ -239,37 +263,39 @@ def run_injection(
 
     txn_start: Optional[int] = None
     inject_cycle: Optional[int] = None
-    detect_cycle: Optional[int] = None
-    for _ in range(detect_timeout):
-        harness.step()
+
+    def detect_tick(h: IpHarness) -> bool:
+        nonlocal txn_start, inject_cycle, deferred
         if txn_start is None and (
-            harness.host.aw.valid.value or harness.host.ar.valid.value
+            h.host.aw.valid.value or h.host.ar.valid.value
         ):
-            txn_start = harness.cycle
-        if deferred is not None and inject_cycle is None and deferred(harness):
-            _apply_fault(harness, stage)
+            txn_start = h.cycle
+        if deferred is not None and inject_cycle is None and deferred(h):
+            _apply_fault(h, stage)
             deferred = None
-            inject_cycle = harness.cycle
-        if inject_cycle is None and manifest(harness):
-            inject_cycle = harness.cycle
-        if harness.tmu.irq.value:
-            detect_cycle = harness.cycle
-            break
+            inject_cycle = h.cycle
+        if inject_cycle is None and manifest(h):
+            inject_cycle = h.cycle
+        return bool(h.tmu.irq.value)
+
+    detect_cycle = harness.run_until(detect_tick, timeout=detect_timeout)
 
     fault = harness.tmu.last_fault
     recovered = False
     if detect_cycle is not None:
         harness.manager.faults.clear()  # software recovery routine
         harness.tmu.clear_irq()
-        for _ in range(recovery_timeout):
-            harness.step()
-            if (
-                harness.manager.idle
-                and harness.tmu.state.value == "monitor"
-                and not harness.tmu.irq.value
-            ):
-                recovered = True
-                break
+        recovered = (
+            harness.run_until(
+                lambda h: (
+                    h.manager.idle
+                    and h.tmu.state.value == "monitor"
+                    and not h.tmu.irq.value
+                ),
+                timeout=recovery_timeout,
+            )
+            is not None
+        )
 
     return InjectionResult(
         stage=stage,
@@ -392,16 +418,18 @@ def measure_stall_detection_latency(
         harness.subordinate.faults.deaf_aw = True
         harness.manager.submit(write_spec(0, 0x1000, issue_delay=offset))
         start: Optional[int] = None
-        for _ in range(timeout):
-            harness.step()
-            if start is None and harness.host.aw.valid.value:
-                start = harness.cycle
-            if harness.tmu.irq.value:
-                assert start is not None
-                worst = max(worst, harness.cycle - start)
-                break
-        else:
+
+        def stall_tick(h: IpHarness) -> bool:
+            nonlocal start
+            if start is None and h.host.aw.valid.value:
+                start = h.cycle
+            return bool(h.tmu.irq.value)
+
+        detected = harness.run_until(stall_tick, timeout=timeout)
+        if detected is None:
             raise RuntimeError(
                 f"stall not detected within {timeout} cycles at offset {offset}"
             )
+        assert start is not None
+        worst = max(worst, detected - start)
     return worst

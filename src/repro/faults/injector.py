@@ -71,7 +71,13 @@ class FaultInjector(Component):
         self.forces: Dict[str, ChannelForce] = {
             channel: ChannelForce() for channel in self.CHANNELS
         }
-        self.forced_cycles = 0
+        # forced_cycles is accounted lazily against the clock: while a
+        # force is applied the count is `_forced_base + (now - since)`,
+        # so a forced-but-frozen interface needs no per-cycle update
+        # (its idle span can be leaped).  force()/release() move the
+        # base at the transitions.
+        self._forced_base = 0
+        self._forced_since: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Force API
@@ -87,21 +93,45 @@ class FaultInjector(Component):
         if channel not in self.forces:
             raise KeyError(f"unknown channel {channel!r}")
         entry = self.forces[channel]
+        was_active = self.any_force_active
         entry.valid = valid
         entry.ready = ready
         entry.mutate = mutate
+        if not was_active and self.any_force_active:
+            self._forced_since = self._now()
+        elif was_active and not self.any_force_active:
+            self._forced_base = self._forced_base + max(
+                0, self._now() - (self._forced_since or 0)
+            )
+            self._forced_since = None
         self.schedule_drive()
         self.schedule_update()
 
     def release(self, channel: Optional[str] = None) -> None:
         """Remove overrides from *channel*, or from all channels."""
+        was_active = self.any_force_active
         if channel is None:
             for entry in self.forces.values():
                 entry.clear()
         else:
             self.forces[channel].clear()
+        if was_active and not self.any_force_active:
+            self._forced_base = self._forced_base + max(
+                0, self._now() - (self._forced_since or 0)
+            )
+            self._forced_since = None
         self.schedule_drive()
         self.schedule_update()
+
+    def _now(self) -> int:
+        return self._sim.cycle if self._sim is not None else 0
+
+    @property
+    def forced_cycles(self) -> int:
+        """Cycles a force has been applied, accounted lazily."""
+        if self._forced_since is None:
+            return self._forced_base
+        return self._forced_base + max(0, self._now() - self._forced_since)
 
     @property
     def any_force_active(self) -> bool:
@@ -147,17 +177,21 @@ class FaultInjector(Component):
             src.ready.value = bool(ready)
 
     def update(self) -> None:
-        if self.any_force_active:
-            self.forced_cycles += 1
+        # forced_cycles is derived lazily from the clock; nothing
+        # remains for the sequential phase to do.
+        pass
 
     def quiescent(self):
-        # forced_cycles counts only while a force is applied, and only
-        # force()/release() (which wake us) can change that.
-        return not self.any_force_active
+        # Pure passthrough state machine: force()/release() are the
+        # only transitions, and both wake us explicitly.
+        return True
 
     def snapshot_state(self):
-        return (self.forced_cycles,)
+        # The lazy count is a pure function of the clock between
+        # transitions; verify watches only the transition bookkeeping.
+        return (self._forced_base, self._forced_since is not None)
 
     def reset(self) -> None:
         self.release()  # schedules re-evaluation of both phases
-        self.forced_cycles = 0
+        self._forced_base = 0
+        self._forced_since = None

@@ -139,11 +139,12 @@ class CampaignSpec:
     ) -> "CampaignSpec":
         """System-level sweep over TMU variants (Fig. 11 shape).
 
-        *harness_kwargs* (e.g. ``{"sim_strategy": "exhaustive"}``) are
-        forwarded to :func:`~repro.soc.experiment.run_system_injection`
-        — the hook the kernel-scheduling differential tests use to pit
-        the dirty/quiescent kernel against the reference sweep on the
-        very same campaign.
+        *harness_kwargs* (e.g. ``{"sim_strategy": "exhaustive"}`` or
+        ``{"sim_time_leaping": False}``) are forwarded to
+        :func:`~repro.soc.experiment.run_system_injection` — the hook
+        the kernel-scheduling differential tests use to pit the
+        dirty/quiescent/time-leaping kernel against the reference
+        sweep on the very same campaign.
         """
         return cls(
             kind="system",

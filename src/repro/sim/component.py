@@ -74,6 +74,27 @@ on wake.  :meth:`snapshot_state` must exclude such clock-derived state,
 because ``Simulator(strategy="verify")`` replays the updates of every
 skipped component each cycle and raises ``SchedulerDivergenceError``
 when a replay moves the snapshot (an under-declared wake path).
+
+Timed wakes
+-----------
+
+A component whose only pending sequential work is a *countdown* — a
+watchdog deadline, a timeout budget, a ready-delay crossing — may be
+quiescent through the countdown **provided** it declares the cycle the
+countdown falls due with :meth:`wake_at` (alias :meth:`sleep_until`)
+before sleeping, and reconstructs the elapsed span from
+``self._sim.cycle`` when it next updates.  ``wake_at(c)`` guarantees
+the component is back in the live updater set for the step that starts
+at ``sim.cycle == c`` (whose update is stamped ``c + 1``).  The armed
+wake is a single value: the latest ``wake_at`` supersedes any earlier
+one, waking earlier than necessary is harmless (the update simply
+re-arms), and :meth:`cancel_wake` drops it.  Waking in the past raises
+``ValueError``; ``wake_at(sim.cycle)`` degenerates to
+:meth:`schedule_update`.  The standard conversion keeps one
+``_stamp``-style field holding the stamp of the last real update and
+applies ``elapsed = now - stamp`` ticks on wake — under an always-on
+update phase ``elapsed`` is 1 every cycle, so one implementation serves
+both modes and ``strategy="verify"`` replays remain exact.
 """
 
 from __future__ import annotations
@@ -128,6 +149,9 @@ class Component:
         self._update_scheduler: Optional[set] = None
         self._sim = None
         self._order: int = 0
+        # The single armed timed-wake cycle, or None.  Owned jointly
+        # with the simulator's wake heap (lazy-cancellation protocol).
+        self._wake_cycle: Optional[int] = None
 
     def wires(self) -> Iterable[Wire]:
         """Wires sourced or observed by this component.
@@ -231,6 +255,31 @@ class Component:
     def wake_update(self) -> None:
         """Alias for :meth:`schedule_update` (respects overrides)."""
         self.schedule_update()
+
+    def wake_at(self, cycle: int) -> None:
+        """Arm a timed wake: re-enter the live updater set for the step
+        that starts at ``sim.cycle == cycle``.
+
+        The latest call wins (re-arming with an earlier or later cycle
+        supersedes the previous wake).  ``cycle`` in the past raises
+        ``ValueError``; the current cycle degenerates to
+        :meth:`schedule_update`.  A no-op for unregistered components
+        and for registrations whose update runs every cycle anyway
+        (``exhaustive`` simulators, ``update_skipping=False``, or
+        components that never opted into ``demand_update``).
+        """
+        sim = self._sim
+        if sim is None or self._update_scheduler is None:
+            return
+        sim._register_wake(self, cycle)
+
+    def sleep_until(self, cycle: int) -> None:
+        """Alias for :meth:`wake_at`, reading better at sleep sites."""
+        self.wake_at(cycle)
+
+    def cancel_wake(self) -> None:
+        """Drop the armed timed wake, if any (lazy heap cancellation)."""
+        self._wake_cycle = None
 
     def drive(self) -> None:
         """Combinational phase: compute outputs from inputs + state."""

@@ -17,6 +17,31 @@ One simulated clock cycle proceeds as:
    or ``schedule_update()`` is called.  Components that did not opt in
    run every cycle, interleaved in registration order.
 
+Timed wakes and clock fast-forward ("time leap")
+------------------------------------------------
+
+A quiescent component whose only future work is a *countdown* — a
+watchdog expiry, a timeout-counter budget, a handshake-delay crossing —
+declares the cycle that work falls due via
+:meth:`~repro.sim.component.Component.wake_at`.  Wakes live in a min-
+heap; at the start of each step every wake due at the current cycle
+moves its component back into the live updater set, exactly as a
+``schedule_update()`` at that instant would.  Cancellation and re-arm
+are lazy: a component carries its single authoritative ``_wake_cycle``
+and superseded heap entries are discarded when they surface.
+
+``run()`` / ``run_until()`` exploit the heap: when a step ends with the
+settle worklist empty, the live updater set empty, no always-scheduled
+drives, no static updaters, and only timed wakes pending, every
+intervening cycle is provably a no-op — no drive can run, no update can
+run, no wire can change — so the clock *leaps* directly to
+``min(next_wake, target)`` instead of ticking through the span.  Probes
+pin the clock (no leap happens while one is registered) unless they
+declare ``leap_aware = True``; a leap-aware probe may also implement
+``on_leap(sim, from_cycle, to_cycle)`` to observe the jump.
+``Simulator(time_leaping=False)`` disables the fast-forward for A/B
+ablations while keeping the wake heap as a plain re-arm mechanism.
+
 Three settle strategies share those semantics:
 
 ``dirty`` (default)
@@ -89,6 +114,15 @@ class Simulator:
         components that opted into the quiescence contract — the
         pre-quiescence behaviour, kept for A/B debugging and benchmark
         ablations.  ``exhaustive`` simulators never skip regardless.
+    time_leaping:
+        When False, ``run()``/``run_until()`` never fast-forward the
+        clock over idle spans; timed wakes still re-arm components at
+        their declared cycles, just via ordinary per-cycle stepping.
+        Leaping is only ever active on the ``dirty`` strategy with
+        update skipping on — ``verify`` deliberately replays would-be
+        leaped spans cycle by cycle so its differential checks can
+        catch an under-declared wake, and ``exhaustive`` runs
+        everything everywhere anyway.
     """
 
     def __init__(
@@ -96,6 +130,7 @@ class Simulator:
         max_settle_iterations: int = 64,
         strategy: str = "dirty",
         update_skipping: bool = True,
+        time_leaping: bool = True,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -106,6 +141,9 @@ class Simulator:
         self.max_settle_iterations = max_settle_iterations
         self.strategy = strategy
         self.update_skipping = update_skipping and strategy != "exhaustive"
+        self.time_leaping = (
+            time_leaping and self.update_skipping and strategy == "dirty"
+        )
         self._wires: Dict[int, Wire] = {}
         self._probes: List[Callable[["Simulator"], None]] = []
         #: Worklist of components whose drive() must (re)run.  Shared by
@@ -140,6 +178,13 @@ class Simulator:
         #: only populated once track_changes() has been called.
         self._changed_wires: set = set()
         self._track_changes = False
+        #: Timed-wake min-heap of (cycle, registration order, component).
+        #: Entries are superseded lazily: only an entry matching its
+        #: component's current _wake_cycle is honoured when it surfaces.
+        self._wake_heap: List[Tuple[int, int, Component]] = []
+        #: Fast-forward statistics (for benchmarks and BENCH_kernel.json).
+        self.leaps = 0
+        self.cycles_leaped = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -181,6 +226,9 @@ class Simulator:
         # that simulator sweeps exhaustively.
         component._scheduler = sink
         component._sim = self
+        # A fresh registration voids any wake armed under a previous
+        # simulator; stale heap entries there are discarded lazily.
+        component._wake_cycle = None
         if type(component).drive is not Component.drive:
             self._drivers.append(component)
             if incremental:
@@ -266,6 +314,84 @@ class Simulator:
         return list(self._declared_writers.get(id(wire), ()))
 
     # ------------------------------------------------------------------
+    # Timed wakes
+    # ------------------------------------------------------------------
+    def _register_wake(self, component: Component, cycle: int) -> None:
+        """Arm *component*'s update to run in the step starting at *cycle*.
+
+        The latest call wins: re-arming with a different cycle (earlier
+        or later) supersedes the previous wake, whose heap entry is
+        discarded lazily when it surfaces.  ``cycle == self.cycle``
+        degenerates to :meth:`Component.schedule_update` — the step at
+        the current cycle has not run yet when called between cycles,
+        and mid-phase the ordinary wake-splicing rules apply.
+        """
+        if cycle < self.cycle:
+            raise ValueError(
+                f"wake-in-the-past: {component!r} asked to wake at cycle "
+                f"{cycle} but the simulator is already at {self.cycle}"
+            )
+        if cycle == self.cycle:
+            component._wake_cycle = None
+            component.schedule_update()
+            return
+        if component._wake_cycle == cycle:
+            return  # already armed for exactly that cycle
+        component._wake_cycle = cycle
+        heapq.heappush(self._wake_heap, (cycle, component._order, component))
+
+    def _pop_due_wakes(self) -> None:
+        """Move every wake due at the current cycle into the live set."""
+        heap = self._wake_heap
+        now = self.cycle
+        awake = self._update_pending
+        while heap and heap[0][0] <= now:
+            cycle, _, component = heapq.heappop(heap)
+            if component._wake_cycle == cycle and component._sim is self:
+                component._wake_cycle = None
+                awake.add(component)
+
+    def _next_wake(self) -> Optional[int]:
+        """Earliest still-armed wake cycle, pruning superseded entries."""
+        heap = self._wake_heap
+        while heap:
+            cycle, _, component = heap[0]
+            if component._wake_cycle == cycle and component._sim is self:
+                return cycle
+            heapq.heappop(heap)
+        return None
+
+    def _leap_ready(self) -> bool:
+        """Whether this simulator is ever allowed to fast-forward.
+
+        Any always-scheduled drive or static updater produces real work
+        every cycle, and a probe that did not opt in via ``leap_aware``
+        expects to observe every cycle — each of them pins the clock.
+        """
+        return (
+            self.time_leaping
+            and not self._always
+            and not self._static_updaters
+            and all(getattr(probe, "leap_aware", False) for probe in self._probes)
+        )
+
+    def _leap_to(self, cycle: int) -> None:
+        """Jump the clock to *cycle* across a provably inert span."""
+        start = self.cycle
+        self.cycle = cycle
+        self.leaps += 1
+        self.cycles_leaped += cycle - start
+        for probe in self._probes:
+            on_leap = getattr(probe, "on_leap", None)
+            if on_leap is not None:
+                on_leap(self, start, cycle)
+            elif getattr(probe, "leap_resample", False):
+                # The probe asked to be invoked once per jump instead
+                # of receiving the boundary (e.g. the VCD writer's
+                # initial-value flush).
+                probe(self)
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -274,6 +400,8 @@ class Simulator:
             wire.reset()
         for component in self.components:
             component.reset()
+            component._wake_cycle = None
+        self._wake_heap.clear()
         self.cycle = 0
         # Registered state moved arbitrarily: every drive is stale and
         # every quiescence judgment is void.
@@ -516,6 +644,8 @@ class Simulator:
 
     def step(self) -> None:
         """Advance simulated time by one clock cycle."""
+        if self._wake_heap:
+            self._pop_due_wakes()
         self._settle()
         if self.strategy == "verify":
             self._update_phase_verify()
@@ -529,9 +659,28 @@ class Simulator:
             self._changed_wires.clear()
 
     def run(self, cycles: int) -> None:
-        """Advance by *cycles* clock cycles."""
+        """Advance simulated time by *cycles* clock cycles.
+
+        With time leaping active, spans where nothing can happen — no
+        pending drives, empty live updater set, only timed wakes ahead —
+        are crossed in one jump to ``min(next_wake, target)`` instead of
+        being ticked through; the observable end state is identical.
+        """
+        target = self.cycle + cycles
         step = self.step
-        for _ in range(cycles):
+        if not self._leap_ready():
+            while self.cycle < target:
+                step()
+            return
+        while self.cycle < target:
+            if self._wake_heap:
+                self._pop_due_wakes()
+            if not self._pending and not self._update_pending:
+                nxt = self._next_wake()
+                dest = target if nxt is None else min(nxt, target)
+                if dest > self.cycle:
+                    self._leap_to(dest)
+                    continue
             step()
 
     def run_until(
@@ -542,10 +691,41 @@ class Simulator:
         """Step until *condition* holds; return the cycle it first held.
 
         Returns ``None`` if *timeout* cycles elapse first.  The condition
-        is evaluated after each cycle's update phase.
+        is evaluated after each cycle's update phase.  Under time
+        leaping the condition must be a function of simulation state
+        (wires, component state): such a condition cannot change across
+        a leaped span — nothing runs and no wire moves — so it is
+        additionally consulted once *before* each jump (skipping the
+        jump when it already holds) and not re-evaluated inside the
+        span.  Conditions keyed on wall-clock cycle counts alone should
+        run with ``time_leaping=False``.
         """
+        target = self.cycle + timeout
         step = self.step
-        for _ in range(timeout):
+        if not self._leap_ready():
+            while self.cycle < target:
+                step()
+                if condition(self):
+                    return self.cycle
+            return None
+        while self.cycle < target:
+            if self._wake_heap:
+                self._pop_due_wakes()
+            if (
+                not self._pending
+                and not self._update_pending
+                and not condition(self)
+                # Re-checked *after* the condition ran: a side-effecting
+                # condition (fault injection, schedule_update) may have
+                # just created work, which must be stepped, not leaped.
+                and not self._pending
+                and not self._update_pending
+            ):
+                nxt = self._next_wake()
+                dest = target if nxt is None else min(nxt, target)
+                if dest > self.cycle:
+                    self._leap_to(dest)
+                    continue
             step()
             if condition(self):
                 return self.cycle

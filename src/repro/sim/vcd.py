@@ -127,5 +127,16 @@ class VcdWriter:
             for change in changes:
                 self._stream.write(change + "\n")
 
+    # Value changes are the only thing a VCD records, and no wire can
+    # change across a leaped span — skipping the per-cycle samples
+    # emits the identical change list, so the writer opts into time
+    # leaping instead of pinning the clock.  leap_resample asks the
+    # kernel to invoke the probe once at each leap destination, which
+    # flushes anything not yet dumped (in practice only the initial
+    # values, when a trace starts inside an idle span); mid-run leaps
+    # have no pending changes and the extra call emits nothing.
+    sample.leap_aware = True
+    sample.leap_resample = True
+
     def close(self) -> None:
         self._stream.flush()

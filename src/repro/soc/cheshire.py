@@ -113,9 +113,12 @@ class CheshireSoC:
         dram_tmu_config: Optional[TmuConfig] = None,
         sim_strategy: str = "dirty",
         sim_update_skipping: bool = True,
+        sim_time_leaping: bool = True,
     ) -> None:
         self.sim = Simulator(
-            strategy=sim_strategy, update_skipping=sim_update_skipping
+            strategy=sim_strategy,
+            update_skipping=sim_update_skipping,
+            time_leaping=sim_time_leaping,
         )
         config = tmu_config if tmu_config is not None else system_tmu_config()
 

@@ -96,6 +96,10 @@ class RecoveryCpu(Component):
         def done(response):
             setattr(self, store, response.rdata)
             self._awaiting_bus = False
+            # The hart sleeps while a bus access is in flight; the
+            # completion (delivered from the Regbus master's update)
+            # resumes the ISR on the next edge, as always-on did.
+            self.schedule_update()
 
         base = self.regbus_bases[self._source_name()]
         self.regbus.read(base + offset, done)
@@ -105,6 +109,7 @@ class RecoveryCpu(Component):
 
         def done(_response):
             self._awaiting_bus = False
+            self.schedule_update()
 
         base = self.regbus_bases[self._source_name()]
         self.regbus.write(base + offset, value, done)
@@ -114,6 +119,16 @@ class RecoveryCpu(Component):
         return self.plic.sources
 
     def quiescent(self):
+        # WFI-style idle sleep, plus two new sleeps the ISR allows: the
+        # entry-latency stall (a pure countdown — timed wake at its
+        # zero crossing) and a bus access in flight (the completion
+        # callback re-arms us).
+        if self._state is _IsrState.ENTRY and self._countdown > 0:
+            if self._sim is not None:
+                self.wake_at(self._sim.cycle + self._countdown)
+            return True
+        if self._awaiting_bus:
+            return True
         return (
             self._state is _IsrState.IDLE
             and not self.plic.any_pending
@@ -121,10 +136,12 @@ class RecoveryCpu(Component):
         )
 
     def snapshot_state(self):
+        # _countdown is clock-derived under the timed-wake contract
+        # (elapsed-ticked, replayed exactly); the ISR transitions it
+        # produces are what verify must observe.
         return (
             self._state,
             self._servicing,
-            self._countdown,
             self._status,
             self._kind,
             self._awaiting_bus,
@@ -135,7 +152,9 @@ class RecoveryCpu(Component):
         # claim_cycle stamps come from the global clock so quiescent
         # spans cannot skew them; standalone use falls back to counting.
         sim = self._sim
-        self._cycle = sim.cycle + 1 if sim is not None else self._cycle + 1
+        now = sim.cycle + 1 if sim is not None else self._cycle + 1
+        elapsed = now - self._cycle
+        self._cycle = now
         if self._state == _IsrState.IDLE:
             source = self.plic.claim()
             if source is not None:
@@ -145,7 +164,7 @@ class RecoveryCpu(Component):
             return
         if self._state == _IsrState.ENTRY:
             if self._countdown > 0:
-                self._countdown -= 1
+                self._countdown -= min(self._countdown, elapsed)
                 return
             if self.regbus is None:
                 # Direct access: the whole handler body in one cycle.
@@ -191,4 +210,5 @@ class RecoveryCpu(Component):
         self._status = 0
         self._kind = 0
         self._awaiting_bus = False
+        self.cancel_wake()
         self.schedule_update()

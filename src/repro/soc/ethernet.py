@@ -47,41 +47,77 @@ class EthernetMac(Subordinate):
         kwargs.setdefault("max_outstanding", 8)
         super().__init__(name, bus, memory, **kwargs)
         self.line_rate = line_rate_beats_per_cycle
-        self.tx_beats_buffered = 0.0
         self.frames_sent = 0
         self.beats_received = 0
+        # The TX drain is a pure function of the clock between beat
+        # arrivals, so it is accounted lazily against a stamp instead
+        # of ticking every cycle — a draining (but AXI-idle) MAC is
+        # update-quiescent and its idle span can be leaped.
+        self._tx_buffered = 0.0
+        self._tx_stamp = 0
+
+    # ------------------------------------------------------------------
+    # Lazy line-drain accounting
+    # ------------------------------------------------------------------
+    def _sync_tx(self, stamp: int) -> None:
+        """Apply the per-cycle drain for every update stamped <= *stamp*.
+
+        Idempotent reconstruction from the clock: ``k`` skipped cycles
+        drain ``k * line_rate`` (clamped at zero), exactly what ``k``
+        per-cycle subtractions of an always-on update would have done.
+        """
+        elapsed = stamp - self._tx_stamp
+        if elapsed > 0 and self._tx_buffered > 0:
+            self._tx_buffered = max(
+                0.0, self._tx_buffered - self.line_rate * elapsed
+            )
+        if elapsed > 0:
+            self._tx_stamp = stamp
+
+    @property
+    def tx_beats_buffered(self) -> float:
+        """TX beats awaiting the line, including any quiescent tail."""
+        if self._sim is not None:
+            self._sync_tx(self._sim.cycle)
+        return self._tx_buffered
 
     def _on_w_fired(self, beat) -> None:
         super()._on_w_fired(beat)
         self.beats_received += 1
-        self.tx_beats_buffered += 1
+        self._tx_buffered += 1
         if beat.last:
             self.frames_sent += 1
 
     def update(self) -> None:
+        now = self._sim.cycle + 1 if self._sim is not None else self._tx_stamp + 1
+        self._sync_tx(now - 1)  # catch up any slept span first
         super().update()
-        if self.tx_beats_buffered > 0:
-            self.tx_beats_buffered = max(
-                0.0, self.tx_beats_buffered - self.line_rate
-            )
+        if self._tx_buffered > 0:
+            self._tx_buffered = max(0.0, self._tx_buffered - self.line_rate)
+        self._tx_stamp = now
 
-    def quiescent(self):
-        # A buffered TX frame keeps draining to the line every cycle.
-        return self.tx_beats_buffered == 0 and super().quiescent()
+    # quiescent() is inherited unchanged: the TX drain no longer needs
+    # the update phase, so only the AXI-side conditions matter.
 
     def snapshot_state(self):
+        # _tx_buffered/_tx_stamp are clock-derived (lazily resynced)
+        # and excluded; the beat arrivals that feed them are covered by
+        # beats_received and the base subordinate snapshot.
         return (
             super().snapshot_state(),
-            self.tx_beats_buffered,
             self.frames_sent,
             self.beats_received,
         )
 
     def _take_reset(self) -> None:
         super()._take_reset()
-        self.tx_beats_buffered = 0.0
+        self._tx_buffered = 0.0
+        if self._sim is not None:
+            self._tx_stamp = self._sim.cycle + 1
 
     def reset(self) -> None:
         super().reset()
         self.frames_sent = 0
         self.beats_received = 0
+        self._tx_buffered = 0.0
+        self._tx_stamp = 0

@@ -100,16 +100,23 @@ def run_system_injection(
     start_delay: int = 0,
     sim_strategy: str = "dirty",
     sim_update_skipping: bool = True,
+    sim_time_leaping: bool = True,
 ) -> SystemInjectionResult:
     """One Fig. 11 data point: inject *stage* during the Ethernet frame.
 
     *start_delay* idles the SoC for that many cycles before the frame is
     queued — campaign seeds map here, shifting the transaction (and the
     injection) relative to the TMU's prescaler phase.  *sim_strategy*
-    selects the kernel (``dirty``/``exhaustive``/``verify``) and
-    *sim_update_skipping* the quiescence ablation, so differential tests
-    and benchmarks can replay the identical campaign on the reference
+    selects the kernel (``dirty``/``exhaustive``/``verify``),
+    *sim_update_skipping* the quiescence ablation and *sim_time_leaping*
+    the clock-fast-forward ablation, so differential tests and
+    benchmarks can replay the identical campaign on the reference
     kernels.
+
+    The detection and recovery loops run through ``run_until`` with a
+    stateful watcher: its bookkeeping only moves on handshake fires and
+    wire levels, which are frozen across any span the kernel leaps, so
+    the campaign output is byte-identical with leaping on or off.
     """
     # Imported here: repro.faults.campaign builds IP harnesses with the
     # reset unit from this package, so a module-level import would cycle.
@@ -119,6 +126,7 @@ def run_system_injection(
         system_tmu_config(variant, frame_beats=beats),
         sim_strategy=sim_strategy,
         sim_update_skipping=sim_update_skipping,
+        sim_time_leaping=sim_time_leaping,
     )
     if start_delay:
         soc.sim.run(start_delay)
@@ -141,55 +149,63 @@ def run_system_injection(
 
     txn_start: Optional[int] = None
     inject_cycle: Optional[int] = None
-    detect_cycle: Optional[int] = None
     w_first_cycle: Optional[int] = None
     w_beats = 0
     wlast_seen = False
-    for _ in range(detect_timeout):
-        soc.sim.step()
-        dev = soc.eth_dev_bus
-        if txn_start is None and soc.eth_host_bus.aw.valid.value:
-            txn_start = soc.sim.cycle
-        if dev.w.fired():
-            if w_first_cycle is None:
-                w_first_cycle = soc.sim.cycle
-            w_beats += 1
-            beat = dev.w.payload.value
-            if beat is not None and beat.last:
-                wlast_seen = True
-        if (
-            deferred_threshold is not None
-            and inject_cycle is None
-            and w_beats >= deferred_threshold
-        ):
-            apply_stage_fault(
-                soc.ethernet.faults,
-                soc.dma.faults,
-                soc.tmu.config.max_uniq_ids + 1,
-                stage,
-            )
-            inject_cycle = soc.sim.cycle
-            deferred_threshold = None
-        if inject_cycle is None and _manifested(soc, stage, wlast_seen):
-            inject_cycle = soc.sim.cycle
-        if soc.tmu.irq.value:
-            detect_cycle = soc.sim.cycle
-            break
+    observed_cycle = -1
+
+    def detect_tick(_sim) -> bool:
+        # May be consulted more than once per cycle (once pre-leap);
+        # the cycle guard keeps the fired-beat counting idempotent.
+        nonlocal txn_start, inject_cycle, w_first_cycle
+        nonlocal w_beats, wlast_seen, observed_cycle, deferred_threshold
+        if soc.sim.cycle != observed_cycle:
+            observed_cycle = soc.sim.cycle
+            dev = soc.eth_dev_bus
+            if txn_start is None and soc.eth_host_bus.aw.valid.value:
+                txn_start = soc.sim.cycle
+            if dev.w.fired():
+                if w_first_cycle is None:
+                    w_first_cycle = soc.sim.cycle
+                w_beats += 1
+                beat = dev.w.payload.value
+                if beat is not None and beat.last:
+                    wlast_seen = True
+            if (
+                deferred_threshold is not None
+                and inject_cycle is None
+                and w_beats >= deferred_threshold
+            ):
+                apply_stage_fault(
+                    soc.ethernet.faults,
+                    soc.dma.faults,
+                    soc.tmu.config.max_uniq_ids + 1,
+                    stage,
+                )
+                inject_cycle = soc.sim.cycle
+                deferred_threshold = None
+            if inject_cycle is None and _manifested(soc, stage, wlast_seen):
+                inject_cycle = soc.sim.cycle
+        return bool(soc.tmu.irq.value)
+
+    detect_cycle = soc.sim.run_until(detect_tick, timeout=detect_timeout)
 
     fault = soc.tmu.last_fault
     recovered = False
     if detect_cycle is not None:
         soc.dma.faults.clear()  # software recovery clears the manager fault
-        for _ in range(recovery_timeout):
-            soc.sim.step()
-            if (
-                soc.all_idle
-                and soc.tmu.state.value == "monitor"
-                and not soc.tmu.irq.value
-                and soc.cpu.recoveries
-            ):
-                recovered = True
-                break
+        recovered = (
+            soc.sim.run_until(
+                lambda _sim: (
+                    soc.all_idle
+                    and soc.tmu.state.value == "monitor"
+                    and not soc.tmu.irq.value
+                    and bool(soc.cpu.recoveries)
+                ),
+                timeout=recovery_timeout,
+            )
+            is not None
+        )
 
     return SystemInjectionResult(
         stage=stage,

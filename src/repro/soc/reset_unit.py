@@ -76,16 +76,25 @@ class ResetUnit(Component):
         return (self.req,)
 
     def quiescent(self):
-        # Idle with no request pending: the FSM cannot move until req
-        # rises.  RESETTING counts down and ACK watches for req falling,
-        # so both stay awake.
-        return self._state is _ResetState.IDLE and not self.req._value
+        # IDLE sleeps until req rises and ACK until it falls (both
+        # watched); RESETTING is a pure delay line — sleep under a
+        # timed wake at the cycle the countdown reaches zero (the
+        # update that flips the FSM to ACK and raises the ack wire
+        # next settle).
+        if self._state is _ResetState.IDLE:
+            return not self.req._value
+        if self._state is _ResetState.ACK:
+            return self.req._value
+        if self._countdown > 0 and self._sim is not None:
+            self.wake_at(self._sim.cycle + self._countdown)
+        return True
 
     def snapshot_state(self):
-        # _cycle (reset_log timestamps) is clock-derived and excluded.
+        # _cycle (reset_log timestamps) and the elapsed-ticked delay
+        # line are clock-derived and excluded; the FSM transitions the
+        # countdown produces are what verify must observe.
         return (
             self._state,
-            self._countdown,
             self.resets_issued,
             len(self.reset_log),
         )
@@ -103,7 +112,9 @@ class ResetUnit(Component):
 
     def update(self) -> None:
         sim = self._sim
-        self._cycle = sim.cycle + 1 if sim is not None else self._cycle + 1
+        now = sim.cycle + 1 if sim is not None else self._cycle + 1
+        elapsed = now - self._cycle
+        self._cycle = now
         if self._state == _ResetState.IDLE:
             if self.req.value:
                 self._state = _ResetState.RESETTING
@@ -112,7 +123,10 @@ class ResetUnit(Component):
                 self.reset_log.append(self._cycle)
                 self.schedule_drive()
         elif self._state == _ResetState.RESETTING:
-            self._countdown -= 1
+            # Pure delay line: a slept span's ticks land here at once
+            # (the timed wake guarantees elapsed never overshoots the
+            # zero crossing by more than the current cycle).
+            self._countdown -= min(self._countdown, elapsed)
             if self._countdown <= 0:
                 self._state = _ResetState.ACK
                 self.schedule_drive()
@@ -127,5 +141,6 @@ class ResetUnit(Component):
         self.resets_issued = 0
         self.reset_log.clear()
         self._cycle = 0
+        self.cancel_wake()
         self.schedule_drive()
         self.schedule_update()

@@ -55,10 +55,26 @@ class Prescaler:
         Exactly equivalent to calling :meth:`advance` *cycles* times and
         discarding the edges — valid only when no counter is armed to
         consume them (the guard's update-quiescence precondition).
+        Armed counters fast-forward through :meth:`edges_in` +
+        :meth:`PrescaledCounter.catch_up` instead.
         """
         if cycles < 0:
             raise ValueError(f"cannot skip {cycles} cycles")
         self._phase = (self._phase + cycles) % self.step
+
+    def edges_in(self, cycles: int) -> int:
+        """Edges the next *cycles* advances would fire, without advancing.
+
+        An advance fires when its pre-advance phase is ``step - 1``, so
+        the count is over phases ``phase .. phase + cycles - 1``.
+        """
+        return (self._phase + cycles) // self.step
+
+    def cycles_to_edge(self, edges: int) -> int:
+        """Advances until the *edges*-th future edge fires (edges >= 1)."""
+        if edges <= 0:
+            raise ValueError(f"edges must be positive, got {edges}")
+        return (self.step - self._phase) + (edges - 1) * self.step
 
     @property
     def phase(self) -> int:
@@ -126,6 +142,34 @@ class PrescaledCounter:
             self._armed = True
             self._accum = not self.sticky
         return self.expired
+
+    def edges_to_expiry(self) -> int:
+        """Counting edges still needed to expire, assuming the monitored
+        condition holds every cycle until then (a frozen-channel stall).
+
+        The first future edge only *arms* a counter created mid-interval
+        (step > 1), so an unarmed counter needs one extra edge.
+        """
+        remaining = max(0, self.units - self.count)
+        return remaining + (0 if self._armed else 1)
+
+    def catch_up(self, edges: int, end_on_edge: bool) -> None:
+        """Replay a frozen span of *edges* edges in O(1).
+
+        Exactly equivalent to ``tick(enabled=True, edge=...)`` once per
+        skipped cycle: the first edge arms an unarmed counter, every
+        armed edge counts (the sticky/AND accumulators are continuously
+        satisfied while the condition holds), and the accumulator ends
+        reset when the span's last cycle was an edge.  Valid only while
+        no expiry falls inside the span — the wake computed from
+        :meth:`edges_to_expiry` guarantees that.
+        """
+        if edges > 0:
+            increments = edges if self._armed else edges - 1
+            self._armed = True
+            if increments > 0:
+                self.count = min(self.units, self.count + increments)
+        self._accum = (not self.sticky) if end_on_edge else True
 
     @property
     def expired(self) -> bool:

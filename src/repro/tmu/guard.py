@@ -204,22 +204,68 @@ class GuardBase:
         """
         return self.ott.occupancy == 0 and not self.front.active
 
+    def _armed_counters(self) -> List[PrescaledCounter]:
+        """Counters still consuming prescaler edges (front + live entries)."""
+        counters: List[PrescaledCounter] = []
+        if self.front.counter is not None:
+            counters.append(self.front.counter)
+        for entry in self.ott.live_entries():
+            if entry.counter is not None and not entry.timeout:
+                counters.append(entry.counter)
+        return counters
+
+    def next_timeout_stamp(self, now: int) -> Optional[int]:
+        """Stamp of the earliest possible counter expiry after *now*.
+
+        Assumes the channels stay frozen from here (every armed counter
+        enabled every cycle, no re-arms) — exactly the span the TMU
+        sleeps through.  Any channel movement wakes the TMU first and
+        the prediction is recomputed.  ``None`` when nothing is armed.
+        """
+        best: Optional[int] = None
+        for counter in self._armed_counters():
+            stamp = now + self.prescaler.cycles_to_edge(counter.edges_to_expiry())
+            if best is None or stamp < best:
+                best = stamp
+        return best
+
+    def catch_up(self, cycles: int) -> None:
+        """Replay *cycles* frozen-channel observations in O(#counters).
+
+        Equivalent to calling :meth:`observe` *cycles* times with every
+        channel unchanged and fire-free: the prescaler advances, armed
+        counters consume its edges, and nothing else moves.  Valid only
+        when no expiry falls inside the span — the TMU's timed wake
+        (from :meth:`next_timeout_stamp`) guarantees that.
+        """
+        if cycles <= 0:
+            return
+        prescaler = self.prescaler
+        edges = prescaler.edges_in(cycles)
+        end_on_edge = edges > 0 and (prescaler.phase + cycles) % prescaler.step == 0
+        prescaler.skip(cycles)
+        for counter in self._armed_counters():
+            counter.catch_up(edges, end_on_edge)
+
     def snapshot_state(self):
         """Wake-independent registered state, for verify-strategy diffs.
 
-        Excludes the prescaler phase (clock-derived, resynced on wake)
+        Excludes the prescaler phase *and* the armed counters' counts —
+        both are clock-derived now that the TMU sleeps through frozen
+        stalls under a timed wake (the counts advance deterministically
+        with the skipped edges and are replayed by :meth:`catch_up`) —
         and normalizes the rising-edge detector map (absent and False
-        entries are equivalent).
+        entries are equivalent).  The expiry *transitions* (events,
+        ``entry.timeout``, trip bookkeeping) stay snapshotted, which is
+        what lets ``strategy="verify"`` catch an under-declared wake.
         """
         return (
             self.ott.occupancy,
             tuple(
-                (entry.tid, entry.beats_seen, entry.timeout,
-                 entry.counter.count if entry.counter is not None else -1)
+                (entry.tid, entry.beats_seen, entry.timeout, entry.state)
                 for entry in self.ott.live_entries()
             ),
             self.front.active,
-            self.front.counter.count if self.front.counter is not None else -1,
             self.timeouts_detected,
             self.violations_detected,
             tuple(self.completed_tids),

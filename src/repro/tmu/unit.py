@@ -134,9 +134,10 @@ class TransactionMonitoringUnit(Component):
         self._channels = [_TmuChannel(self, ch) for ch in _CHANNELS]
         # Any traffic on either side keeps the guards observing; the
         # update-quiescence predicate and wake list both key off these.
-        self._watch_valids = [
-            getattr(bus, ch).valid for bus in (host, device) for ch in _CHANNELS
+        self._watch_channels = [
+            getattr(bus, ch) for bus in (host, device) for ch in _CHANNELS
         ]
+        self._watch_valids = [ch.valid for ch in self._watch_channels]
 
         #: interrupt request to the platform interrupt controller.
         self.irq = Wire(f"{name}.irq", False)
@@ -202,24 +203,42 @@ class TransactionMonitoringUnit(Component):
 
     def update_inputs(self):
         # A valid rising anywhere (or the reset handshake moving) ends
-        # quiescence; ready-only changes cannot fire a handshake while
-        # every valid is low.
-        return (*self._watch_valids, self.reset_ack)
+        # quiescence.  Ready wires are watched too: the TMU may now
+        # sleep through a held-valid stall (deaf channel), and the only
+        # event that can unfreeze such a channel is its ready rising.
+        return (
+            *(ch.valid for ch in self._watch_channels),
+            *(ch.ready for ch in self._watch_channels),
+            self.reset_ack,
+        )
 
     def quiescent(self):
-        # Provably no-op update: monitoring, nothing tracked by either
-        # guard (no armed counters), and both interfaces idle.  The only
-        # state the skipped cycles would have moved — self.cycle and the
-        # guards' free-running prescalers — resyncs in update() on wake.
-        # A disabled TMU stays awake: its update is already trivial, and
+        # Provably no-op update: monitoring, and no handshake can fire
+        # next edge (no channel holds valid & ready — any change that
+        # could fire one goes through a watched wire and wakes us
+        # first).  Guards with armed counters are pure countdowns across
+        # such a frozen span, so they may sleep too — but only under a
+        # timed wake at the earliest possible expiry; the skipped edges
+        # are replayed exactly by GuardBase.catch_up() on wake.  A
+        # disabled TMU stays awake: its update is already trivial, and
         # direct config.enabled flips need no wake path.
-        return (
-            self.config.enabled
-            and self.state is TmuState.MONITOR
-            and self.write_guard.idle
-            and self.read_guard.idle
-            and not any(wire._value for wire in self._watch_valids)
-        )
+        if not self.config.enabled or self.state is not TmuState.MONITOR:
+            return False
+        for ch in self._watch_channels:
+            if ch.valid._value and ch.ready._value:
+                return False
+        wake = None
+        for guard in (self.write_guard, self.read_guard):
+            if guard.idle:
+                continue
+            stamp = guard.next_timeout_stamp(self.cycle)
+            if stamp is not None and (wake is None or stamp < wake):
+                wake = stamp
+        if wake is not None:
+            # self.cycle is this update's stamp (sim.cycle + 1); the
+            # expiry update stamped `wake` runs in the step at wake - 1.
+            self.wake_at(self._sim.cycle + (wake - self.cycle))
+        return True
 
     def snapshot_state(self):
         return (
@@ -353,13 +372,15 @@ class TransactionMonitoringUnit(Component):
             now = sim.cycle + 1
             skipped = now - self.cycle - 1
             if skipped > 0:
-                # Waking from quiescence (enabled MONITOR, guards empty,
-                # channels idle — nothing else ever skips): the skipped
-                # span advanced only the free-running prescalers, whose
-                # idle edges no armed counter consumed.  Fast-forward
-                # them so detection timing stays cycle-exact.
-                self.write_guard.prescaler.skip(skipped)
-                self.read_guard.prescaler.skip(skipped)
+                # Waking from quiescence (enabled MONITOR, channels
+                # frozen — nothing else ever skips): the skipped span
+                # advanced the free-running prescalers and fed their
+                # edges to any armed counters, with no expiry inside
+                # the span (the timed wake from quiescent() lands on
+                # the earliest one).  Replay it in O(#counters) so
+                # detection timing stays cycle-exact.
+                self.write_guard.catch_up(skipped)
+                self.read_guard.catch_up(skipped)
             self.cycle = now
         else:
             self.cycle += 1

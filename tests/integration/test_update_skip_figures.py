@@ -41,23 +41,29 @@ def small_config(variant: Variant) -> TmuConfig:
     )
 
 
-def fig9_json(sim_strategy: str) -> str:
+def fig9_json(sim_strategy: str, time_leaping: bool = True) -> str:
     results = run_campaign(
         [small_config(Variant.FULL), small_config(Variant.TINY)],
         FIG9_STAGES,
         beats=4,
         seeds=(0, 3),
-        harness_kwargs={"sim_strategy": sim_strategy},
+        harness_kwargs={
+            "sim_strategy": sim_strategy,
+            "sim_time_leaping": time_leaping,
+        },
     )
     return to_json(campaign_dict(results))
 
 
-def fig11_json(sim_strategy: str) -> str:
+def fig11_json(sim_strategy: str, time_leaping: bool = True) -> str:
     spec = CampaignSpec.system(
         (Variant.FULL, Variant.TINY),
         FIG11_STAGES,
         beats=16,
-        harness_kwargs={"sim_strategy": sim_strategy},
+        harness_kwargs={
+            "sim_strategy": sim_strategy,
+            "sim_time_leaping": time_leaping,
+        },
     )
     return to_json(campaign_dict(run_campaign_spec(spec)))
 
@@ -72,9 +78,21 @@ def test_fig9_campaign_verify_strategy_clean():
     assert fig9_json("verify") == fig9_json("dirty")
 
 
+def test_fig9_campaign_identical_with_time_leaping():
+    assert fig9_json("dirty", time_leaping=True) == fig9_json(
+        "dirty", time_leaping=False
+    )
+
+
 def test_fig11_campaign_identical_with_update_skipping():
     assert fig11_json("dirty") == fig11_json("exhaustive")
 
 
 def test_fig11_campaign_verify_strategy_clean():
     assert fig11_json("verify") == fig11_json("dirty")
+
+
+def test_fig11_campaign_identical_with_time_leaping():
+    assert fig11_json("dirty", time_leaping=True) == fig11_json(
+        "dirty", time_leaping=False
+    )
