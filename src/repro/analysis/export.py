@@ -99,13 +99,32 @@ def system_injection_result_dict(result) -> Dict[str, Any]:
     return payload
 
 
+def scheduler_stats_dict(results) -> Dict[str, int]:
+    """Aggregate kernel fast-forward statistics over a result list.
+
+    Sums the per-run ``sim_leaps`` / ``sim_cycles_leaped`` diagnostics
+    (see the timed-wake queue in :mod:`repro.sim.kernel`) so a campaign
+    archive records how much simulated idle time was leaped rather than
+    ticked.  Results predating the fields count as zero.
+    """
+    return {
+        "leaps": sum(int(getattr(result, "sim_leaps", 0) or 0) for result in results),
+        "cycles_leaped": sum(
+            int(getattr(result, "sim_cycles_leaped", 0) or 0) for result in results
+        ),
+    }
+
+
 def campaign_dict(results, spec=None) -> Dict[str, Any]:
     """JSON-ready form of a whole campaign's result list.
 
     *spec* may be a :class:`~repro.orchestrate.spec.CampaignSpec`; its
     canonical dict (and content hash) are embedded so an archived
     campaign is self-describing.  IP- and system-level results may be
-    mixed; each entry is tagged per run via its shape.
+    mixed; each entry is tagged per run via its shape.  The
+    ``scheduler`` block aggregates the wake/leap coalescing statistics
+    across runs — diagnostics about *how* the campaign simulated, kept
+    out of the per-result entries so those stay kernel-invariant.
     """
     entries = [
         system_injection_result_dict(result)
@@ -117,6 +136,7 @@ def campaign_dict(results, spec=None) -> Dict[str, Any]:
         "runs": len(entries),
         "detected": sum(1 for entry in entries if entry["detected"]),
         "recovered": sum(1 for entry in entries if entry["recovered"]),
+        "scheduler": scheduler_stats_dict(results),
         "results": entries,
     }
     if spec is not None:

@@ -9,12 +9,24 @@ Examples::
     python -m repro fig11 --workers 4
     python -m repro table2
     python -m repro campaign --kind ip --workers 4 --seeds 2 --progress
+
+Distributed campaigns (coordinator + any number of pull workers)::
+
+    python -m repro serve --port 7453 --workers 2 --kind system \
+        --cache-dir /shared/cache --json campaign.json
+    python -m repro worker --connect 10.0.0.5:7453        # on any machine
+    python -m repro campaign --distributed --local-workers 2 --kind ip
+    python -m repro fig11 --distributed --local-workers 2
+    python -m repro campaign --resume --cache-dir /shared/cache ...
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.export import campaign_dict, to_json
@@ -28,7 +40,16 @@ from .faults.campaign import (
     run_injection,
 )
 from .faults.types import FIG9_WRITE_STAGES, InjectionStage
-from .orchestrate import CampaignSpec, run_campaign_spec
+from .orchestrate import CampaignSpec, make_executor, run_campaign_spec
+from .orchestrate.distributed import (
+    DEFAULT_CONNECT_RETRY,
+    DEFAULT_LEASE_TIMEOUT,
+    DistributedExecutor,
+    default_worker_id,
+    worker_loop,
+)
+from .orchestrate.remote import ProtocolError
+from .orchestrate.executor import START_METHOD_ENV
 from .soc.experiment import FIG11_LABELS, FIG11_STAGES, run_fig11
 from .tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
 from .tmu.config import TmuConfig, Variant
@@ -58,6 +79,69 @@ def _stage(value: str) -> InjectionStage:
         raise argparse.ArgumentTypeError(
             f"unknown stage {value!r}; choose from: {choices}"
         )
+
+
+def _hostport(value: str):
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    return (host or "127.0.0.1", int(port))
+
+
+def _distributed_executor(args) -> Optional[DistributedExecutor]:
+    """Build (and announce) the coordinator when --distributed is set."""
+    if not getattr(args, "distributed", False):
+        return None
+    executor = make_executor(
+        1,
+        distributed={
+            "host": args.bind,
+            "port": args.port,
+            "local_workers": args.local_workers,
+            "lease_timeout": args.lease_timeout,
+        },
+    )
+    host, port = executor.bind()
+    print(
+        f"coordinator listening on {host}:{port} "
+        f"({args.local_workers} local worker(s); join with: "
+        f"repro worker --connect {host}:{port})",
+        file=sys.stderr,
+    )
+    return executor
+
+
+def _check_resume(args, spec: CampaignSpec) -> Optional[int]:
+    """Validate --resume against the spec's cache namespace.
+
+    Resume *is* the engine's cache-first dispatch; this only insists the
+    preconditions hold (a cache directory, and a namespace for this
+    exact spec hash to pick up) and says out loud what will be skipped.
+    """
+    if not getattr(args, "resume", False):
+        return None
+    if not args.cache_dir:
+        print("error: --resume requires --cache-dir", file=sys.stderr)
+        return 2
+    namespace = Path(args.cache_dir) / spec.spec_hash()
+    if not namespace.is_dir():
+        print(
+            f"error: nothing to resume: no cached campaign {spec.spec_hash()} "
+            f"under {args.cache_dir} (the spec hash keys the cache; any "
+            f"changed parameter starts a fresh campaign)",
+            file=sys.stderr,
+        )
+        return 2
+    cached = sum(1 for _ in namespace.glob("shard-*.json"))
+    total = len(spec.runs())
+    print(
+        f"resuming campaign {spec.spec_hash()}: {cached} shard(s) cached, "
+        f"re-executing the missing ones of {total} run(s)",
+        file=sys.stderr,
+    )
+    return None
 
 
 def cmd_area(args) -> int:
@@ -198,7 +282,14 @@ def cmd_fig8(args) -> int:
 
 
 def cmd_fig11(args) -> int:
-    series = run_fig11(workers=args.workers, cache_dir=args.cache_dir)
+    spec = CampaignSpec.system((Variant.FULL, Variant.TINY), FIG11_STAGES)
+    code = _check_resume(args, spec)
+    if code is not None:
+        return code
+    executor = _distributed_executor(args)
+    series = run_fig11(
+        workers=args.workers, cache_dir=args.cache_dir, executor=executor
+    )
     rows = []
     for i, label in enumerate(FIG11_LABELS):
         fc = series[Variant.FULL.value][i]
@@ -217,31 +308,40 @@ def cmd_fig11(args) -> int:
     return 0
 
 
-def cmd_campaign(args) -> int:
+def _campaign_spec(args) -> CampaignSpec:
     variants = args.variants or [Variant.FULL, Variant.TINY]
     if args.kind == "system":
         stages = args.stages or list(FIG11_STAGES)
-        spec = CampaignSpec.system(
+        return CampaignSpec.system(
             variants,
             stages,
             beats=args.beats if args.beats is not None else 250,
             seeds=range(args.seeds),
             background=args.background,
         )
-    else:
-        stages = args.stages or list(FIG9_WRITE_STAGES)
-        spec = CampaignSpec.ip(
-            [TmuConfig(variant=variant) for variant in variants],
-            stages,
-            beats=args.beats if args.beats is not None else 8,
-            seeds=range(args.seeds),
-        )
+    stages = args.stages or list(FIG9_WRITE_STAGES)
+    return CampaignSpec.ip(
+        [TmuConfig(variant=variant) for variant in variants],
+        stages,
+        beats=args.beats if args.beats is not None else 8,
+        seeds=range(args.seeds),
+    )
+
+
+def cmd_campaign(args, executor=None) -> int:
+    spec = _campaign_spec(args)
+    code = _check_resume(args, spec)
+    if code is not None:
+        return code
+    if executor is None:
+        executor = _distributed_executor(args)
     results = run_campaign_spec(
         spec,
-        workers=args.workers,
+        workers=getattr(args, "workers", None),
         shard_size=args.shard_size,
         cache_dir=args.cache_dir,
         progress=args.progress,
+        executor=executor,
     )
     rows = [
         [
@@ -258,8 +358,8 @@ def cmd_campaign(args) -> int:
             ["run", "detected", "lat(inject)", "lat(start)", "recovered"],
             rows,
             title=(
-                f"{args.kind} campaign: {len(variants)} config(s) x "
-                f"{len(stages)} stage(s) x {args.seeds} seed(s)"
+                f"{args.kind} campaign: {len(spec.configs)} config(s) x "
+                f"{len(spec.stages)} stage(s) x {len(spec.seeds)} seed(s)"
             ),
         )
     )
@@ -271,6 +371,55 @@ def cmd_campaign(args) -> int:
             stream.write(to_json(campaign_dict(results, spec=spec)))
         print(f"wrote {args.json_out}")
     return 0 if detected == recovered == len(results) else 1
+
+
+def cmd_serve(args) -> int:
+    """Coordinator: serve the campaign's shards to pull workers."""
+    executor = DistributedExecutor(
+        host=args.bind,
+        port=args.port,
+        local_workers=args.local_workers,
+        lease_timeout=args.lease_timeout,
+    )
+    host, port = executor.bind()
+    print(
+        f"serving shards on {host}:{port} "
+        f"({args.local_workers} local worker(s); join with: "
+        f"repro worker --connect {host}:{port})",
+        file=sys.stderr,
+    )
+    return cmd_campaign(args, executor=executor)
+
+
+def cmd_worker(args) -> int:
+    """Worker: pull shards from a coordinator until it says done."""
+    host, port = args.connect
+    if args.processes > 1:
+        method = os.environ.get(START_METHOD_ENV, "").strip() or None
+        context = multiprocessing.get_context(method)
+        processes = [
+            context.Process(
+                target=worker_loop,
+                args=(host, port),
+                kwargs={
+                    "worker_id": f"{default_worker_id()}-{index}",
+                    "retry_seconds": args.retry,
+                },
+            )
+            for index in range(args.processes)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+        return 0 if all(process.exitcode == 0 for process in processes) else 1
+    try:
+        executed = worker_loop(host, port, retry_seconds=args.retry)
+    except (OSError, ProtocolError) as exc:
+        print(f"worker error: {exc}", file=sys.stderr)
+        return 1
+    print(f"worker {default_worker_id()}: executed {executed} shard(s)")
+    return 0
 
 
 def cmd_table2(args) -> int:
@@ -331,6 +480,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="persist completed shards here; re-runs skip them",
     )
+    _add_distributed_args(p_fig11)
+    _add_resume_arg(p_fig11)
     p_fig11.set_defaults(func=cmd_fig11)
 
     p_table2 = sub.add_parser("table2", help="monitor comparison matrix")
@@ -339,46 +490,143 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign = sub.add_parser(
         "campaign", help="sharded fault-injection sweep (configs x stages x seeds)"
     )
-    p_campaign.add_argument("--kind", choices=("ip", "system"), default="ip")
-    p_campaign.add_argument(
-        "--variant", type=_variant, action="append", dest="variants",
-        help="TMU variant; repeatable (default: both)",
-    )
-    p_campaign.add_argument(
-        "--stage", type=_stage, action="append", dest="stages",
-        help="injection stage; repeatable (default: the figure's stage list)",
-    )
-    p_campaign.add_argument(
-        "--beats", type=int, default=None,
-        help="burst length (default: 8 for ip, 250 for system)",
-    )
-    p_campaign.add_argument(
-        "--seeds", type=_positive_int, default=1,
-        help="phase-offset seeds 0..N-1 per (config, stage) point",
-    )
-    p_campaign.add_argument(
-        "--background", type=int, default=0,
-        help="background CVA6 transactions (system campaigns)",
-    )
+    _add_campaign_axes(p_campaign)
     p_campaign.add_argument(
         "--workers", type=int, default=None,
         help="process count (default: REPRO_WORKERS or 1)",
     )
-    p_campaign.add_argument("--shard-size", type=int, default=1)
-    p_campaign.add_argument(
+    _add_distributed_args(p_campaign)
+    _add_resume_arg(p_campaign)
+    p_campaign.set_defaults(func=cmd_campaign)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="distributed campaign coordinator: serve shards to pull workers",
+        description=(
+            "Run a campaign as the coordinator of a distributed executor: "
+            "shards are served over TCP to any number of repro worker "
+            "processes (plus --workers local loopback ones), leases expire "
+            "and reassign on worker death, and completed shards stream into "
+            "--cache-dir so a killed campaign resumes with --resume."
+        ),
+    )
+    _add_campaign_axes(p_serve)
+    p_serve.add_argument(
+        "--port", type=int, default=7453,
+        help="TCP port to serve shards on (0 = ephemeral; default 7453)",
+    )
+    p_serve.add_argument(
+        "--bind", default="127.0.0.1",
+        help="bind address (default loopback; 0.0.0.0 admits LAN workers)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=0, dest="local_workers",
+        help="loopback worker processes to spawn alongside the coordinator",
+    )
+    p_serve.add_argument(
+        "--lease-timeout", type=float, default=DEFAULT_LEASE_TIMEOUT,
+        help="seconds before an unanswered shard lease is reassigned",
+    )
+    _add_resume_arg(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="distributed campaign worker: pull and execute shards",
+        description=(
+            "Connect to a repro serve / --distributed coordinator, pull "
+            "shards, execute them with the same per-run harness "
+            "construction as every other executor, and stream the results "
+            "back until the coordinator says done."
+        ),
+    )
+    p_worker.add_argument(
+        "--connect", type=_hostport, required=True, metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    p_worker.add_argument(
+        "--processes", type=_positive_int, default=1,
+        help="parallel worker processes to run (default 1)",
+    )
+    p_worker.add_argument(
+        "--retry", type=float, default=DEFAULT_CONNECT_RETRY,
+        help="seconds to keep retrying the initial connection",
+    )
+    p_worker.set_defaults(func=cmd_worker)
+
+    return parser
+
+
+def _add_campaign_axes(parser: argparse.ArgumentParser) -> None:
+    """The sweep axes and output options shared by campaign and serve."""
+    parser.add_argument("--kind", choices=("ip", "system"), default="ip")
+    parser.add_argument(
+        "--variant", type=_variant, action="append", dest="variants",
+        help="TMU variant; repeatable (default: both)",
+    )
+    parser.add_argument(
+        "--stage", type=_stage, action="append", dest="stages",
+        help="injection stage; repeatable (default: the figure's stage list)",
+    )
+    parser.add_argument(
+        "--beats", type=int, default=None,
+        help="burst length (default: 8 for ip, 250 for system)",
+    )
+    parser.add_argument(
+        "--seeds", type=_positive_int, default=1,
+        help="phase-offset seeds 0..N-1 per (config, stage) point",
+    )
+    parser.add_argument(
+        "--background", type=int, default=0,
+        help="background CVA6 transactions (system campaigns)",
+    )
+    parser.add_argument("--shard-size", type=int, default=1)
+    parser.add_argument(
         "--cache-dir", default=None,
         help="persist completed shards here; re-runs skip them",
     )
-    p_campaign.add_argument(
+    parser.add_argument(
         "--json", dest="json_out", default=None,
         help="also export the full campaign to this JSON file",
     )
-    p_campaign.add_argument(
+    parser.add_argument(
         "--progress", action="store_true", help="live progress/ETA on stderr"
     )
-    p_campaign.set_defaults(func=cmd_campaign)
 
-    return parser
+
+def _add_distributed_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--distributed", action="store_true",
+        help="serve shards over TCP to repro worker processes instead of "
+        "an in-process pool",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="coordinator TCP port (0 = ephemeral; implies --distributed "
+        "workers must be told the printed port)",
+    )
+    parser.add_argument(
+        "--bind", default="127.0.0.1",
+        help="coordinator bind address (default loopback; 0.0.0.0 admits "
+        "LAN workers)",
+    )
+    parser.add_argument(
+        "--local-workers", type=int, default=0,
+        help="loopback worker processes the coordinator spawns itself",
+    )
+    parser.add_argument(
+        "--lease-timeout", type=float, default=DEFAULT_LEASE_TIMEOUT,
+        help="seconds before an unanswered shard lease is reassigned",
+    )
+
+
+def _add_resume_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume a previous campaign from --cache-dir: cached shards "
+        "are loaded, only missing ones re-execute (requires an existing "
+        "cache namespace for this exact spec)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -123,7 +123,15 @@ class IpHarness:
 
 @dataclasses.dataclass
 class InjectionResult:
-    """Outcome of one fault injection."""
+    """Outcome of one fault injection.
+
+    ``sim_leaps`` / ``sim_cycles_leaped`` record how much idle time the
+    kernel fast-forwarded during the run (see PR 4's timed-wake queue).
+    They are scheduler diagnostics, not measurements: ``compare=False``
+    keeps result equality — and thus every leap-on ≡ leap-off
+    differential — about what was *measured*, never about how fast the
+    kernel got there.
+    """
 
     stage: InjectionStage
     variant: str
@@ -134,6 +142,8 @@ class InjectionResult:
     fault_phase: Optional[str]
     recovered: bool
     resets_taken: int
+    sim_leaps: int = dataclasses.field(default=0, compare=False)
+    sim_cycles_leaped: int = dataclasses.field(default=0, compare=False)
 
     @property
     def detected(self) -> bool:
@@ -307,6 +317,8 @@ def run_injection(
         fault_phase=fault.phase_label if fault else None,
         recovered=recovered,
         resets_taken=harness.subordinate.resets_taken,
+        sim_leaps=harness.sim.leaps,
+        sim_cycles_leaped=harness.sim.cycles_leaped,
     )
 
 
@@ -322,16 +334,19 @@ def run_campaign(
     shard_size: int = 1,
     cache_dir=None,
     progress=None,
+    executor=None,
 ) -> List[InjectionResult]:
     """Cross-product campaign over configurations, stages and seeds.
 
     Runs through the orchestration engine (:mod:`repro.orchestrate`):
-    *workers* > 1 shards the sweep across a process pool, *cache_dir*
-    persists completed shards so re-runs skip them, and *progress*
-    enables the live status line.  Result ordering is canonical
-    (config-major, then stage, then seed) regardless of executor, so
-    the parallel path is a drop-in replacement for the historical
-    serial loop.
+    *workers* > 1 shards the sweep across a process pool (*executor*
+    overrides the choice entirely, e.g. with a
+    :class:`~repro.orchestrate.distributed.DistributedExecutor`),
+    *cache_dir* persists completed shards so re-runs skip them, and
+    *progress* enables the live status line.  Result ordering is
+    canonical (config-major, then stage, then seed) regardless of
+    executor, so the parallel path is a drop-in replacement for the
+    historical serial loop.
 
     Configs whose budget policy the spec serializer does not understand
     (a custom :class:`AdaptiveBudgetPolicy` subclass) fall back to the
@@ -356,7 +371,7 @@ def run_campaign(
             harness_kwargs=harness_kwargs,
         )
     except SpecSerializationError:
-        if (workers or 1) > 1 or cache_dir is not None:
+        if (workers or 1) > 1 or cache_dir is not None or executor is not None:
             raise
         from ..orchestrate import ProgressReporter
 
@@ -394,6 +409,7 @@ def run_campaign(
         shard_size=shard_size,
         cache_dir=cache_dir,
         progress=progress,
+        executor=executor,
     )
 
 

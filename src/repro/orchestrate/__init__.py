@@ -13,17 +13,30 @@ Layers (one module each):
   :class:`RunSpec` list → :class:`Shard` plan, plus the spec hash.
 * :mod:`~repro.orchestrate.executor` — serial and process-pool shard
   executors; per-worker harness construction.
-* :mod:`~repro.orchestrate.cache` — shard-granular JSON result cache.
+* :mod:`~repro.orchestrate.remote` — the distributed wire protocol:
+  length-prefixed JSON frames and the pull conversation.
+* :mod:`~repro.orchestrate.distributed` — the TCP coordinator
+  (:class:`DistributedExecutor`), lease-based shard assignment with
+  reassignment on worker death, and the worker pull loop.
+* :mod:`~repro.orchestrate.cache` — shard-granular JSON result cache;
+  atomic writes, defensive loads, the campaign-resume substrate.
 * :mod:`~repro.orchestrate.progress` — live progress/ETA reporting.
 * :mod:`~repro.orchestrate.engine` — :func:`run_campaign_spec`, the
   driver tying the above together.
 
 ``repro.faults.campaign.run_campaign`` and
 ``repro.soc.experiment.run_fig11`` are thin wrappers over this engine;
-``python -m repro campaign`` exposes it from the shell.
+``python -m repro campaign`` (plus ``repro serve`` / ``repro worker``
+for the distributed pair) exposes it from the shell.
 """
 
 from .cache import ResultCache
+from .distributed import (
+    DistributedExecutor,
+    DistributedTimeout,
+    ShardBoard,
+    worker_loop,
+)
 from .engine import run_campaign_spec
 from .executor import (
     SerialExecutor,
@@ -34,22 +47,32 @@ from .executor import (
     make_executor,
 )
 from .progress import ProgressReporter
+from .remote import PROTOCOL_VERSION, ProtocolError, recv_frame, send_frame
 from .serialize import (
     SpecSerializationError,
     config_from_dict,
     config_to_dict,
     result_from_dict,
     result_to_dict,
+    run_from_dict,
+    run_to_dict,
+    shard_from_dict,
+    shard_to_dict,
 )
 from .spec import CampaignSpec, RunSpec, Shard, plan_shards
 
 __all__ = [
     "CampaignSpec",
+    "DistributedExecutor",
+    "DistributedTimeout",
+    "PROTOCOL_VERSION",
     "ProgressReporter",
+    "ProtocolError",
     "ResultCache",
     "RunSpec",
     "SerialExecutor",
     "Shard",
+    "ShardBoard",
     "SpecSerializationError",
     "WorkerPoolExecutor",
     "config_from_dict",
@@ -59,7 +82,14 @@ __all__ = [
     "execute_shard",
     "make_executor",
     "plan_shards",
+    "recv_frame",
     "result_from_dict",
     "result_to_dict",
     "run_campaign_spec",
+    "run_from_dict",
+    "run_to_dict",
+    "send_frame",
+    "shard_from_dict",
+    "shard_to_dict",
+    "worker_loop",
 ]

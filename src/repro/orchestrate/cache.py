@@ -11,22 +11,37 @@ result.  Each shard file additionally records its run IDs; a file whose
 IDs do not match the current plan (e.g. written under a different shard
 size) is ignored rather than trusted.
 
-Writes go through a temp file + :func:`os.replace` so a crashed or
-killed campaign leaves only loadable shard files behind.
+The cache directory is the crash-safety story for whole campaigns, so
+both directions are hardened:
+
+* **Writes are atomic.**  Payloads go to a uniquely-named temp file in
+  the same directory (flushed and fsynced) and land via
+  :func:`os.replace` — a SIGKILLed coordinator, a concurrent worker on
+  another machine sharing the directory, or a full disk can leave stale
+  ``*.tmp`` litter but never a half-written shard file.
+* **Loads are defensive.**  A truncated, hand-corrupted or
+  schema-mangled entry is logged and treated as a miss — the shard is
+  simply re-simulated — instead of crashing or, worse, half-loading.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
+import tempfile
 from pathlib import Path
 from typing import List, Optional, Union
 
 from .serialize import result_from_dict, result_to_dict
 from .spec import CampaignSpec, Shard
 
-#: Bump when the shard-file layout changes incompatibly.
-CACHE_FORMAT = 1
+log = logging.getLogger(__name__)
+
+#: Bump when the shard-file layout changes incompatibly.  Format 2 added
+#: the per-run scheduler statistics (``sim_leaps``/``sim_cycles_leaped``)
+#: to every serialized result.
+CACHE_FORMAT = 2
 
 
 class ResultCache:
@@ -50,26 +65,71 @@ class ResultCache:
 
     @staticmethod
     def _write_atomic(path: Path, payload: dict) -> None:
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        os.replace(tmp, path)
+        # A unique temp name per writer: two coordinators (or a
+        # coordinator racing a resumed run) sharing one cache directory
+        # must never interleave writes into the same temp file.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as stream:
+                stream.write(json.dumps(payload, indent=2, sort_keys=True))
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     # ------------------------------------------------------------------
     def load_shard(self, shard: Shard) -> Optional[List]:
-        """Cached results for *shard*, or ``None`` on miss/mismatch."""
+        """Cached results for *shard*, or ``None`` on miss/mismatch.
+
+        Any defect in the entry — unreadable file, truncated or invalid
+        JSON, wrong format version, foreign run IDs, results that fail
+        to deserialize — demotes it to a miss: the shard re-simulates
+        and the defective file is overwritten by the fresh result.
+        """
         path = self._shard_path(shard)
         if not path.exists():
             return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except (OSError, ValueError) as exc:
+            log.warning(
+                "cache entry %s is unreadable (%s); re-simulating", path.name, exc
+            )
             return None
-        if (
-            payload.get("format") != CACHE_FORMAT
-            or payload.get("run_ids") != shard.run_ids
-        ):
+        try:
+            if payload.get("format") != CACHE_FORMAT:
+                log.info(
+                    "cache entry %s has format %r (want %d); re-simulating",
+                    path.name,
+                    payload.get("format"),
+                    CACHE_FORMAT,
+                )
+                return None
+            if payload.get("run_ids") != shard.run_ids:
+                log.info(
+                    "cache entry %s belongs to a different shard plan; "
+                    "re-simulating",
+                    path.name,
+                )
+                return None
+            results = [result_from_dict(entry) for entry in payload["results"]]
+            if len(results) != len(shard.runs):
+                raise ValueError(
+                    f"{len(results)} results for {len(shard.runs)} runs"
+                )
+            return results
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            log.warning(
+                "cache entry %s is malformed (%s); re-simulating", path.name, exc
+            )
             return None
-        return [result_from_dict(entry) for entry in payload["results"]]
 
     def store_shard(self, shard: Shard, results: List) -> None:
         self._write_atomic(

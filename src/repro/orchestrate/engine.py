@@ -32,6 +32,7 @@ def run_campaign_spec(
     shard_size: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Union[bool, IO[str], ProgressReporter]] = None,
+    executor=None,
 ) -> List:
     """Execute *spec* and return results in canonical run order.
 
@@ -46,10 +47,18 @@ def run_campaign_spec(
         balancing and the finest cache granularity.
     cache_dir:
         When set, completed shards are persisted there (keyed by the
-        spec hash) and re-runs skip them without simulating.
+        spec hash) and re-runs skip them without simulating.  Completed
+        shards are written atomically as they stream in, so a killed
+        campaign resumes from exactly what it finished.
     progress:
         ``True`` / a text stream for a live status line with ETA, or a
         pre-built :class:`ProgressReporter`.
+    executor:
+        A pre-built executor (anything with the ``map(shards)``
+        contract, e.g. a
+        :class:`~repro.orchestrate.distributed.DistributedExecutor`)
+        overriding the *workers*-based choice.  Planning, caching and
+        aggregation are identical whichever executor runs the shards.
     """
     if workers is None:
         workers = default_workers()
@@ -76,7 +85,10 @@ def run_campaign_spec(
         else:
             pending.append(shard)
 
-    executor = make_executor(workers)
+    if executor is None:
+        executor = make_executor(workers)
+    if reporter is not None and hasattr(executor, "attach_progress"):
+        executor.attach_progress(reporter)
     for index, results in executor.map(pending):
         results_by_shard[index] = results
         if cache is not None:

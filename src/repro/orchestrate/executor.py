@@ -121,6 +121,24 @@ class WorkerPoolExecutor:
             yield from pool.imap_unordered(execute_shard, shards, chunksize=1)
 
 
-def make_executor(workers: int):
-    """Pick the executor matching *workers* (1 → serial)."""
+def make_executor(workers: int, distributed=None):
+    """Pick the executor: serial, process pool, or distributed.
+
+    *distributed* selects the third executor
+    (:class:`~repro.orchestrate.distributed.DistributedExecutor`): pass
+    a pre-built executor to use it as-is, ``True`` for the defaults, or
+    a kwargs mapping (``host``/``port``/``local_workers``/
+    ``lease_timeout``) to construct one.  Otherwise *workers* picks
+    between the in-process executors (1 → serial).
+    """
+    if distributed is not None and distributed is not False:
+        # Imported lazily — distributed.py imports execute_shard from
+        # this module, so a top-level import would cycle.
+        from .distributed import DistributedExecutor
+
+        if isinstance(distributed, DistributedExecutor):
+            return distributed
+        if distributed is True:
+            return DistributedExecutor()
+        return DistributedExecutor(**dict(distributed))
     return SerialExecutor() if workers <= 1 else WorkerPoolExecutor(workers)

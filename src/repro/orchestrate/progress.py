@@ -8,11 +8,21 @@ the engine and renders a single self-overwriting status line::
 ETA extrapolates from *executed* (non-cached) runs only, so a warm
 cache does not skew the estimate for the remaining work.  Reporting is
 measurement-only; the engine works identically with ``reporter=None``.
+
+Executors may contribute a live status segment through
+:meth:`ProgressReporter.set_status` — the distributed coordinator uses
+it to show connected workers and lease reassignments::
+
+    campaign: 7/24 runs (29.2%) | elapsed 3.1s | eta 7.6s | 2 worker(s)
+
+Status updates arrive from coordinator threads, so rendering is guarded
+by a lock; everything else stays single-threaded.
 """
 
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from typing import IO, Optional
 
@@ -32,6 +42,8 @@ class ProgressReporter:
         self._start = clock()
         self.done = 0
         self.cached = 0
+        self.status = ""
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def shard_done(self, runs: int, cached: bool = False) -> None:
@@ -41,8 +53,14 @@ class ProgressReporter:
             self.cached += runs
         self._render(final=False)
 
+    def set_status(self, status: str) -> None:
+        """Set the executor-contributed trailing segment and redraw."""
+        self.status = status
+        self._render(final=False)
+
     def finish(self) -> None:
         """Draw the final state and terminate the status line."""
+        self.status = ""
         self._render(final=True)
         self.stream.write("\n")
         self.stream.flush()
@@ -71,5 +89,8 @@ class ProgressReporter:
         if not final:
             eta = self.eta_seconds()
             parts.append(f"eta {eta:.1f}s" if eta is not None else "eta --")
-        self.stream.write("\r" + " | ".join(parts))
-        self.stream.flush()
+        if self.status:
+            parts.append(self.status)
+        with self._lock:
+            self.stream.write("\r" + " | ".join(parts))
+            self.stream.flush()

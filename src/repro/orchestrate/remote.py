@@ -1,0 +1,165 @@
+"""Wire protocol for distributed campaigns: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Framing is the *only* transport concern this
+module owns; what travels inside the frames are the canonical dict
+forms from :mod:`repro.orchestrate.serialize`, so a shard executed on a
+remote machine is byte-for-byte the shard a local executor would run.
+
+The conversation is worker-initiated pull::
+
+    worker                         coordinator
+    ------                         -----------
+    hello {worker, version}  --->
+                             <---  welcome {version, shards, heartbeat}
+                             <---  shard {shard: {...}}   (a lease)
+    ping {}                  --->                  (while executing,
+    ping {}                  --->                   renews the lease)
+    result {shard, run_ids,
+            results}         --->
+                             <---  shard {...} | done {}
+    ...
+
+Every message is a dict with a ``type`` key.  A worker that
+disconnects (or never answers within its lease) simply forfeits its
+leased shards — the coordinator reassigns them, and deterministic runs
+plus first-result-wins dedup make the resulting at-least-once execution
+safe.
+
+:class:`ProtocolError` covers everything that should tear down one
+connection without touching the campaign: a truncated frame, an
+oversized length prefix, undecodable JSON, or a message that does not
+fit the conversation.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, List, Optional
+
+#: Bump when the frame layout or message schema changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame; a length prefix beyond this is treated
+#: as garbage (e.g. a non-protocol peer) rather than allocated.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A connection spoke the protocol wrong; drop it, keep the campaign."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Encode *payload* as one length-prefixed JSON frame and send it."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Receive one frame; ``None`` on a clean EOF at a frame boundary.
+
+    EOF *inside* a frame (a peer that died mid-send) and undecodable
+    payloads raise :class:`ProtocolError` — the caller must treat the
+    connection as gone either way, but only the clean ``None`` means the
+    peer finished talking on purpose.
+    """
+    header = _recv_exactly(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exactly(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError(f"connection closed before {length}-byte frame body")
+    try:
+        message = json.loads(body)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"frame is not a typed message: {message!r:.80}")
+    return message
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly *count* bytes; ``None`` on EOF before the first byte."""
+    buffer = bytearray()
+    while len(buffer) < count:
+        chunk = sock.recv(count - len(buffer))
+        if not chunk:
+            if not buffer:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(buffer)}/{count} bytes)"
+            )
+        buffer.extend(chunk)
+    return bytes(buffer)
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+def hello_message(worker: str) -> Dict[str, Any]:
+    return {"type": "hello", "version": PROTOCOL_VERSION, "worker": worker}
+
+
+def welcome_message(total_shards: int, heartbeat: float = 0.0) -> Dict[str, Any]:
+    """Handshake reply; *heartbeat* asks the worker to ping at that period.
+
+    The coordinator derives it from its lease timeout, so workers renew
+    healthy long-running leases without ever being told the timeout
+    itself — a worker that predates (or ignores) heartbeats simply
+    risks its lease on shards slower than the coordinator's patience.
+    """
+    return {
+        "type": "welcome",
+        "version": PROTOCOL_VERSION,
+        "shards": total_shards,
+        "heartbeat": heartbeat,
+    }
+
+
+def ping_message() -> Dict[str, Any]:
+    """Mid-execution liveness beacon; renews the sender's shard lease."""
+    return {"type": "ping"}
+
+
+def shard_message(shard) -> Dict[str, Any]:
+    from .serialize import shard_to_dict
+
+    return {"type": "shard", "shard": shard_to_dict(shard)}
+
+
+def result_message(index: int, run_ids: List[str], results: List) -> Dict[str, Any]:
+    from .serialize import result_to_dict
+
+    return {
+        "type": "result",
+        "shard": index,
+        "run_ids": list(run_ids),
+        "results": [result_to_dict(result) for result in results],
+    }
+
+
+def done_message() -> Dict[str, Any]:
+    return {"type": "done"}
+
+
+def expect(message: Optional[Dict[str, Any]], kind: str) -> Dict[str, Any]:
+    """Validate that *message* exists and is of *kind*, else raise."""
+    if message is None:
+        raise ProtocolError(f"connection closed while waiting for {kind!r}")
+    if message.get("type") != kind:
+        raise ProtocolError(
+            f"expected {kind!r} message, got {message.get('type')!r}"
+        )
+    return message

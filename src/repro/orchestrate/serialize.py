@@ -14,6 +14,11 @@ needs a faithful, *stable* JSON representation:
   any field, so cache hits reproduce the exact objects a live run
   returns (unlike the lossy report-oriented exports in
   :mod:`repro.analysis.export`).
+* :func:`run_to_dict` / :func:`run_from_dict` and :func:`shard_to_dict`
+  / :func:`shard_from_dict` round-trip the work units themselves, so
+  the distributed executor can ship shards to remote workers as the
+  same length-prefixed JSON frames (:mod:`repro.orchestrate.remote`)
+  that carry the results back.
 """
 
 from __future__ import annotations
@@ -98,6 +103,47 @@ def config_from_dict(data: Dict[str, Any]) -> TmuConfig:
         error_log_depth=data["error_log_depth"],
         enabled=data["enabled"],
         trip_on_error_resp=data["trip_on_error_resp"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Work units (RunSpec / Shard) — shipped to remote workers
+# ----------------------------------------------------------------------
+def run_to_dict(run) -> Dict[str, Any]:
+    """Canonical, JSON-ready dict of a :class:`~.spec.RunSpec`."""
+    payload = dataclasses.asdict(run)
+    # Tuples flatten to lists under JSON; normalize here so encoded and
+    # decoded runs compare equal on both ends of the wire.
+    payload["harness_kwargs"] = [list(item) for item in run.harness_kwargs]
+    return payload
+
+
+def run_from_dict(data: Dict[str, Any]):
+    from .spec import RunSpec
+
+    payload = dict(data)
+    payload["harness_kwargs"] = tuple(
+        (key, value) for key, value in payload.get("harness_kwargs", ())
+    )
+    return RunSpec(**payload)
+
+
+def shard_to_dict(shard) -> Dict[str, Any]:
+    """Canonical, JSON-ready dict of a :class:`~.spec.Shard`."""
+    return {
+        "index": shard.index,
+        "count": shard.count,
+        "runs": [run_to_dict(run) for run in shard.runs],
+    }
+
+
+def shard_from_dict(data: Dict[str, Any]):
+    from .spec import Shard
+
+    return Shard(
+        index=data["index"],
+        count=data["count"],
+        runs=tuple(run_from_dict(run) for run in data["runs"]),
     )
 
 

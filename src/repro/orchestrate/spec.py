@@ -17,6 +17,7 @@ therefore a fresh cache namespace.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import hashlib
 import json
@@ -189,18 +190,25 @@ class CampaignSpec:
         return out
 
     def canonical_dict(self) -> Dict[str, Any]:
-        """The spec as plain data, suitable for hashing and archiving."""
-        return {
-            "kind": self.kind,
-            "configs": self.configs,
-            "stages": self.stages,
-            "beats": self.beats,
-            "seeds": self.seeds,
-            "background": self.background,
-            "detect_timeout": self.detect_timeout,
-            "recovery_timeout": self.recovery_timeout,
-            "harness_kwargs": dict(sorted(self.harness_kwargs.items())),
-        }
+        """The spec as plain data, suitable for hashing and archiving.
+
+        A deep copy: the canonical dict gets embedded in campaign JSON
+        exports and handed to callers, and a mutation over there must
+        never reach back into this spec (whose hash keys the cache).
+        """
+        return copy.deepcopy(
+            {
+                "kind": self.kind,
+                "configs": self.configs,
+                "stages": self.stages,
+                "beats": self.beats,
+                "seeds": self.seeds,
+                "background": self.background,
+                "detect_timeout": self.detect_timeout,
+                "recovery_timeout": self.recovery_timeout,
+                "harness_kwargs": dict(sorted(self.harness_kwargs.items())),
+            }
+        )
 
     def spec_hash(self) -> str:
         """Content hash keying the result cache (first 16 hex chars)."""

@@ -53,6 +53,11 @@ class SystemInjectionResult:
     ethernet_resets: int
     cpu_recoveries: int
     recovered: bool
+    #: Kernel fast-forward diagnostics (``compare=False``: equality —
+    #: and the leap-on ≡ leap-off differentials built on it — stays
+    #: about measurements, not about how the kernel scheduled them).
+    sim_leaps: int = dataclasses.field(default=0, compare=False)
+    sim_cycles_leaped: int = dataclasses.field(default=0, compare=False)
 
     @property
     def detected(self) -> bool:
@@ -219,6 +224,8 @@ def run_system_injection(
         ethernet_resets=soc.ethernet.resets_taken,
         cpu_recoveries=len(soc.cpu.recoveries),
         recovered=recovered,
+        sim_leaps=soc.sim.leaps,
+        sim_cycles_leaped=soc.sim.cycles_leaped,
     )
 
 
@@ -254,15 +261,18 @@ def run_fig11(
     shard_size: int = 1,
     cache_dir=None,
     progress=None,
+    executor=None,
 ) -> Dict[str, List[SystemInjectionResult]]:
     """All Fig. 11 series: both variants across the six write stages.
 
     The sweep runs through the orchestration engine
     (:mod:`repro.orchestrate`): *workers* > 1 shards the twelve runs
     across a process pool (each worker builds its own
-    :class:`CheshireSoC`), *cache_dir* lets re-runs skip completed
-    shards, and the aggregated series are identical to the serial
-    ones whatever the executor.
+    :class:`CheshireSoC`; an explicit *executor* — e.g. a
+    :class:`~repro.orchestrate.distributed.DistributedExecutor` serving
+    remote workers — overrides the choice), *cache_dir* lets re-runs
+    skip completed shards, and the aggregated series are identical to
+    the serial ones whatever the executor.
     """
     from ..orchestrate import CampaignSpec, run_campaign_spec
 
@@ -276,6 +286,7 @@ def run_fig11(
         shard_size=shard_size,
         cache_dir=cache_dir,
         progress=progress,
+        executor=executor,
     )
     stride = len(FIG11_STAGES)
     return {

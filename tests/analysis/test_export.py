@@ -6,13 +6,15 @@ from tests.conftest import build_loop, fast_budgets
 
 from repro.analysis.export import (
     area_report_dict,
+    campaign_dict,
     injection_result_dict,
     perf_log_dict,
+    scheduler_stats_dict,
     to_json,
 )
 from repro.area.model import estimate_area
 from repro.axi.traffic import write_spec
-from repro.faults.campaign import run_injection
+from repro.faults.campaign import run_campaign, run_injection
 from repro.faults.types import InjectionStage
 from repro.tmu.config import Variant, full_config
 
@@ -50,6 +52,34 @@ def test_injection_result_export():
     assert parsed["recovered"] is True
     assert parsed["fault_phase"] == "WLAST_BVLD"
     assert parsed["stage"] == "wlast_bvalid_error"
+
+
+def test_campaign_scheduler_stats_sum_over_runs():
+    """The wake/leap aggregate equals the per-run sums, and is nonzero
+    for a stall campaign (whose idle spans the kernel provably leaps)."""
+    results = run_campaign(
+        [full_config(budgets=fast_budgets())],
+        (InjectionStage.AW_READY_MISSING, InjectionStage.WLAST_TO_BVALID),
+        beats=4,
+        seeds=(0, 1),
+    )
+    payload = campaign_dict(results)
+    assert payload["scheduler"] == scheduler_stats_dict(results)
+    assert payload["scheduler"]["leaps"] == sum(r.sim_leaps for r in results)
+    assert payload["scheduler"]["cycles_leaped"] == sum(
+        r.sim_cycles_leaped for r in results
+    )
+    assert payload["scheduler"]["leaps"] > 0
+    assert payload["scheduler"]["cycles_leaped"] >= payload["scheduler"]["leaps"]
+    # Per-result entries stay kernel-invariant: no leap fields in them.
+    assert "sim_leaps" not in payload["results"][0]
+
+
+def test_scheduler_stats_tolerate_foreign_results():
+    class Legacy:  # a result predating the scheduler-stat fields
+        pass
+
+    assert scheduler_stats_dict([Legacy()]) == {"leaps": 0, "cycles_leaped": 0}
 
 
 def test_export_list_of_results():

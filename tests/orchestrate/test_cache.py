@@ -1,0 +1,147 @@
+"""Cache hardening: atomic writes, defensive loads, corruption recovery.
+
+Any machine may write the shared cache directory at any time, and any
+process holding it may die mid-write — so every defect a shard file can
+exhibit must demote it to a cache miss (logged, re-simulated), never a
+crash or a half-loaded result.
+"""
+
+import json
+import logging
+
+import pytest
+
+from tests.conftest import fast_budgets
+
+from repro.faults.types import InjectionStage
+from repro.orchestrate import CampaignSpec, plan_shards
+from repro.orchestrate.cache import CACHE_FORMAT, ResultCache
+from repro.orchestrate.executor import execute_shard
+from repro.tmu.config import full_config
+
+
+@pytest.fixture
+def spec():
+    return CampaignSpec.ip(
+        [full_config(budgets=fast_budgets())],
+        [InjectionStage.AW_READY_MISSING, InjectionStage.WLAST_TO_BVALID],
+        beats=4,
+    )
+
+
+@pytest.fixture
+def populated(tmp_path, spec):
+    """A cache with every shard stored, plus the shard plan and results."""
+    cache = ResultCache(tmp_path, spec)
+    shards = plan_shards(spec.runs())
+    results = {}
+    for shard in shards:
+        results[shard.index] = execute_shard(shard)[1]
+        cache.store_shard(shard, results[shard.index])
+    return cache, shards, results
+
+
+def shard_file(cache, shard):
+    return cache._shard_path(shard)
+
+
+# ----------------------------------------------------------------------
+# Writes
+# ----------------------------------------------------------------------
+def test_store_leaves_no_temp_litter(populated):
+    cache, _shards, _results = populated
+    assert list(cache.dir.glob("*.tmp")) == []
+
+
+def test_temp_litter_is_not_counted_or_loaded(populated):
+    cache, shards, results = populated
+    # Stale litter from a writer killed between mkstemp and replace.
+    litter = cache.dir / f"{shard_file(cache, shards[0]).name}.12345.tmp"
+    litter.write_text("{half a paylo")
+    assert cache.completed_shards() == len(shards)
+    assert cache.load_shard(shards[0]) == results[shards[0].index]
+
+
+def test_store_round_trips_scheduler_stats(populated):
+    cache, shards, results = populated
+    loaded = cache.load_shard(shards[0])
+    assert loaded == results[shards[0].index]
+    for fresh, cached in zip(results[shards[0].index], loaded):
+        assert cached.sim_leaps == fresh.sim_leaps
+        assert cached.sim_cycles_leaped == fresh.sim_cycles_leaped
+
+
+def test_overwrite_replaces_corrupt_entry(populated):
+    cache, shards, results = populated
+    path = shard_file(cache, shards[0])
+    path.write_text("garbage")
+    cache.store_shard(shards[0], results[shards[0].index])
+    assert cache.load_shard(shards[0]) == results[shards[0].index]
+
+
+# ----------------------------------------------------------------------
+# Defensive loads: every defect is a logged miss
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "content",
+    [
+        "",                                        # zero bytes (crash mid-create)
+        "{not json",                               # hand-corrupted
+        '{"format": 2, "results": [{"trunca',      # truncated mid-write
+        '["a", "list"]',                           # valid JSON, wrong shape
+        '{"format": 2}',                           # missing everything
+    ],
+    ids=["empty", "corrupt", "truncated", "wrong-shape", "missing-keys"],
+)
+def test_defective_entries_are_logged_misses(populated, caplog, content):
+    cache, shards, _results = populated
+    shard_file(cache, shards[0]).write_text(content)
+    with caplog.at_level(logging.INFO, logger="repro.orchestrate.cache"):
+        assert cache.load_shard(shards[0]) is None
+    assert any("re-simulating" in record.message for record in caplog.records)
+
+
+def test_result_entry_that_fails_deserialization_is_a_miss(populated, caplog):
+    cache, shards, _results = populated
+    path = shard_file(cache, shards[0])
+    payload = json.loads(path.read_text())
+    del payload["results"][0]["stage"]  # schema-mangled result
+    path.write_text(json.dumps(payload))
+    with caplog.at_level(logging.WARNING, logger="repro.orchestrate.cache"):
+        assert cache.load_shard(shards[0]) is None
+    assert any("malformed" in record.message for record in caplog.records)
+
+
+def test_result_count_mismatch_is_a_miss(populated):
+    cache, shards, _results = populated
+    path = shard_file(cache, shards[0])
+    payload = json.loads(path.read_text())
+    payload["results"] = payload["results"] + payload["results"]
+    path.write_text(json.dumps(payload))
+    assert cache.load_shard(shards[0]) is None
+
+
+def test_foreign_format_version_is_a_miss(populated):
+    cache, shards, _results = populated
+    path = shard_file(cache, shards[0])
+    payload = json.loads(path.read_text())
+    payload["format"] = CACHE_FORMAT + 1
+    path.write_text(json.dumps(payload))
+    assert cache.load_shard(shards[0]) is None
+
+
+def test_foreign_run_ids_are_a_miss(populated):
+    cache, shards, _results = populated
+    path = shard_file(cache, shards[0])
+    payload = json.loads(path.read_text())
+    payload["run_ids"] = ["ip-999999-full-other-s0"]
+    path.write_text(json.dumps(payload))
+    assert cache.load_shard(shards[0]) is None
+
+
+def test_missing_file_is_a_silent_miss(tmp_path, spec, caplog):
+    cache = ResultCache(tmp_path, spec)
+    shard = plan_shards(spec.runs())[0]
+    with caplog.at_level(logging.DEBUG, logger="repro.orchestrate.cache"):
+        assert cache.load_shard(shard) is None
+    assert not caplog.records  # a plain miss is not worth a log line

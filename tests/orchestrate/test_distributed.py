@@ -1,0 +1,486 @@
+"""Fault-tolerance battery for the distributed campaign executor.
+
+Three layers:
+
+* :class:`ShardBoard` unit tests — the lease ledger in isolation, with
+  a fake clock driving expiry.
+* Executor integration — coordinator + real workers over loopback
+  sockets, including a silent (lease-expired) worker and a SIGKILLed
+  one, both of which must be invisible in the aggregated results.
+* The acceptance bar — a Fig. 11-shaped campaign through coordinator +
+  2 workers, one of them killed mid-shard, serializes byte-identically
+  to the serial run, and a subsequent ``--resume``-style pass against
+  the same cache directory reproduces it without simulating anything.
+"""
+
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from tests.conftest import fast_budgets
+
+from repro.analysis.export import campaign_dict, to_json
+from repro.faults.types import InjectionStage
+from repro.orchestrate import (
+    CampaignSpec,
+    DistributedExecutor,
+    DistributedTimeout,
+    ProgressReporter,
+    SerialExecutor,
+    ShardBoard,
+    make_executor,
+    plan_shards,
+    run_campaign_spec,
+    worker_loop,
+)
+from repro.orchestrate import executor as executor_module
+from repro.orchestrate.executor import execute_shard
+from repro.orchestrate.remote import (
+    expect,
+    hello_message,
+    recv_frame,
+    result_message,
+    send_frame,
+)
+from repro.soc.experiment import FIG11_STAGES
+from repro.tmu.config import Variant, full_config, tiny_config
+
+import io
+import multiprocessing
+
+
+def ip_spec(seeds=(0,), stages=None):
+    return CampaignSpec.ip(
+        [full_config(budgets=fast_budgets()), tiny_config(budgets=fast_budgets())],
+        stages
+        or (
+            InjectionStage.AW_READY_MISSING,
+            InjectionStage.WLAST_TO_BVALID,
+            InjectionStage.R_VALID_MISSING,
+        ),
+        beats=4,
+        seeds=seeds,
+    )
+
+
+def fig11_spec():
+    return CampaignSpec.system((Variant.FULL, Variant.TINY), FIG11_STAGES, beats=16)
+
+
+def campaign_json(spec, results):
+    return to_json(campaign_dict(results, spec=spec))
+
+
+# ----------------------------------------------------------------------
+# ShardBoard: the lease ledger
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def shards():
+    return plan_shards(ip_spec().runs())
+
+
+def test_board_hands_out_pending_in_order(shards):
+    board = ShardBoard(shards, lease_timeout=60)
+    claimed = [board.claim("w0") for _ in shards]
+    assert [shard.index for shard in claimed] == [s.index for s in shards]
+
+
+def test_board_done_after_all_complete(shards):
+    board = ShardBoard(shards, lease_timeout=60)
+    for _ in shards:
+        shard = board.claim("w0")
+        assert board.complete(shard.index, "w0")
+    assert board.all_done
+    assert board.claim("w1") is None
+
+
+def test_board_duplicate_completion_dropped(shards):
+    board = ShardBoard(shards, lease_timeout=60)
+    shard = board.claim("w0")
+    assert board.complete(shard.index, "w0") is True
+    assert board.complete(shard.index, "w1") is False
+
+
+def test_board_release_requeues_at_front(shards):
+    board = ShardBoard(shards, lease_timeout=60)
+    first = board.claim("w0")
+    second = board.claim("w0")
+    assert board.release_worker("w0") == 2
+    # Forfeited shards come back before the untouched tail, oldest first.
+    assert board.claim("w1").index in (first.index, second.index)
+
+
+def test_board_release_ignores_stolen_lease(shards):
+    clock = FakeClock()
+    board = ShardBoard(shards[:1], lease_timeout=1.0, clock=clock)
+    stolen = board.claim("w0")
+    clock.now = 2.0
+    assert board.claim("w1").index == stolen.index  # stolen after expiry
+    # The original holder dying must not requeue a shard it no longer owns.
+    assert board.release_worker("w0") == 0
+    assert board.complete(stolen.index, "w1")
+    assert board.all_done
+
+
+def test_board_lease_expiry_allows_steal(shards):
+    clock = FakeClock()
+    board = ShardBoard(shards, lease_timeout=5.0, clock=clock)
+    held = board.claim("slow")
+    for _ in shards[1:]:
+        board.claim("fast")
+    # Everything is leased; a fresh claim must wait...
+    start = time.monotonic()
+    assert board.claim("fast", should_stop=lambda: True) is None
+    assert time.monotonic() - start < 1.0
+    # ...until the slow worker's lease expires.
+    clock.now = 6.0
+    assert board.claim("fast").index == held.index
+    assert board.reassignments == 1
+
+
+def test_board_rejects_nonpositive_lease(shards):
+    with pytest.raises(ValueError):
+        ShardBoard(shards, lease_timeout=0)
+
+
+def test_board_renew_extends_only_live_leases(shards):
+    clock = FakeClock()
+    board = ShardBoard(shards, lease_timeout=1.0, clock=clock)
+    shard = board.claim("w0")
+    clock.now = 0.8
+    assert board.renew(shard.index, "w0") is True  # heartbeat arrived
+    clock.now = 1.5  # would have expired without the renewal
+    assert board._expired_lease() is None
+    assert board.renew(shard.index, "thief") is False  # not the holder
+    assert board.renew(99999, "w0") is False  # no such lease
+    board.complete(shard.index, "w0")
+    assert board.renew(shard.index, "w0") is False  # already done
+
+
+def test_board_stale_pending_entry_is_not_rehanded(shards):
+    """A requeued-then-completed shard must not burn another worker."""
+    clock = FakeClock()
+    board = ShardBoard(shards[:2], lease_timeout=1.0, clock=clock)
+    s0 = board.claim("A")           # deadline 1.0
+    clock.now = 0.9
+    s1 = board.claim("B")           # deadline 1.9
+    clock.now = 1.0                 # only A's lease has expired
+    assert board.claim("C").index == s0.index  # C steals s0
+    board.release_worker("C")       # C dies; s0 goes back to pending
+    assert board.complete(s0.index, "A")  # ...but A finishes it first
+    # The stale pending copy of s0 must be skipped: with s1 validly
+    # leased, there is nothing claimable right now.
+    assert board.claim("D", should_stop=lambda: True) is None
+    board.complete(s1.index, "B")
+    assert board.all_done
+
+
+def test_board_claim_blocks_until_completion_unblocks(shards):
+    board = ShardBoard(shards[:1], lease_timeout=60)
+    shard = board.claim("w0")
+    outcome = {}
+
+    def late_claimer():
+        outcome["shard"] = board.claim("w1")
+
+    thread = threading.Thread(target=late_claimer)
+    thread.start()
+    time.sleep(0.1)
+    board.complete(shard.index, "w0")
+    thread.join(timeout=5)
+    assert outcome["shard"] is None  # all work done, claimer released
+
+
+# ----------------------------------------------------------------------
+# Executor integration over loopback
+# ----------------------------------------------------------------------
+def test_make_executor_distributed_slot():
+    executor = DistributedExecutor()
+    assert make_executor(1, distributed=executor) is executor
+    built = make_executor(1, distributed={"local_workers": 3})
+    assert isinstance(built, DistributedExecutor)
+    assert built.local_workers == 3
+    assert isinstance(make_executor(1), SerialExecutor)
+
+
+def test_empty_shard_list_never_binds():
+    executor = DistributedExecutor(port=0)
+    assert list(executor.map([])) == []
+    assert executor._server is None
+
+
+def test_distributed_matches_serial_with_local_workers():
+    spec = ip_spec(seeds=(0, 1))
+    serial = run_campaign_spec(spec)
+    executor = DistributedExecutor(local_workers=2, result_timeout=120)
+    distributed = run_campaign_spec(spec, executor=executor)
+    assert distributed == serial
+
+
+def test_distributed_with_external_worker_threads():
+    spec = ip_spec()
+    serial = run_campaign_spec(spec)
+    executor = DistributedExecutor(result_timeout=120)
+    host, port = executor.bind()
+    workers = [
+        threading.Thread(target=worker_loop, args=(host, port), daemon=True)
+        for _ in range(2)
+    ]
+    for worker in workers:
+        worker.start()
+    distributed = run_campaign_spec(spec, executor=executor)
+    for worker in workers:
+        worker.join(timeout=10)
+    assert distributed == serial
+
+
+def test_result_timeout_raises_without_workers():
+    executor = DistributedExecutor(result_timeout=0.6)
+    shards = plan_shards(ip_spec().runs())
+    with pytest.raises(DistributedTimeout, match="0 worker"):
+        list(executor.map(shards))
+
+
+def test_progress_status_shows_workers():
+    spec = ip_spec()
+    stream = io.StringIO()
+    reporter = ProgressReporter(len(spec.runs()), stream=stream)
+    executor = DistributedExecutor(local_workers=1, result_timeout=120)
+    run_campaign_spec(spec, executor=executor, progress=reporter)
+    assert "worker(s)" in stream.getvalue()
+
+
+def _hold_first_shard(port, claimed, release):
+    """Protocol-level worker that leases one shard and sits on it."""
+    sock = socket.create_connection(("127.0.0.1", port))
+    try:
+        send_frame(sock, hello_message("staller"))
+        expect(recv_frame(sock), "welcome")
+        message = recv_frame(sock)
+        assert message["type"] == "shard"
+        claimed.set()
+        release.wait(timeout=120)
+    finally:
+        sock.close()
+
+
+def test_heartbeat_keeps_slow_healthy_shard_leased(monkeypatch):
+    """A shard slower than the lease timeout is not stolen from a live
+    worker: heartbeats (at a third of the timeout) renew the lease."""
+    from repro.orchestrate import distributed as distributed_module
+
+    spec = ip_spec(stages=(InjectionStage.AW_READY_MISSING,))
+    serial = run_campaign_spec(spec)
+    original = distributed_module.execute_shard
+    executions = []
+
+    def slow_execute(shard):
+        executions.append(shard.index)
+        time.sleep(1.3)  # far past the 0.5s lease
+        return original(shard)
+
+    monkeypatch.setattr(distributed_module, "execute_shard", slow_execute)
+    executor = DistributedExecutor(lease_timeout=0.5, result_timeout=120)
+    host, port = executor.bind()
+    workers = [
+        threading.Thread(target=worker_loop, args=(host, port), daemon=True)
+        for _ in range(2)
+    ]
+    for worker in workers:
+        worker.start()
+    results = run_campaign_spec(spec, executor=executor)
+    for worker in workers:
+        worker.join(timeout=30)
+    assert results == serial
+    assert executor._board.reassignments == 0
+    assert sorted(executions) == sorted(set(executions))  # nothing re-run
+
+
+def test_worker_exits_cleanly_when_coordinator_offers_no_work():
+    """A coordinator that hangs up before the welcome (campaign already
+    satisfied from cache, or dead) is a clean zero-shard exit."""
+    server = socket.create_server(("127.0.0.1", 0))
+    _host, port = server.getsockname()
+    outcome = {}
+
+    def pull():
+        outcome["executed"] = worker_loop("127.0.0.1", port)
+
+    worker = threading.Thread(target=pull)
+    worker.start()
+    conn, _addr = server.accept()
+    assert recv_frame(conn)["type"] == "hello"
+    conn.close()  # no work for you — hang up instead of welcoming
+    server.close()
+    worker.join(timeout=10)
+    assert not worker.is_alive()
+    assert outcome["executed"] == 0
+
+
+def test_fully_cached_campaign_closes_bound_server(tmp_path):
+    """A resume whose cache is complete must release the announced port
+    immediately, so waiting workers see EOF instead of hanging."""
+    from repro.orchestrate.distributed import connect_with_retry
+
+    spec = ip_spec()
+    run_campaign_spec(spec, cache_dir=tmp_path)  # warm the cache fully
+    executor = DistributedExecutor(result_timeout=120)
+    host, port = executor.bind()
+    cached = run_campaign_spec(spec, cache_dir=tmp_path, executor=executor)
+    assert executor._server is None
+    with pytest.raises(OSError):
+        connect_with_retry(host, port, retry_seconds=0.3)
+    assert cached == run_campaign_spec(spec)
+
+
+def test_silent_worker_lease_expires_and_campaign_completes():
+    """A connected-but-hung worker only costs its lease, not the campaign."""
+    spec = ip_spec()
+    serial = run_campaign_spec(spec)
+    executor = DistributedExecutor(lease_timeout=0.5, result_timeout=120)
+    host, port = executor.bind()
+
+    claimed, release = threading.Event(), threading.Event()
+    staller = threading.Thread(
+        target=_hold_first_shard, args=(port, claimed, release), daemon=True
+    )
+    results = {}
+
+    def campaign():
+        results["out"] = run_campaign_spec(spec, executor=executor)
+
+    runner = threading.Thread(target=campaign)
+    staller.start()
+    runner.start()
+    assert claimed.wait(timeout=30), "staller never got a lease"
+    # Only now admit a real worker: the staller provably holds a shard
+    # that the real worker can only obtain by expiring the lease.
+    real = threading.Thread(target=worker_loop, args=(host, port), daemon=True)
+    real.start()
+    runner.join(timeout=120)
+    release.set()
+    assert not runner.is_alive(), "campaign did not complete"
+    assert results["out"] == serial
+    assert executor._board.reassignments >= 1
+
+
+def _worker_process_loop(port):
+    worker_loop("127.0.0.1", port, retry_seconds=30)
+
+
+def test_sigkilled_worker_forfeits_lease_immediately():
+    """SIGKILL (EOF), unlike silence, requeues without waiting the lease out."""
+    spec = ip_spec(seeds=(0, 1))
+    serial = run_campaign_spec(spec)
+    # Lease far longer than the test: only the EOF path can requeue.
+    executor = DistributedExecutor(lease_timeout=600, result_timeout=120)
+    host, port = executor.bind()
+
+    context = multiprocessing.get_context()
+    claimed = context.Event()
+    release = context.Event()
+    victim = context.Process(
+        target=_hold_first_shard, args=(port, claimed, release), daemon=True
+    )
+    results = {}
+
+    def campaign():
+        results["out"] = run_campaign_spec(spec, executor=executor)
+
+    runner = threading.Thread(target=campaign)
+    victim.start()
+    runner.start()
+    assert claimed.wait(timeout=30), "victim never got a lease"
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join(timeout=10)
+    real = threading.Thread(target=worker_loop, args=(host, port), daemon=True)
+    real.start()
+    runner.join(timeout=120)
+    assert not runner.is_alive(), "campaign did not complete after the kill"
+    assert results["out"] == serial
+
+
+# ----------------------------------------------------------------------
+# Acceptance: Fig. 11 byte-identity through kill and resume
+# ----------------------------------------------------------------------
+def test_fig11_distributed_byte_identical_with_worker_kill_and_resume(
+    tmp_path, monkeypatch
+):
+    spec = fig11_spec()
+    serial_json = campaign_json(spec, run_campaign_spec(spec))
+
+    # Coordinator + 2 loopback workers; one is SIGKILLed while it holds
+    # a shard lease, mid-campaign.
+    executor = DistributedExecutor(lease_timeout=600, result_timeout=120)
+    host, port = executor.bind()
+    context = multiprocessing.get_context()
+    claimed, release = context.Event(), context.Event()
+    victim = context.Process(
+        target=_hold_first_shard, args=(port, claimed, release), daemon=True
+    )
+    results = {}
+
+    def campaign():
+        results["out"] = run_campaign_spec(
+            spec, cache_dir=tmp_path, executor=executor
+        )
+
+    runner = threading.Thread(target=campaign)
+    victim.start()
+    runner.start()
+    assert claimed.wait(timeout=30)
+    os.kill(victim.pid, signal.SIGKILL)
+    survivor = threading.Thread(target=worker_loop, args=(host, port), daemon=True)
+    survivor.start()
+    runner.join(timeout=120)
+    assert not runner.is_alive()
+    assert campaign_json(spec, results["out"]) == serial_json
+
+    # Resume against the same cache directory: every shard is already
+    # there, so nothing may simulate, and the JSON stays byte-identical.
+    monkeypatch.setattr(
+        executor_module,
+        "execute_shard",
+        lambda shard: pytest.fail("resume must not re-simulate"),
+    )
+    resumed = run_campaign_spec(spec, cache_dir=tmp_path)
+    assert campaign_json(spec, resumed) == serial_json
+
+
+def test_partial_cache_resume_only_runs_missing_shards(tmp_path):
+    """Crash-shaped cache state: some shards present, the rest missing."""
+    spec = ip_spec(seeds=(0, 1))
+    serial_json = campaign_json(spec, run_campaign_spec(spec))
+    shards = plan_shards(spec.runs())
+
+    # Simulate a campaign killed after three shards: only they are cached.
+    from repro.orchestrate.cache import ResultCache
+
+    cache = ResultCache(tmp_path, spec)
+    for shard in shards[:3]:
+        cache.store_shard(shard, execute_shard(shard)[1])
+
+    executed = []
+    original = execute_shard
+
+    class Counting(SerialExecutor):
+        def map(self, pending):
+            for shard in pending:
+                executed.append(shard.index)
+                yield original(shard)
+
+    resumed = run_campaign_spec(spec, cache_dir=tmp_path, executor=Counting())
+    assert campaign_json(spec, resumed) == serial_json
+    assert sorted(executed) == [shard.index for shard in shards[3:]]

@@ -1,0 +1,182 @@
+"""Wire-protocol unit tests: framing, hostile peers, work-unit codecs."""
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.faults.types import InjectionStage
+from repro.orchestrate import CampaignSpec, plan_shards
+from repro.orchestrate.remote import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    done_message,
+    expect,
+    hello_message,
+    recv_frame,
+    result_message,
+    send_frame,
+    shard_message,
+    welcome_message,
+)
+from repro.orchestrate.serialize import (
+    run_from_dict,
+    run_to_dict,
+    shard_from_dict,
+    shard_to_dict,
+)
+from repro.tmu.config import Variant, full_config
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+def sample_spec(**kwargs):
+    kwargs.setdefault("beats", 4)
+    kwargs.setdefault("harness_kwargs", {"sim_strategy": "verify"})
+    return CampaignSpec.ip(
+        [full_config()],
+        [InjectionStage.AW_READY_MISSING, InjectionStage.WLAST_TO_BVALID],
+        seeds=(0, 1),
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def test_frame_round_trip(pair):
+    left, right = pair
+    send_frame(left, {"type": "hello", "worker": "w", "version": 1})
+    assert recv_frame(right) == {"type": "hello", "worker": "w", "version": 1}
+
+
+def test_many_frames_one_stream(pair):
+    left, right = pair
+    for index in range(20):
+        send_frame(left, {"type": "n", "value": index})
+    assert [recv_frame(right)["value"] for _ in range(20)] == list(range(20))
+
+
+def test_clean_eof_returns_none(pair):
+    left, right = pair
+    left.close()
+    assert recv_frame(right) is None
+
+
+def test_eof_mid_frame_raises(pair):
+    left, right = pair
+    body = json.dumps({"type": "x"}).encode()
+    left.sendall(struct.pack(">I", len(body) + 10) + body)  # advertise more
+    left.close()
+    with pytest.raises(ProtocolError, match="mid-frame|frame body"):
+        recv_frame(right)
+
+
+def test_eof_mid_header_raises(pair):
+    left, right = pair
+    left.sendall(b"\x00\x00")  # half a length prefix
+    left.close()
+    with pytest.raises(ProtocolError, match="mid-frame"):
+        recv_frame(right)
+
+
+def test_oversized_length_prefix_rejected(pair):
+    left, right = pair
+    left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+    with pytest.raises(ProtocolError, match="exceeds"):
+        recv_frame(right)
+
+
+def test_garbage_payload_rejected(pair):
+    left, right = pair
+    body = b"{not json"
+    left.sendall(struct.pack(">I", len(body)) + body)
+    with pytest.raises(ProtocolError, match="undecodable"):
+        recv_frame(right)
+
+
+def test_untyped_message_rejected(pair):
+    left, right = pair
+    body = json.dumps(["a", "list"]).encode()
+    left.sendall(struct.pack(">I", len(body)) + body)
+    with pytest.raises(ProtocolError, match="typed"):
+        recv_frame(right)
+
+
+def test_large_frame_round_trips(pair):
+    left, right = pair
+    payload = {"type": "blob", "data": "x" * 300_000}
+    received = {}
+
+    def reader():
+        received["frame"] = recv_frame(right)
+
+    # Concurrent reader: a 300 kB frame overflows the socketpair buffer,
+    # so a serial send would deadlock.
+    thread = threading.Thread(target=reader)
+    thread.start()
+    send_frame(left, payload)
+    thread.join(timeout=5)
+    assert received["frame"] == payload
+
+
+def test_expect_validates_type_and_eof():
+    assert expect({"type": "welcome"}, "welcome") == {"type": "welcome"}
+    with pytest.raises(ProtocolError, match="closed"):
+        expect(None, "welcome")
+    with pytest.raises(ProtocolError, match="expected 'welcome'"):
+        expect({"type": "done"}, "welcome")
+
+
+# ----------------------------------------------------------------------
+# Message constructors
+# ----------------------------------------------------------------------
+def test_message_constructors_are_json_frames(pair):
+    left, right = pair
+    shard = plan_shards(sample_spec().runs())[0]
+    for message in (
+        hello_message("w0"),
+        welcome_message(4),
+        shard_message(shard),
+        result_message(0, shard.run_ids, []),
+        done_message(),
+    ):
+        send_frame(left, message)
+        assert recv_frame(right) == message
+    assert hello_message("w0")["version"] == PROTOCOL_VERSION
+
+
+# ----------------------------------------------------------------------
+# Work-unit codecs
+# ----------------------------------------------------------------------
+def test_run_spec_round_trips_through_json():
+    runs = sample_spec().runs()
+    for run in runs:
+        decoded = run_from_dict(json.loads(json.dumps(run_to_dict(run))))
+        assert decoded == run
+        assert decoded.run_id == run.run_id
+        assert decoded.harness_kwargs == run.harness_kwargs
+
+
+def test_shard_round_trips_through_json():
+    for shard in plan_shards(sample_spec().runs(), shard_size=3):
+        decoded = shard_from_dict(json.loads(json.dumps(shard_to_dict(shard))))
+        assert decoded == shard
+        assert decoded.run_ids == shard.run_ids
+
+
+def test_system_run_round_trips():
+    spec = CampaignSpec.system(
+        (Variant.FULL,), (InjectionStage.WLAST_TO_BVALID,), beats=16
+    )
+    run = spec.runs()[0]
+    assert run_from_dict(json.loads(json.dumps(run_to_dict(run)))) == run

@@ -119,7 +119,11 @@ def test_random_injection_identical_across_leap_modes(
             harness_kwargs=harness_kwargs or None,
             issue_delay=seed,
         )
-        return dataclasses.asdict(result)
+        payload = dataclasses.asdict(result)
+        # Scheduler diagnostics, not measurements: leap counts differ
+        # across kernels by construction.
+        del payload["sim_leaps"], payload["sim_cycles_leaped"]
+        return payload
 
     leap = run()
     assert leap == run(sim_time_leaping=False)

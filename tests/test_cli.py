@@ -111,6 +111,77 @@ def test_fig11_workers_flag_matches_serial(capsys):
     assert capsys.readouterr().out == serial
 
 
+def test_campaign_distributed_matches_serial(capsys, tmp_path):
+    base = [
+        "campaign", "--kind", "ip", "--variant", "full",
+        "--stage", "aw_stage_error", "--stage", "wlast_bvalid_error",
+        "--beats", "4",
+    ]
+    dist_json = str(tmp_path / "dist.json")
+    serial_json = str(tmp_path / "serial.json")
+    assert main(base + ["--distributed", "--local-workers", "2",
+                        "--json", dist_json]) == 0
+    dist_out = capsys.readouterr().out
+    assert main(base + ["--json", serial_json]) == 0
+    serial_out = capsys.readouterr().out
+    assert dist_out.replace(dist_json, "") == serial_out.replace(serial_json, "")
+    with open(dist_json) as left, open(serial_json) as right:
+        assert left.read() == right.read()
+
+
+def test_campaign_resume_flags(capsys, tmp_path):
+    base = [
+        "campaign", "--kind", "ip", "--variant", "full",
+        "--stage", "aw_stage_error", "--beats", "4",
+    ]
+    cache = ["--cache-dir", str(tmp_path / "cache")]
+    # --resume without a cache directory is an error…
+    assert main(base + ["--resume"]) == 2
+    # …as is resuming a campaign that never ran.
+    assert main(base + cache + ["--resume"]) == 2
+    assert "nothing to resume" in capsys.readouterr().err
+    # After a run, --resume succeeds and reports the cached shards.
+    assert main(base + cache) == 0
+    capsys.readouterr()
+    assert main(base + cache + ["--resume"]) == 0
+    captured = capsys.readouterr()
+    assert "resuming campaign" in captured.err
+    assert "1 shard(s) cached" in captured.err
+
+
+def test_worker_requires_hostport():
+    with pytest.raises(SystemExit):
+        main(["worker", "--connect", "not-an-address"])
+
+
+def test_worker_against_live_coordinator(tmp_path):
+    import threading
+
+    from repro.orchestrate import CampaignSpec, DistributedExecutor, run_campaign_spec
+    from repro.faults.types import InjectionStage
+    from repro.tmu.config import full_config
+
+    from tests.conftest import fast_budgets
+
+    spec = CampaignSpec.ip(
+        [full_config(budgets=fast_budgets())],
+        [InjectionStage.AW_READY_MISSING],
+        beats=4,
+    )
+    executor = DistributedExecutor(result_timeout=120)
+    host, port = executor.bind()
+    outcome = {}
+
+    def serve():
+        outcome["results"] = run_campaign_spec(spec, executor=executor)
+
+    coordinator = threading.Thread(target=serve)
+    coordinator.start()
+    assert main(["worker", "--connect", f"{host}:{port}"]) == 0
+    coordinator.join(timeout=60)
+    assert outcome["results"] == run_campaign_spec(spec)
+
+
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
