@@ -68,6 +68,7 @@ class _XbarChannel(Component):
     """
 
     demand_driven = True
+    phase_period = 1
 
     def __init__(self, xbar: "Crossbar", channel: str) -> None:
         super().__init__(f"{xbar.name}.{channel}")
@@ -130,6 +131,8 @@ class Crossbar(Component):
 
     demand_driven = True
     demand_update = True
+    #: Pure arbitration over the channel wires — translation invariant.
+    phase_period = 1
 
     def __init__(
         self,

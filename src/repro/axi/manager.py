@@ -95,6 +95,10 @@ class Manager(Component):
 
     demand_driven = True
     demand_update = True
+    #: Purely reactive: every countdown (issue delay, response
+    #: scoring) is relative to the submitting stimulus, so behaviour
+    #: is invariant under any time shift of that stimulus.
+    phase_period = 1
 
     def __init__(
         self,

@@ -139,6 +139,9 @@ class Subordinate(Component):
 
     demand_driven = True
     demand_update = True
+    #: Purely reactive: latency chains count from the request's
+    #: arrival, never from absolute cycle numbers.
+    phase_period = 1
 
     def __init__(
         self,

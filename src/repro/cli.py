@@ -10,6 +10,13 @@ Examples::
     python -m repro table2
     python -m repro campaign --kind ip --workers 4 --seeds 2 --progress
 
+Lockstep batch execution (one scalar leader per pack of same-config
+seed lanes; byte-identical results)::
+
+    python -m repro fig11 --seeds 64 --batch-lanes 64
+    python -m repro campaign --kind ip --seeds 64 --batch-lanes 64 \
+        --batch-verify --progress
+
 Distributed campaigns (coordinator + any number of pull workers)::
 
     python -m repro serve --port 7453 --workers 2 --kind system \
@@ -282,18 +289,32 @@ def cmd_fig8(args) -> int:
 
 
 def cmd_fig11(args) -> int:
-    spec = CampaignSpec.system((Variant.FULL, Variant.TINY), FIG11_STAGES)
+    seeds = tuple(range(args.seeds))
+    spec = CampaignSpec.system(
+        (Variant.FULL, Variant.TINY), FIG11_STAGES, seeds=seeds
+    )
     code = _check_resume(args, spec)
     if code is not None:
         return code
     executor = _distributed_executor(args)
+    if args.batch_lanes is not None and executor is not None:
+        print("--batch-lanes cannot be combined with --distributed",
+              file=sys.stderr)
+        return 2
     series = run_fig11(
-        workers=args.workers, cache_dir=args.cache_dir, executor=executor
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        executor=executor,
+        seeds=seeds,
+        batch_lanes=args.batch_lanes,
+        batch_verify=args.batch_verify,
     )
     rows = []
     for i, label in enumerate(FIG11_LABELS):
-        fc = series[Variant.FULL.value][i]
-        tc = series[Variant.TINY.value][i]
+        # Series are stage-major then seed: seed 0 is the figure's
+        # canonical phase; extra seeds only widen the campaign JSON.
+        fc = series[Variant.FULL.value][i * len(seeds)]
+        tc = series[Variant.TINY.value][i * len(seeds)]
         rows.append(
             [label, fc.fig11_latency, tc.latency_from_start,
              "ok" if fc.recovered and tc.recovered else "FAILED"]
@@ -335,6 +356,11 @@ def cmd_campaign(args, executor=None) -> int:
         return code
     if executor is None:
         executor = _distributed_executor(args)
+    batch_lanes = getattr(args, "batch_lanes", None)
+    if batch_lanes is not None and executor is not None:
+        print("--batch-lanes cannot be combined with --distributed",
+              file=sys.stderr)
+        return 2
     results = run_campaign_spec(
         spec,
         workers=getattr(args, "workers", None),
@@ -342,6 +368,8 @@ def cmd_campaign(args, executor=None) -> int:
         cache_dir=args.cache_dir,
         progress=args.progress,
         executor=executor,
+        batch_lanes=batch_lanes,
+        batch_verify=getattr(args, "batch_verify", False),
     )
     rows = [
         [
@@ -480,6 +508,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="persist completed shards here; re-runs skip them",
     )
+    p_fig11.add_argument(
+        "--seeds", type=_positive_int, default=1,
+        help="start-delay phase offsets 0..N-1 per (variant, stage) point",
+    )
+    _add_batch_args(p_fig11)
     _add_distributed_args(p_fig11)
     _add_resume_arg(p_fig11)
     p_fig11.set_defaults(func=cmd_fig11)
@@ -495,6 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="process count (default: REPRO_WORKERS or 1)",
     )
+    _add_batch_args(p_campaign)
     _add_distributed_args(p_campaign)
     _add_resume_arg(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
@@ -591,6 +625,20 @@ def _add_campaign_axes(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--progress", action="store_true", help="live progress/ETA on stderr"
+    )
+
+
+def _add_batch_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-lanes", type=_positive_int, default=None,
+        help="lockstep batch execution: pack up to N same-config seed "
+        "lanes and derive followers from one scalar leader run "
+        "(byte-identical results; excludes --distributed/--workers > 1)",
+    )
+    parser.add_argument(
+        "--batch-verify", action="store_true",
+        help="with --batch-lanes: replay every derived lane on the "
+        "scalar verify kernel and fail loudly on any divergence",
     )
 
 

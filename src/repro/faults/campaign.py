@@ -145,6 +145,29 @@ class InjectionResult:
     sim_leaps: int = dataclasses.field(default=0, compare=False)
     sim_cycles_leaped: int = dataclasses.field(default=0, compare=False)
 
+    def shifted(self, delta: int) -> "InjectionResult":
+        """This result translated *delta* cycles later in time.
+
+        The lockstep batch executor derives a follower lane's result
+        from its pack leader's: every measured cycle stamp moves
+        rigidly with the stimulus onset, latencies/flags/log counts are
+        shift-invariant, and the leader's single pre-onset leap simply
+        grows by *delta* (so even the scheduler diagnostics are exact).
+        """
+        from ..sim.batch import shift_cycles
+
+        txn_start, inject, detect = shift_cycles(
+            (self.txn_start_cycle, self.inject_cycle, self.detect_cycle),
+            delta,
+        )
+        return dataclasses.replace(
+            self,
+            txn_start_cycle=txn_start,
+            inject_cycle=inject,
+            detect_cycle=detect,
+            sim_cycles_leaped=self.sim_cycles_leaped + delta,
+        )
+
     @property
     def detected(self) -> bool:
         return self.detect_cycle is not None
@@ -250,6 +273,7 @@ def run_injection(
     recovery_timeout: int = 2_000,
     harness_kwargs: Optional[dict] = None,
     issue_delay: int = 0,
+    trace=None,
 ) -> InjectionResult:
     """Inject one fault and measure detection and recovery.
 
@@ -261,8 +285,15 @@ def run_injection(
     paper's interrupt triggers) and the run continues until the manager
     has drained, the subordinate has been reset, and the TMU is
     monitoring again.
+
+    *trace* registers a probe (typically a
+    :class:`~repro.sim.batch.LeapTrace`) on the harness simulator
+    before anything runs — the batch executor's pack leaders collect
+    their inert-prefix evidence through it.
     """
     harness = IpHarness(config, **(harness_kwargs or {}))
+    if trace is not None:
+        harness.sim.add_probe(trace)
     spec_fn = write_spec if stage.direction == AxiDir.WRITE else read_spec
     harness.manager.submit(spec_fn(0, 0x1000, beats=beats, issue_delay=issue_delay))
 
@@ -335,6 +366,8 @@ def run_campaign(
     cache_dir=None,
     progress=None,
     executor=None,
+    batch_lanes: Optional[int] = None,
+    batch_verify: bool = False,
 ) -> List[InjectionResult]:
     """Cross-product campaign over configurations, stages and seeds.
 
@@ -342,6 +375,10 @@ def run_campaign(
     *workers* > 1 shards the sweep across a process pool (*executor*
     overrides the choice entirely, e.g. with a
     :class:`~repro.orchestrate.distributed.DistributedExecutor`),
+    *batch_lanes* routes same-config seed sweeps through the lockstep
+    batch executor (:class:`~repro.orchestrate.batch.BatchExecutor`;
+    *batch_verify* replays every derived lane on the scalar verify
+    kernel),
     *cache_dir* persists completed shards so re-runs skip them, and
     *progress* enables the live status line.  Result ordering is
     canonical (config-major, then stage, then seed) regardless of
@@ -371,7 +408,12 @@ def run_campaign(
             harness_kwargs=harness_kwargs,
         )
     except SpecSerializationError:
-        if (workers or 1) > 1 or cache_dir is not None or executor is not None:
+        if (
+            (workers or 1) > 1
+            or cache_dir is not None
+            or executor is not None
+            or batch_lanes is not None
+        ):
             raise
         from ..orchestrate import ProgressReporter
 
@@ -410,6 +452,8 @@ def run_campaign(
         cache_dir=cache_dir,
         progress=progress,
         executor=executor,
+        batch_lanes=batch_lanes,
+        batch_verify=batch_verify,
     )
 
 

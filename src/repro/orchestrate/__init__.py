@@ -18,6 +18,10 @@ Layers (one module each):
 * :mod:`~repro.orchestrate.distributed` — the TCP coordinator
   (:class:`DistributedExecutor`), lease-based shard assignment with
   reassignment on worker death, and the worker pull loop.
+* :mod:`~repro.orchestrate.batch` — the lockstep batch executor
+  (:class:`BatchExecutor`): packs of same-config lanes derived from one
+  scalar leader run, with evidence-gated retirement to the scalar
+  kernel.
 * :mod:`~repro.orchestrate.cache` — shard-granular JSON result cache;
   atomic writes, defensive loads, the campaign-resume substrate.
 * :mod:`~repro.orchestrate.progress` — live progress/ETA reporting.
@@ -30,6 +34,7 @@ Layers (one module each):
 for the distributed pair) exposes it from the shell.
 """
 
+from .batch import BatchExecutor, BatchStats
 from .cache import ResultCache
 from .distributed import (
     DistributedExecutor,
@@ -62,6 +67,8 @@ from .serialize import (
 from .spec import CampaignSpec, RunSpec, Shard, plan_shards
 
 __all__ = [
+    "BatchExecutor",
+    "BatchStats",
     "CampaignSpec",
     "DistributedExecutor",
     "DistributedTimeout",

@@ -33,6 +33,8 @@ def run_campaign_spec(
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Union[bool, IO[str], ProgressReporter]] = None,
     executor=None,
+    batch_lanes: Optional[int] = None,
+    batch_verify: bool = False,
 ) -> List:
     """Execute *spec* and return results in canonical run order.
 
@@ -59,6 +61,12 @@ def run_campaign_spec(
         :class:`~repro.orchestrate.distributed.DistributedExecutor`)
         overriding the *workers*-based choice.  Planning, caching and
         aggregation are identical whichever executor runs the shards.
+    batch_lanes:
+        When set, runs the pending shards through the lockstep batch
+        executor (:class:`~repro.orchestrate.batch.BatchExecutor`) with
+        packs of at most that many lanes; *batch_verify* additionally
+        replays every derived lane on the scalar verify kernel.  The
+        aggregated results are byte-identical to the serial executor's.
     """
     if workers is None:
         workers = default_workers()
@@ -86,7 +94,12 @@ def run_campaign_spec(
             pending.append(shard)
 
     if executor is None:
-        executor = make_executor(workers)
+        if batch_lanes is not None:
+            executor = make_executor(
+                workers, batch_lanes=batch_lanes, batch_verify=batch_verify
+            )
+        else:
+            executor = make_executor(workers)
     if reporter is not None and hasattr(executor, "attach_progress"):
         executor.attach_progress(reporter)
     for index, results in executor.map(pending):

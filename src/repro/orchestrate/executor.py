@@ -42,12 +42,15 @@ def default_workers() -> int:
     return count
 
 
-def execute_run(run: RunSpec):
+def execute_run(run: RunSpec, trace=None):
     """Simulate one injection described by *run*, in this process.
 
     A fresh harness/SoC is constructed per run — sharing nothing is what
     makes campaigns embarrassingly parallel and results independent of
-    execution order.
+    execution order.  *trace* (a simulator probe, e.g. a
+    :class:`~repro.sim.batch.LeapTrace`) is registered on the run's
+    simulator before it starts — the lockstep batch executor uses it to
+    collect inert-prefix evidence from pack leaders.
     """
     # Imported lazily: this module is imported by repro.faults.campaign
     # (via the orchestrate package) for its parallel path, so top-level
@@ -68,6 +71,7 @@ def execute_run(run: RunSpec):
             recovery_timeout=run.recovery_timeout,
             harness_kwargs=dict(run.harness_kwargs) or None,
             issue_delay=run.seed,
+            trace=trace,
         )
     from ..soc.experiment import run_system_injection
 
@@ -79,6 +83,7 @@ def execute_run(run: RunSpec):
         detect_timeout=run.detect_timeout,
         recovery_timeout=run.recovery_timeout,
         start_delay=run.seed,
+        trace=trace,
         **dict(run.harness_kwargs),
     )
 
@@ -121,16 +126,34 @@ class WorkerPoolExecutor:
             yield from pool.imap_unordered(execute_shard, shards, chunksize=1)
 
 
-def make_executor(workers: int, distributed=None):
-    """Pick the executor: serial, process pool, or distributed.
+def make_executor(
+    workers: int, distributed=None, batch_lanes=None, batch_verify=False
+):
+    """Pick the executor: serial, process pool, distributed, or batch.
 
-    *distributed* selects the third executor
+    *distributed* selects the distributed executor
     (:class:`~repro.orchestrate.distributed.DistributedExecutor`): pass
     a pre-built executor to use it as-is, ``True`` for the defaults, or
     a kwargs mapping (``host``/``port``/``local_workers``/
-    ``lease_timeout``) to construct one.  Otherwise *workers* picks
-    between the in-process executors (1 → serial).
+    ``lease_timeout``) to construct one.  *batch_lanes* selects the
+    lockstep batch executor
+    (:class:`~repro.orchestrate.batch.BatchExecutor`) with packs of at
+    most that many lanes (*batch_verify* adds a scalar verify replay of
+    every derived lane).  Otherwise *workers* picks between the
+    in-process executors (1 → serial).  The batch axis is exclusive
+    with the other two: packs are planned over the whole pending run
+    set in one process.
     """
+    if batch_lanes is not None:
+        if distributed is not None and distributed is not False:
+            raise ValueError("batch_lanes cannot be combined with distributed")
+        if workers > 1:
+            raise ValueError(
+                f"batch_lanes requires workers=1, got workers={workers}"
+            )
+        from .batch import BatchExecutor
+
+        return BatchExecutor(batch_lanes, verify=batch_verify)
     if distributed is not None and distributed is not False:
         # Imported lazily — distributed.py imports execute_shard from
         # this module, so a top-level import would cycle.

@@ -5,8 +5,11 @@ the engine and renders a single self-overwriting status line::
 
     campaign: 132/288 runs (45.8%) | 12 cached | elapsed 14.2s | eta 16.9s
 
-ETA extrapolates from *executed* (non-cached) runs only, so a warm
-cache does not skew the estimate for the remaining work.  Reporting is
+ETA extrapolates from *executed* runs only — cached runs and runs the
+batch executor *derived* without simulating (see
+:meth:`ProgressReporter.runs_derived`) are excluded from the rate — so
+a warm cache or a wide lockstep pack does not skew the estimate for the
+remaining work.  Reporting is
 measurement-only; the engine works identically with ``reporter=None``.
 
 Executors may contribute a live status segment through
@@ -42,6 +45,7 @@ class ProgressReporter:
         self._start = clock()
         self.done = 0
         self.cached = 0
+        self.derived = 0
         self.status = ""
         self._lock = threading.Lock()
 
@@ -52,6 +56,18 @@ class ProgressReporter:
         if cached:
             self.cached += runs
         self._render(final=False)
+
+    def runs_derived(self, runs: int) -> None:
+        """Record *runs* runs completed without simulating.
+
+        Called by the batch executor for every lane it derives from a
+        pack leader.  Derived runs still count towards ``done`` when
+        their shard completes; flagging them here keeps them out of the
+        runs-per-second estimate, which would otherwise project the
+        near-free derivation rate onto the remaining *simulated* work
+        and under-report the ETA.
+        """
+        self.derived += runs
 
     def set_status(self, status: str) -> None:
         """Set the executor-contributed trailing segment and redraw."""
@@ -72,7 +88,7 @@ class ProgressReporter:
 
     def eta_seconds(self) -> Optional[float]:
         """Projected seconds to completion, or ``None`` if unknowable."""
-        executed = self.done - self.cached
+        executed = self.done - self.cached - self.derived
         remaining = self.total - self.done
         if remaining <= 0:
             return 0.0

@@ -5,6 +5,7 @@ The kernel models synchronous digital hardware: every cycle, component
 then ``update()`` methods advance registered state at the clock edge.
 """
 
+from .batch import LeapTrace, lane_classes, lockstep_period, shift_cycles
 from .component import Component, DriveSensitiveState
 from .kernel import STRATEGIES, SchedulerDivergenceError, SettleError, Simulator
 from .signal import Channel, Wire
@@ -14,7 +15,11 @@ __all__ = [
     "Channel",
     "Component",
     "DriveSensitiveState",
+    "LeapTrace",
     "STRATEGIES",
+    "lane_classes",
+    "lockstep_period",
+    "shift_cycles",
     "SchedulerDivergenceError",
     "SettleError",
     "Simulator",

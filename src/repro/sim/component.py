@@ -95,6 +95,33 @@ re-arms), and :meth:`cancel_wake` drops it.  Waking in the past raises
 applies ``elapsed = now - stamp`` ticks on wake — under an always-on
 update phase ``elapsed`` is 1 every cycle, so one implementation serves
 both modes and ``strategy="verify"`` replays remain exact.
+
+Phase periodicity (lockstep batching)
+-------------------------------------
+
+The lockstep batch executor (:mod:`repro.sim.batch`) runs one *leader*
+simulation per pack of same-config campaign runs and derives the other
+lanes' results by shifting the leader's cycle stamps.  That is only
+sound when every component's *autonomous* behaviour — what it does as a
+function of absolute time, independent of stimulus — is periodic.  A
+component declares this with the :attr:`Component.phase_period` class
+attribute:
+
+* ``phase_period = 1`` promises the component is *translation
+  invariant*: given identical stimulus shifted by any number of cycles,
+  it produces identically shifted behaviour.  Purely reactive blocks
+  (managers, subordinates, crossbars, reset units) qualify — all their
+  countdowns are relative (``wake_at(now + delta)``), never anchored to
+  absolute cycle numbers.
+* ``phase_period = p`` promises invariance under shifts that are
+  multiples of ``p`` — the TMU declares its free-running prescaler
+  step, whose phase is ``cycle % step``.
+* ``phase_period = None`` (the default) makes no promise; a simulation
+  containing such a component is never batched (every lane runs
+  scalar).
+
+The pack period is the least common multiple over all registered
+components (:func:`repro.sim.batch.lockstep_period`).
 """
 
 from __future__ import annotations
@@ -139,6 +166,13 @@ class Component:
     #: contract in the module docstring.  The default (False) runs
     #: ``update()`` every cycle, which is always safe.
     demand_update: bool = False
+
+    #: Period (in cycles) of this component's autonomous, absolute-time
+    #: behaviour — see "Phase periodicity" in the module docstring.
+    #: ``1`` declares full translation invariance (purely reactive),
+    #: ``p`` invariance under shifts by multiples of ``p``, and ``None``
+    #: (the default) opts the whole simulation out of lockstep batching.
+    phase_period: Optional[int] = None
 
     def __init__(self, name: str) -> None:
         self.name = name

@@ -52,6 +52,8 @@ class RecoveryCpu(Component):
     """
 
     demand_update = True
+    #: ISR latency counts down from the interrupt edge — reactive.
+    phase_period = 1
 
     def __init__(
         self,

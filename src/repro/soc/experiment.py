@@ -59,6 +59,35 @@ class SystemInjectionResult:
     sim_leaps: int = dataclasses.field(default=0, compare=False)
     sim_cycles_leaped: int = dataclasses.field(default=0, compare=False)
 
+    def shifted(self, delta: int) -> "SystemInjectionResult":
+        """This result translated *delta* cycles later in time.
+
+        Used by the lockstep batch executor to derive a follower
+        lane's result from its pack leader's: measured cycle stamps
+        move rigidly with ``start_delay``, counts and flags are
+        shift-invariant, and the leader's single pre-onset leap grows
+        by *delta*.
+        """
+        from ..sim.batch import shift_cycles
+
+        txn_start, inject, w_first, detect = shift_cycles(
+            (
+                self.txn_start_cycle,
+                self.inject_cycle,
+                self.w_first_cycle,
+                self.detect_cycle,
+            ),
+            delta,
+        )
+        return dataclasses.replace(
+            self,
+            txn_start_cycle=txn_start,
+            inject_cycle=inject,
+            w_first_cycle=w_first,
+            detect_cycle=detect,
+            sim_cycles_leaped=self.sim_cycles_leaped + delta,
+        )
+
     @property
     def detected(self) -> bool:
         return self.detect_cycle is not None
@@ -106,6 +135,7 @@ def run_system_injection(
     sim_strategy: str = "dirty",
     sim_update_skipping: bool = True,
     sim_time_leaping: bool = True,
+    trace=None,
 ) -> SystemInjectionResult:
     """One Fig. 11 data point: inject *stage* during the Ethernet frame.
 
@@ -133,6 +163,10 @@ def run_system_injection(
         sim_update_skipping=sim_update_skipping,
         sim_time_leaping=sim_time_leaping,
     )
+    if trace is not None:
+        # Batch pack leaders register a LeapTrace here, before the
+        # start-delay idle span runs, to collect inert-prefix evidence.
+        soc.sim.add_probe(trace)
     if start_delay:
         soc.sim.run(start_delay)
     soc.send_ethernet_frame(beats)
@@ -262,23 +296,34 @@ def run_fig11(
     cache_dir=None,
     progress=None,
     executor=None,
+    seeds=(0,),
+    batch_lanes: Optional[int] = None,
+    batch_verify: bool = False,
 ) -> Dict[str, List[SystemInjectionResult]]:
     """All Fig. 11 series: both variants across the six write stages.
 
     The sweep runs through the orchestration engine
-    (:mod:`repro.orchestrate`): *workers* > 1 shards the twelve runs
-    across a process pool (each worker builds its own
-    :class:`CheshireSoC`; an explicit *executor* — e.g. a
+    (:mod:`repro.orchestrate`): *workers* > 1 shards the runs across a
+    process pool (each worker builds its own :class:`CheshireSoC`; an
+    explicit *executor* — e.g. a
     :class:`~repro.orchestrate.distributed.DistributedExecutor` serving
-    remote workers — overrides the choice), *cache_dir* lets re-runs
-    skip completed shards, and the aggregated series are identical to
-    the serial ones whatever the executor.
+    remote workers — overrides the choice), *batch_lanes* routes the
+    sweep through the lockstep batch executor
+    (:class:`~repro.orchestrate.batch.BatchExecutor`; *batch_verify*
+    replays every derived lane on the scalar verify kernel), *cache_dir*
+    lets
+    re-runs skip completed shards, and the aggregated series are
+    identical to the serial ones whatever the executor.
+
+    *seeds* sweeps each (variant, stage) point over start-delay phase
+    offsets; each variant's series is stage-major, then seed (length
+    ``len(FIG11_STAGES) * len(seeds)``).
     """
     from ..orchestrate import CampaignSpec, run_campaign_spec
 
     variants = (Variant.FULL, Variant.TINY)
     spec = CampaignSpec.system(
-        variants, FIG11_STAGES, beats=beats, background=background
+        variants, FIG11_STAGES, beats=beats, seeds=seeds, background=background
     )
     flat = run_campaign_spec(
         spec,
@@ -287,8 +332,10 @@ def run_fig11(
         cache_dir=cache_dir,
         progress=progress,
         executor=executor,
+        batch_lanes=batch_lanes,
+        batch_verify=batch_verify,
     )
-    stride = len(FIG11_STAGES)
+    stride = len(FIG11_STAGES) * len(spec.seeds)
     return {
         variant.value: flat[i * stride : (i + 1) * stride]
         for i, variant in enumerate(variants)

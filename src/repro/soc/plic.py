@@ -25,6 +25,8 @@ class Plic(Component):
     """
 
     demand_update = True
+    #: Latches levels and claims — no autonomous clocked behaviour.
+    phase_period = 1
 
     def __init__(self, name: str) -> None:
         super().__init__(name)

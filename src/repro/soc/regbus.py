@@ -87,6 +87,7 @@ class RegBusDemux(Component):
 
     demand_driven = True
     demand_update = True
+    phase_period = 1
 
     def __init__(
         self,
@@ -182,6 +183,7 @@ class RegBusMaster(Component):
 
     demand_driven = True
     demand_update = True
+    phase_period = 1
 
     def __init__(self, name: str, port: RegBusPort) -> None:
         super().__init__(name)

@@ -39,6 +39,8 @@ class ResetUnit(Component):
 
     demand_driven = True
     demand_update = True
+    #: The reset pulse counts down from the request edge — reactive.
+    phase_period = 1
 
     def __init__(
         self,

@@ -30,7 +30,12 @@ from ..axi.types import AxiDir
 from ..sim.signal import Channel
 from .budget import AdaptiveBudgetPolicy
 from .config import TmuConfig, Variant
-from .counters import Prescaler, PrescaledCounter
+from .counters import (
+    Prescaler,
+    PrescaledCounter,
+    catch_up_array,
+    edges_to_expiry_array,
+)
 from .events import ErrorLog, FaultEvent, FaultKind, PhaseLike
 from .ott import LdEntry, OutstandingTransactionTable
 from .perf import PerfLog
@@ -222,12 +227,15 @@ class GuardBase:
         sleeps through.  Any channel movement wakes the TMU first and
         the prediction is recomputed.  ``None`` when nothing is armed.
         """
-        best: Optional[int] = None
-        for counter in self._armed_counters():
-            stamp = now + self.prescaler.cycles_to_edge(counter.edges_to_expiry())
-            if best is None or stamp < best:
-                best = stamp
-        return best
+        counters = self._armed_counters()
+        if not counters:
+            return None
+        # cycles_to_edge is monotone in the edge count, so the earliest
+        # stamp is the one for the fewest edges; the vectorized helper
+        # computes the whole population's edges in one pass.
+        return now + self.prescaler.cycles_to_edge(
+            min(edges_to_expiry_array(counters))
+        )
 
     def catch_up(self, cycles: int) -> None:
         """Replay *cycles* frozen-channel observations in O(#counters).
@@ -244,8 +252,7 @@ class GuardBase:
         edges = prescaler.edges_in(cycles)
         end_on_edge = edges > 0 and (prescaler.phase + cycles) % prescaler.step == 0
         prescaler.skip(cycles)
-        for counter in self._armed_counters():
-            counter.catch_up(edges, end_on_edge)
+        catch_up_array(self._armed_counters(), edges, end_on_edge)
 
     def snapshot_state(self):
         """Wake-independent registered state, for verify-strategy diffs.

@@ -61,6 +61,7 @@ class _TmuChannel(Component):
     """
 
     demand_driven = True
+    phase_period = 1
 
     def __init__(self, tmu: "TransactionMonitoringUnit", channel: str) -> None:
         super().__init__(f"{tmu.name}.{channel}")
@@ -161,6 +162,17 @@ class TransactionMonitoringUnit(Component):
     # ------------------------------------------------------------------
     # Introspection / software API (used by the register file)
     # ------------------------------------------------------------------
+    @property
+    def phase_period(self) -> int:
+        """Lockstep-batch periodicity declaration (see ``sim.component``).
+
+        The guards' free-running prescaler is the TMU's only
+        absolute-time state — its phase is ``cycle % prescale_step``
+        (resynced in O(1) across skipped spans) — so TMU behaviour is
+        invariant under stimulus shifts by multiples of the step.
+        """
+        return self.config.prescale_step
+
     @property
     def fault_active(self) -> bool:
         return self.state == TmuState.RECOVER

@@ -1,0 +1,152 @@
+"""Byte-identity of campaign outputs under lockstep batch execution.
+
+The acceptance bar for the batch executor: the Fig. 9 (IP-level) and
+Fig. 11 (system-level) campaigns must serialize to byte-identical JSON
+whether every lane is simulated scalar or packs of lanes are derived
+from one leader run — across pack widths, with the leaping kernel
+disabled, with lanes forcibly retired mid-pack, and with batching
+disabled entirely by an undeclared component.
+
+Unlike the kernel-mode differentials (``test_update_skip_figures``),
+these comparisons keep the ``scheduler`` aggregate: a derived lane's
+leap statistics are computed, not simulated, and must still equal the
+scalar kernel's exactly.
+"""
+
+import pytest
+
+from repro.analysis.export import campaign_dict, to_json
+from repro.axi.manager import Manager
+from repro.faults.types import InjectionStage
+from repro.orchestrate import BatchExecutor, CampaignSpec, run_campaign_spec
+from repro.tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
+from repro.tmu.config import TmuConfig, Variant
+
+FIG9_STAGES = (
+    InjectionStage.AW_READY_MISSING,
+    InjectionStage.WLAST_TO_BVALID,
+    InjectionStage.R_VALID_MISSING,
+)
+
+FIG11_STAGES = (
+    InjectionStage.W_READY_MISSING,
+    InjectionStage.B_READY_MISSING,
+)
+
+#: Spans both residue classes of prescale_step=2 plus the degenerate
+#: seed-0/seed-1 lanes that can never carry batch evidence.
+SEEDS = tuple(range(8))
+
+
+def small_config(variant: Variant) -> TmuConfig:
+    budgets = AdaptiveBudgetPolicy(
+        PhaseBudgets(aw_handshake=24), SpanBudgets(base=48, per_beat=1)
+    )
+    return TmuConfig(
+        variant=variant,
+        max_uniq_ids=4,
+        txn_per_id=4,
+        prescale_step=2,
+        budgets=budgets,
+        max_txn_cycles=96,
+    )
+
+
+def fig9_spec(**harness_kwargs) -> CampaignSpec:
+    return CampaignSpec.ip(
+        [small_config(Variant.FULL), small_config(Variant.TINY)],
+        FIG9_STAGES,
+        beats=4,
+        seeds=SEEDS,
+        harness_kwargs=harness_kwargs or None,
+    )
+
+
+def fig11_spec(**harness_kwargs) -> CampaignSpec:
+    return CampaignSpec.system(
+        (Variant.FULL, Variant.TINY),
+        FIG11_STAGES,
+        beats=16,
+        seeds=SEEDS,
+        harness_kwargs=harness_kwargs or None,
+    )
+
+
+def full_json(spec: CampaignSpec, executor=None) -> str:
+    """The complete campaign JSON — scheduler block included."""
+    return to_json(campaign_dict(run_campaign_spec(spec, executor=executor)))
+
+
+@pytest.fixture(scope="module")
+def fig9_serial_json():
+    return full_json(fig9_spec())
+
+
+@pytest.fixture(scope="module")
+def fig11_serial_json():
+    return full_json(fig11_spec())
+
+
+@pytest.mark.parametrize("lanes", [1, 8, 64])
+def test_fig9_batch_byte_identical(lanes, fig9_serial_json):
+    executor = BatchExecutor(lanes)
+    assert full_json(fig9_spec(), executor) == fig9_serial_json
+    if lanes == 1:
+        # Width-1 packs are their own leaders: pure scalar degenerate.
+        assert executor.stats.derived == 0
+    else:
+        assert executor.stats.derived > 0
+
+
+@pytest.mark.parametrize("lanes", [1, 8, 64])
+def test_fig11_batch_byte_identical(lanes, fig11_serial_json):
+    executor = BatchExecutor(lanes)
+    assert full_json(fig11_spec(), executor) == fig11_serial_json
+    if lanes > 1:
+        assert executor.stats.derived > 0
+
+
+def test_fig9_batch_identical_without_time_leaping():
+    # A non-leaping kernel steps every pre-onset cycle, so no leader can
+    # produce inert-prefix evidence: the whole campaign must retire to
+    # the scalar kernel — and still match it byte for byte.
+    executor = BatchExecutor(8)
+    assert full_json(
+        fig9_spec(sim_time_leaping=False), executor
+    ) == full_json(fig9_spec(sim_time_leaping=False))
+    assert executor.stats.derived == 0
+    assert executor.stats.retired > 0
+
+
+def test_fig9_forced_mid_pack_retirement_byte_identical(fig9_serial_json):
+    # Retire two interior lanes of every pack: the executor must splice
+    # scalar reruns into the derived stream without disturbing either.
+    executor = BatchExecutor(8, force_retire=lambda run: run.seed in (3, 5))
+    assert full_json(fig9_spec(), executor) == fig9_serial_json
+    assert executor.stats.derived > 0
+    assert executor.stats.retired > 0
+
+
+def test_fig11_forced_mid_pack_retirement_byte_identical(fig11_serial_json):
+    executor = BatchExecutor(8, force_retire=lambda run: run.seed == 5)
+    assert full_json(fig11_spec(), executor) == fig11_serial_json
+    assert executor.stats.derived > 0
+
+
+def test_undeclared_component_disables_batching(
+    monkeypatch, fig9_serial_json
+):
+    # phase_period=None anywhere in the design means "unaudited": the
+    # executor must not derive a single lane, and must still agree.
+    monkeypatch.setattr(Manager, "phase_period", None)
+    executor = BatchExecutor(8)
+    assert full_json(fig9_spec(), executor) == fig9_serial_json
+    assert executor.stats.derived == 0
+
+
+def test_fig9_batch_verify_accepts_clean_campaign(fig9_serial_json):
+    # strategy="verify" on the batch path: every derived lane replays on
+    # the scalar verify kernel; a clean campaign must sail through.
+    executor = BatchExecutor(8, verify=True)
+    assert full_json(fig9_spec(), executor) == fig9_serial_json
+    assert executor.stats.derived > 0

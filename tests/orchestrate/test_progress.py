@@ -1,0 +1,88 @@
+"""ProgressReporter ETA accounting.
+
+The estimate must extrapolate from the runs that actually consumed
+wall-clock — weighted by runs (not shards, which vary in size), and
+excluding both cache hits and lanes the batch executor derived without
+simulating.  Either class of free run projected into the rate would
+under-report the time remaining for the genuinely simulated work.
+"""
+
+import io
+
+from repro.orchestrate import ProgressReporter
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_reporter(total):
+    clock = FakeClock()
+    return ProgressReporter(total, stream=io.StringIO(), clock=clock), clock
+
+
+def test_eta_weighted_by_runs_not_shards():
+    reporter, clock = make_reporter(10)
+    # Two shards of very different sizes, completing out of order: the
+    # rate must come from the 4 runs done, not from "2 of N shards".
+    clock.advance(4.0)
+    reporter.shard_done(3)
+    clock.advance(1.0)
+    reporter.shard_done(1)
+    # 4 runs in 5s -> 1.25 s/run; 6 remaining -> 7.5s.
+    assert reporter.eta_seconds() == 7.5
+
+
+def test_cached_runs_do_not_skew_eta():
+    reporter, clock = make_reporter(8)
+    reporter.shard_done(4, cached=True)  # instant, free
+    clock.advance(6.0)
+    reporter.shard_done(2)
+    # 2 executed runs in 6s -> 3 s/run; 2 remaining -> 6s.
+    assert reporter.eta_seconds() == 6.0
+
+
+def test_derived_runs_do_not_skew_eta():
+    reporter, clock = make_reporter(64)
+    # A 32-lane pack: one leader simulated, 31 lanes derived for free.
+    reporter.runs_derived(31)
+    clock.advance(10.0)
+    reporter.shard_done(32)
+    # 1 simulated run in 10s; 32 remaining -> 320s.  Counting the 31
+    # derived lanes as executed would claim ~10s instead.
+    assert reporter.eta_seconds() == 320.0
+    assert reporter.derived == 31
+
+
+def test_eta_unknowable_before_any_simulated_run():
+    reporter, clock = make_reporter(16)
+    reporter.runs_derived(7)
+    reporter.shard_done(8, cached=True)
+    clock.advance(3.0)
+    assert reporter.eta_seconds() is None
+
+
+def test_eta_zero_when_done():
+    reporter, clock = make_reporter(2)
+    clock.advance(1.0)
+    reporter.shard_done(2)
+    assert reporter.eta_seconds() == 0.0
+
+
+def test_render_and_finish_stream_shape():
+    reporter, clock = make_reporter(4)
+    clock.advance(2.0)
+    reporter.shard_done(2)
+    reporter.set_status("batch: 1 pack(s)")
+    reporter.finish()
+    text = reporter.stream.getvalue()
+    assert "2/4 runs" in text
+    assert "batch: 1 pack(s)" in text
+    assert text.endswith("\n")

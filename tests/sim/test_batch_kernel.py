@@ -1,0 +1,244 @@
+"""Contracts of the lockstep-batch kernel primitives.
+
+Unit-level coverage of :mod:`repro.sim.batch` (the period algebra, the
+congruence classes, the stamp shifting, the :class:`LeapTrace`
+evidence) and of the batch executor's verify mode — the extension of
+``strategy="verify"`` to the derived-lane path, which must raise
+:class:`SchedulerDivergenceError` naming the offending lane when a
+derivation is wrong.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.faults.types import InjectionStage
+from repro.orchestrate import BatchExecutor, CampaignSpec, run_campaign_spec
+from repro.sim import SchedulerDivergenceError
+from repro.sim.batch import (
+    LeapTrace,
+    lane_classes,
+    lockstep_period,
+    shift_cycles,
+)
+from repro.tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
+from repro.tmu.config import TmuConfig, Variant
+
+
+class _Stub:
+    def __init__(self, phase_period):
+        self.phase_period = phase_period
+
+
+# ----------------------------------------------------------------------
+# lockstep_period
+# ----------------------------------------------------------------------
+def test_lockstep_period_is_lcm():
+    assert lockstep_period([_Stub(1), _Stub(4), _Stub(6)]) == 12
+
+
+def test_lockstep_period_of_reactive_components_is_one():
+    assert lockstep_period([_Stub(1), _Stub(1)]) == 1
+
+
+def test_lockstep_period_empty_design_is_one():
+    assert lockstep_period([]) == 1
+
+
+def test_lockstep_period_undeclared_component_poisons():
+    assert lockstep_period([_Stub(1), _Stub(None), _Stub(4)]) is None
+
+
+def test_lockstep_period_rejects_non_positive():
+    with pytest.raises(ValueError):
+        lockstep_period([_Stub(0)])
+
+
+def test_harness_periods_reflect_prescaler():
+    # The IP harness's only absolute-time-periodic component is the
+    # TMU prescaler, so the pack period equals its step.
+    from repro.faults.campaign import IpHarness
+
+    config = TmuConfig(variant=Variant.FULL, prescale_step=3)
+    assert lockstep_period(IpHarness(config).sim.components) == 3
+
+
+# ----------------------------------------------------------------------
+# lane_classes
+# ----------------------------------------------------------------------
+def test_lane_classes_partitions_by_residue():
+    assert lane_classes(range(8), 2) == {0: [0, 2, 4, 6], 1: [1, 3, 5, 7]}
+
+
+def test_lane_classes_period_one_is_one_pack():
+    assert lane_classes([5, 1, 3], 1) == {0: [1, 3, 5]}
+
+
+def test_lane_classes_orders_each_class_ascending():
+    classes = lane_classes([9, 2, 7, 0, 4, 11], 2)
+    assert classes == {0: [0, 2, 4], 1: [7, 9, 11]}
+
+
+def test_lane_classes_rejects_non_positive_period():
+    with pytest.raises(ValueError):
+        lane_classes([0, 1], 0)
+
+
+# ----------------------------------------------------------------------
+# shift_cycles
+# ----------------------------------------------------------------------
+def test_shift_cycles_translates_and_preserves_holes():
+    assert shift_cycles((3, None, 10), 5) == [8, None, 15]
+
+
+def test_shift_cycles_long_vector_path():
+    assert shift_cycles(tuple(range(6)), 7) == [7, 8, 9, 10, 11, 12]
+
+
+# ----------------------------------------------------------------------
+# LeapTrace evidence
+# ----------------------------------------------------------------------
+class _FakeSim:
+    def __init__(self, cycle):
+        self.cycle = cycle
+
+
+def _trace_with(onset, stepped, leaps=()):
+    trace = LeapTrace(onset=onset)
+    for cycle in stepped:
+        # Probes observe cycle - 1 (they run after the counter bumps).
+        trace(_FakeSim(cycle + 1))
+    for start, stop in leaps:
+        trace.on_leap(None, start, stop)
+    return trace
+
+
+def test_leap_trace_contiguous_prefix_is_inert():
+    trace = _trace_with(onset=10, stepped=[0, 1, 2], leaps=[(3, 10)])
+    assert trace.transient_cycles == 3
+    assert trace.inert_before(10)
+    assert trace.leaps == 1 and trace.cycles_leaped == 7
+
+
+def test_leap_trace_mid_gap_wake_is_not_inert():
+    # A stepped cycle after the transient (a wake fired inside the gap)
+    # breaks contiguity: the pre-onset world is not provably identical.
+    trace = _trace_with(onset=10, stepped=[0, 1, 7])
+    assert not trace.inert_before(10)
+
+
+def test_leap_trace_transient_reaching_onset_is_not_inert():
+    # k == onset means there was no leaped gap at all — no evidence.
+    trace = _trace_with(onset=3, stepped=[0, 1, 2])
+    assert not trace.inert_before(3)
+
+
+def test_leap_trace_recheck_with_earlier_onset():
+    trace = _trace_with(onset=10, stepped=[0, 1, 2])
+    assert trace.inert_before(4)
+    assert not trace.inert_before(3)
+
+
+def test_leap_trace_ignores_post_onset_steps():
+    trace = LeapTrace(onset=2)
+    for cycle in (0, 5, 6, 7):
+        trace(_FakeSim(cycle + 1))
+    assert trace.stepped == [0]
+    assert trace.inert_before(2)
+
+
+def test_leap_trace_rejects_negative_onset():
+    with pytest.raises(ValueError):
+        LeapTrace(onset=-1)
+
+
+# ----------------------------------------------------------------------
+# Result derivation (shifted)
+# ----------------------------------------------------------------------
+def _one_result(seed):
+    from repro.faults.campaign import run_injection
+
+    return run_injection(
+        _config(), InjectionStage.AW_READY_MISSING, beats=4, issue_delay=seed
+    )
+
+
+def _config():
+    return TmuConfig(
+        variant=Variant.FULL,
+        max_uniq_ids=4,
+        txn_per_id=4,
+        prescale_step=2,
+        budgets=AdaptiveBudgetPolicy(
+            PhaseBudgets(aw_handshake=24), SpanBudgets(base=48, per_beat=1)
+        ),
+        max_txn_cycles=96,
+    )
+
+
+def test_shifted_matches_scalar_rerun_exactly():
+    # Seeds 3 and 7: the leader's pre-onset gap contains a real leap,
+    # which is exactly the evidence regime (`inert_before`) the batch
+    # executor derives under — there the leap statistics shift exactly.
+    leader, follower = _one_result(3), _one_result(7)
+    derived = leader.shifted(4)
+    assert dataclasses.asdict(derived) == dataclasses.asdict(follower)
+
+
+def test_shifted_moves_stamps_and_leap_cycles_only():
+    result = _one_result(2)
+    derived = result.shifted(10)
+    assert derived.detect_cycle == result.detect_cycle + 10
+    assert derived.inject_cycle == result.inject_cycle + 10
+    assert derived.sim_cycles_leaped == result.sim_cycles_leaped + 10
+    assert derived.sim_leaps == result.sim_leaps
+    assert derived.recovered == result.recovered
+    assert derived.stage == result.stage
+
+
+# ----------------------------------------------------------------------
+# Batch verify mode
+# ----------------------------------------------------------------------
+def _ip_spec():
+    return CampaignSpec.ip(
+        [_config()],
+        [InjectionStage.AW_READY_MISSING],
+        beats=4,
+        seeds=tuple(range(8)),
+    )
+
+
+def test_batch_verify_catches_corrupted_derivation():
+    # Plant a wrong derivation through the test seam: the verify replay
+    # must catch it and name the offending lane.
+    def corrupt(run, derived):
+        return dataclasses.replace(derived, detect_cycle=derived.detect_cycle + 1)
+
+    executor = BatchExecutor(8, verify=True, derive_hook=corrupt)
+    with pytest.raises(SchedulerDivergenceError) as excinfo:
+        run_campaign_spec(_ip_spec(), executor=executor)
+    message = str(excinfo.value)
+    assert "lane" in message and "seed" in message
+
+
+def test_batch_verify_names_the_divergent_lane():
+    # Corrupt exactly one lane; the error must carry that lane's seed.
+    def corrupt(run, derived):
+        if run.seed == 6:
+            return dataclasses.replace(derived, recovered=not derived.recovered)
+        return derived
+
+    executor = BatchExecutor(8, verify=True, derive_hook=corrupt)
+    with pytest.raises(SchedulerDivergenceError) as excinfo:
+        run_campaign_spec(_ip_spec(), executor=executor)
+    assert "seed 6" in str(excinfo.value)
+
+
+def test_batch_verify_passes_honest_derivations():
+    executor = BatchExecutor(8, verify=True)
+    batch = run_campaign_spec(_ip_spec(), executor=executor)
+    serial = run_campaign_spec(_ip_spec())
+    assert executor.stats.derived > 0
+    assert [dataclasses.asdict(r) for r in batch] == [
+        dataclasses.asdict(r) for r in serial
+    ]
