@@ -437,3 +437,92 @@ def test_time_leap_stall_campaign(benchmark):
     # top of PR 3's quiescence kernel for a stall-dominated campaign
     # (typically far more — the leaped span costs O(1), not O(budget)).
     assert tick_s > 3.0 * leap_s
+
+
+def measure_tracer_overhead():
+    """Min-of-repeats wall clock for the 64-seed stall campaign, bare
+    vs with a no-op base :class:`Tracer` riding in every simulator.
+
+    A live tracer is not JSON-serializable, so the traced arm goes
+    through ``run_campaign`` (the serial path specs fall back to) with
+    the *same* config/stage/seed axis as ``build_batch_campaign_spec``.
+    The two arms interleave so drift hits both equally, and each takes
+    its best of several repeats — the standard noise floor for
+    sub-100ms timings.
+    """
+    from repro.faults.campaign import run_campaign
+    from repro.faults.types import InjectionStage
+    from repro.telemetry import Tracer
+    from repro.tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
+    from repro.tmu.config import TmuConfig, Variant
+
+    config = TmuConfig(
+        variant=Variant.FULL,
+        max_uniq_ids=4,
+        txn_per_id=4,
+        prescale_step=4,
+        budgets=AdaptiveBudgetPolicy(
+            PhaseBudgets(aw_handshake=BATCH_BUDGET),
+            SpanBudgets(base=2 * BATCH_BUDGET, per_beat=1),
+        ),
+        max_txn_cycles=4 * BATCH_BUDGET,
+    )
+
+    def campaign(harness_kwargs):
+        start = time.perf_counter()
+        results = run_campaign(
+            [config],
+            [InjectionStage.AW_READY_MISSING],
+            beats=4,
+            seeds=tuple(range(BATCH_SEEDS)),
+            harness_kwargs=harness_kwargs,
+        )
+        return time.perf_counter() - start, results
+
+    import dataclasses
+
+    bare_best = traced_best = float("inf")
+    reference = None
+    for _ in range(7):
+        bare_s, bare_results = campaign(None)
+        traced_s, traced_results = campaign({"sim_tracer": Tracer()})
+        bare_best = min(bare_best, bare_s)
+        traced_best = min(traced_best, traced_s)
+        # Observation, not perturbation: identical physics either way.
+        snapshot = [dataclasses.asdict(r) for r in traced_results]
+        if reference is None:
+            reference = [dataclasses.asdict(r) for r in bare_results]
+        assert snapshot == reference
+    return bare_best, traced_best
+
+
+def test_noop_tracer_overhead(benchmark):
+    bare_s, traced_s = run_once(benchmark, measure_tracer_overhead)
+    overhead = traced_s / bare_s - 1.0
+
+    body = "\n".join(
+        [
+            f"{BATCH_SEEDS}-seed AW-stall campaign, {BATCH_BUDGET}-cycle"
+            " budget, best of 7",
+            "harness            | wall clock | overhead",
+            "-------------------+------------+---------",
+            f"bare               | {1000 * bare_s:7.1f} ms |    —",
+            f"no-op Tracer       | {1000 * traced_s:7.1f} ms | {100 * overhead:+6.1f}%",
+        ]
+    )
+    report("Kernel tracing: no-op tracer overhead on the stall campaign", body)
+    record_json(
+        "tracer_noop_overhead",
+        {
+            "runs": BATCH_SEEDS,
+            "budget_cycles": BATCH_BUDGET,
+            "bare_seconds": bare_s,
+            "traced_seconds": traced_s,
+            "overhead_fraction": overhead,
+        },
+    )
+
+    # Acceptance bar: the base (cycle-tier) tracer costs at most 5% —
+    # leaped cycles never touch the tracer, and stepped cycles pay two
+    # attribute-lookup calls.
+    assert overhead <= 0.05

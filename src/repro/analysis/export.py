@@ -11,6 +11,7 @@ import json
 from typing import Any, Dict, Optional
 
 from ..area.model import AreaReport
+from ..sim.kernel import Simulator
 from ..tmu.perf import PerfLog
 
 
@@ -102,16 +103,19 @@ def system_injection_result_dict(result) -> Dict[str, Any]:
 def scheduler_stats_dict(results) -> Dict[str, int]:
     """Aggregate kernel fast-forward statistics over a result list.
 
-    Sums the per-run ``sim_leaps`` / ``sim_cycles_leaped`` diagnostics
-    (see the timed-wake queue in :mod:`repro.sim.kernel`) so a campaign
-    archive records how much simulated idle time was leaped rather than
-    ticked.  Results predating the fields count as zero.
+    Sums the per-run scheduler diagnostics — one ``sim_<key>`` result
+    field per :attr:`repro.sim.kernel.Simulator.STAT_KEYS` entry, the
+    same authority ``Simulator.stats()`` reads — so a campaign archive
+    records how much simulated idle time was leaped rather than ticked.
+    Results predating the fields count as zero, and the emitted keys
+    (``leaps``/``cycles_leaped``) are byte-identical to the hand-listed
+    block this replaced.
     """
     return {
-        "leaps": sum(int(getattr(result, "sim_leaps", 0) or 0) for result in results),
-        "cycles_leaped": sum(
-            int(getattr(result, "sim_cycles_leaped", 0) or 0) for result in results
-        ),
+        key: sum(
+            int(getattr(result, f"sim_{key}", 0) or 0) for result in results
+        )
+        for key in Simulator.STAT_KEYS
     }
 
 

@@ -25,11 +25,20 @@ Distributed campaigns (coordinator + any number of pull workers)::
     python -m repro campaign --distributed --local-workers 2 --kind ip
     python -m repro fig11 --distributed --local-workers 2
     python -m repro campaign --resume --cache-dir /shared/cache ...
+
+Telemetry (all opt-in; never changes a result)::
+
+    python -m repro inject --stage wlast_bvalid_error --trace trace.json
+    python -m repro campaign --kind ip --telemetry telemetry.json
+    python -m repro report --telemetry telemetry.json
+    python -m repro status --connect 10.0.0.5:7453        # fleet health
+    python -m repro --log-level info campaign --kind ip --progress
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import multiprocessing
 import os
 import sys
@@ -53,11 +62,20 @@ from .orchestrate.distributed import (
     DEFAULT_LEASE_TIMEOUT,
     DistributedExecutor,
     default_worker_id,
+    request_status,
     worker_loop,
 )
 from .orchestrate.remote import ProtocolError
 from .orchestrate.executor import START_METHOD_ENV
 from .soc.experiment import FIG11_LABELS, FIG11_STAGES, run_fig11
+from .telemetry import (
+    KernelTracer,
+    MetricsRegistry,
+    read_telemetry,
+    setup_logging,
+    write_chrome_trace,
+    write_telemetry,
+)
 from .tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
 from .tmu.config import TmuConfig, Variant
 
@@ -172,8 +190,15 @@ def cmd_area(args) -> int:
 def cmd_inject(args) -> int:
     config = TmuConfig(variant=args.variant)
     stages = args.stages or [InjectionStage.WLAST_TO_BVALID]
+    # A live tracer rides into the harness; with several stages it makes
+    # harness_kwargs non-serializable, which routes the campaign through
+    # the in-process serial fallback — exactly right for a trace run.
+    tracer = KernelTracer() if args.trace else None
+    harness_kwargs = {"sim_tracer": tracer} if tracer is not None else None
     if len(stages) == 1 and (args.workers or 1) <= 1:
-        result = run_injection(config, stages[0], beats=args.beats)
+        result = run_injection(
+            config, stages[0], beats=args.beats, harness_kwargs=harness_kwargs
+        )
         rows = [
             ["detected", result.detected],
             ["latency from injection", result.latency_from_injection],
@@ -190,30 +215,36 @@ def cmd_inject(args) -> int:
                 title=f"{stages[0].value} on {args.variant.value}, {args.beats} beats",
             )
         )
-        return 0 if result.detected and result.recovered else 1
-    # Several stages (or an explicit worker count): run as a campaign.
-    results = run_campaign(
-        [config], stages, beats=args.beats, workers=args.workers
-    )
-    rows = [
-        [
-            result.stage.value,
-            result.detected,
-            result.latency_from_injection,
-            result.latency_from_start,
-            result.recovered,
-        ]
-        for result in results
-    ]
-    print(
-        render_table(
-            ["stage", "detected", "lat(inject)", "lat(start)", "recovered"],
-            rows,
-            title=f"{len(results)} injections on {args.variant.value}, "
-            f"{args.beats} beats",
+        code = 0 if result.detected and result.recovered else 1
+    else:
+        # Several stages (or an explicit worker count): run as a campaign.
+        results = run_campaign(
+            [config], stages, beats=args.beats, workers=args.workers,
+            harness_kwargs=harness_kwargs,
         )
-    )
-    return 0 if all(r.detected and r.recovered for r in results) else 1
+        rows = [
+            [
+                result.stage.value,
+                result.detected,
+                result.latency_from_injection,
+                result.latency_from_start,
+                result.recovered,
+            ]
+            for result in results
+        ]
+        print(
+            render_table(
+                ["stage", "detected", "lat(inject)", "lat(start)", "recovered"],
+                rows,
+                title=f"{len(results)} injections on {args.variant.value}, "
+                f"{args.beats} beats",
+            )
+        )
+        code = 0 if all(r.detected and r.recovered for r in results) else 1
+    if tracer is not None:
+        write_chrome_trace(tracer, args.trace)
+        print(f"wrote {args.trace}", file=sys.stderr)
+    return code
 
 
 def cmd_fig7(args) -> int:
@@ -301,6 +332,7 @@ def cmd_fig11(args) -> int:
         print("--batch-lanes cannot be combined with --distributed",
               file=sys.stderr)
         return 2
+    metrics = MetricsRegistry() if args.telemetry else None
     series = run_fig11(
         workers=args.workers,
         cache_dir=args.cache_dir,
@@ -308,7 +340,11 @@ def cmd_fig11(args) -> int:
         seeds=seeds,
         batch_lanes=args.batch_lanes,
         batch_verify=args.batch_verify,
+        metrics=metrics,
     )
+    if metrics is not None:
+        write_telemetry(metrics, args.telemetry)
+        print(f"wrote {args.telemetry}", file=sys.stderr)
     rows = []
     for i, label in enumerate(FIG11_LABELS):
         # Series are stage-major then seed: seed 0 is the figure's
@@ -361,6 +397,7 @@ def cmd_campaign(args, executor=None) -> int:
         print("--batch-lanes cannot be combined with --distributed",
               file=sys.stderr)
         return 2
+    metrics = MetricsRegistry() if args.telemetry else None
     results = run_campaign_spec(
         spec,
         workers=getattr(args, "workers", None),
@@ -370,7 +407,11 @@ def cmd_campaign(args, executor=None) -> int:
         executor=executor,
         batch_lanes=batch_lanes,
         batch_verify=getattr(args, "batch_verify", False),
+        metrics=metrics,
     )
+    if metrics is not None:
+        write_telemetry(metrics, args.telemetry)
+        print(f"wrote {args.telemetry}", file=sys.stderr)
     rows = [
         [
             run.run_id,
@@ -419,6 +460,19 @@ def cmd_serve(args) -> int:
     return cmd_campaign(args, executor=executor)
 
 
+def _worker_process(host, port, worker_id, retry_seconds, log_level, log_json):
+    """Spawned worker entry point (module-level, so it pickles).
+
+    Spawn-start children inherit no logging configuration from the
+    parent, so each one re-applies ``--log-level/--log-json`` before
+    pulling shards; :func:`worker_loop` then tags every record with the
+    worker id, keeping interleaved multi-process output attributable.
+    """
+    if log_level or log_json:
+        setup_logging(log_level or "warning", json_lines=log_json)
+    worker_loop(host, port, worker_id=worker_id, retry_seconds=retry_seconds)
+
+
 def cmd_worker(args) -> int:
     """Worker: pull shards from a coordinator until it says done."""
     host, port = args.connect
@@ -427,12 +481,15 @@ def cmd_worker(args) -> int:
         context = multiprocessing.get_context(method)
         processes = [
             context.Process(
-                target=worker_loop,
-                args=(host, port),
-                kwargs={
-                    "worker_id": f"{default_worker_id()}-{index}",
-                    "retry_seconds": args.retry,
-                },
+                target=_worker_process,
+                args=(
+                    host,
+                    port,
+                    f"{default_worker_id()}-{index}",
+                    args.retry,
+                    args.log_level,
+                    args.log_json,
+                ),
             )
             for index in range(args.processes)
         ]
@@ -447,6 +504,133 @@ def cmd_worker(args) -> int:
         print(f"worker error: {exc}", file=sys.stderr)
         return 1
     print(f"worker {default_worker_id()}: executed {executed} shard(s)")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Summarize a ``telemetry.json`` artifact as readable tables."""
+    try:
+        metrics = read_telemetry(args.telemetry)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    if counters:
+        rows = [[name, value] for name, value in sorted(counters.items())]
+        print(render_table(["counter", "count"], rows, title="counters"))
+    if gauges:
+        rows = [[name, value] for name, value in sorted(gauges.items())]
+        print(render_table(["gauge", "value"], rows, title="gauges"))
+    if histograms:
+        # Rebuild real Histogram instruments so bucket labelling and the
+        # mean live in exactly one place (the metrics module).
+        registry = MetricsRegistry.from_dict({"histograms": histograms})
+        rows = []
+        for name, payload in sorted(histograms.items()):
+            histogram = registry.histogram(name, payload["bounds"])
+            mean = histogram.mean
+            buckets = ", ".join(
+                f"{label}: {count}" for label, count in histogram.nonzero()
+            )
+            rows.append(
+                [
+                    name,
+                    histogram.count,
+                    f"{mean:.4f}" if mean is not None else "--",
+                    buckets or "(empty)",
+                ]
+            )
+        print(
+            render_table(
+                ["histogram", "count", "mean", "populated buckets"],
+                rows,
+                title="histograms",
+            )
+        )
+    if not (counters or gauges or histograms):
+        print("telemetry file carries no metrics")
+    return 0
+
+
+def _format_event(event: dict) -> str:
+    """One event-log entry as a ``+t event key=value ...`` line."""
+    fields = " ".join(
+        f"{key}={value}"
+        for key, value in event.items()
+        if key not in ("t", "event")
+    )
+    line = f"+{event.get('t', 0.0):>9.3f}s  {event.get('event', '?')}"
+    return f"{line}  {fields}" if fields else line
+
+
+def cmd_status(args) -> int:
+    """Poll a live coordinator for its fleet-health snapshot."""
+    host, port = args.connect
+    try:
+        status = request_status(host, port, timeout=args.timeout)
+    except (OSError, ProtocolError) as exc:
+        print(f"status error: {exc}", file=sys.stderr)
+        return 1
+    if args.json_output:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    workers = status.get("workers", {})
+    print(
+        f"coordinator {host}:{port}: "
+        f"{status.get('connected_workers', 0)} worker(s) connected"
+    )
+    if workers:
+        rows = [
+            [
+                name,
+                "yes" if info.get("connected") else "no",
+                info.get("shards_completed", 0),
+                f"{info.get('last_seen_ago_seconds', 0.0):.1f}s",
+                (
+                    f"{info['heartbeat_gap_seconds']:.1f}s"
+                    if info.get("heartbeat_gap_seconds") is not None
+                    else "--"
+                ),
+            ]
+            for name, info in sorted(workers.items())
+        ]
+        print(
+            render_table(
+                ["worker", "connected", "shards", "last seen", "heartbeat gap"],
+                rows,
+            )
+        )
+    campaign = status.get("campaign")
+    if campaign:
+        print(
+            f"campaign: {campaign.get('completed', 0)}/"
+            f"{campaign.get('total', 0)} shard(s) done | "
+            f"{campaign.get('pending', 0)} pending | "
+            f"{campaign.get('reassignments', 0)} reassignment(s)"
+        )
+        leases = campaign.get("leases", [])
+        if leases:
+            rows = [
+                [
+                    lease.get("shard"),
+                    lease.get("worker"),
+                    f"{lease.get('expires_in', 0.0):.1f}s",
+                    "EXPIRED" if lease.get("expired") else "live",
+                ]
+                for lease in leases
+            ]
+            print(
+                render_table(["shard", "worker", "expires in", "lease"], rows)
+            )
+    else:
+        print("campaign: none active")
+    events = status.get("events", [])
+    if events:
+        print(f"last {len(events)} event(s):")
+        for event in events:
+            print(f"  {_format_event(event)}")
     return 0
 
 
@@ -465,6 +649,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="AXI4 TMU reproduction: run the paper's experiments",
+    )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="configure the 'repro' package logger at this level "
+        "(default: logging untouched)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines instead of text",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -489,6 +683,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="process count for multi-stage sweeps (default: REPRO_WORKERS or 1)",
     )
+    p_inject.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record the simulation schedule as a Chrome trace-event "
+        "JSON (load in Perfetto / chrome://tracing)",
+    )
     p_inject.set_defaults(func=cmd_inject)
 
     p_fig7 = sub.add_parser("fig7", help="area scaling sweep")
@@ -511,6 +710,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig11.add_argument(
         "--seeds", type=_positive_int, default=1,
         help="start-delay phase offsets 0..N-1 per (variant, stage) point",
+    )
+    p_fig11.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write campaign metrics (telemetry.json) here; summarize "
+        "with: repro report --telemetry PATH",
     )
     _add_batch_args(p_fig11)
     _add_distributed_args(p_fig11)
@@ -588,6 +792,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_worker.set_defaults(func=cmd_worker)
 
+    p_report = sub.add_parser(
+        "report",
+        help="summarize campaign telemetry artifacts",
+        description=(
+            "Render the counters, gauges and histograms a campaign "
+            "recorded with --telemetry as readable tables."
+        ),
+    )
+    p_report.add_argument(
+        "--telemetry", required=True, metavar="PATH",
+        help="telemetry.json written by campaign/fig11 --telemetry",
+    )
+    p_report.set_defaults(func=cmd_report)
+
+    p_status = sub.add_parser(
+        "status",
+        help="poll a live coordinator's fleet health",
+        description=(
+            "Open a one-shot status connection to a repro serve / "
+            "--distributed coordinator and render its fleet snapshot: "
+            "connected workers, shard leases (including expired ones "
+            "awaiting reassignment) and the recent event log."
+        ),
+    )
+    p_status.add_argument(
+        "--connect", type=_hostport, required=True, metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    p_status.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="seconds to wait for the coordinator's reply",
+    )
+    p_status.add_argument(
+        "--json", dest="json_output", action="store_true",
+        help="print the raw snapshot as JSON instead of tables",
+    )
+    p_status.set_defaults(func=cmd_status)
+
     return parser
 
 
@@ -625,6 +867,11 @@ def _add_campaign_axes(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--progress", action="store_true", help="live progress/ETA on stderr"
+    )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write campaign metrics (telemetry.json) here; summarize "
+        "with: repro report --telemetry PATH",
     )
 
 
@@ -680,6 +927,8 @@ def _add_resume_arg(parser: argparse.ArgumentParser) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level or args.log_json:
+        setup_logging(args.log_level or "warning", json_lines=args.log_json)
     return args.func(args)
 
 

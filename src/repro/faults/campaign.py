@@ -42,11 +42,13 @@ class IpHarness:
         sim_strategy: str = "dirty",
         sim_update_skipping: bool = True,
         sim_time_leaping: bool = True,
+        sim_tracer=None,
     ) -> None:
         self.sim = Simulator(
             strategy=sim_strategy,
             update_skipping=sim_update_skipping,
             time_leaping=sim_time_leaping,
+            tracer=sim_tracer,
         )
         self.host = AxiInterface("host")
         self.device = AxiInterface("device")
@@ -348,8 +350,11 @@ def run_injection(
         fault_phase=fault.phase_label if fault else None,
         recovered=recovered,
         resets_taken=harness.subordinate.resets_taken,
-        sim_leaps=harness.sim.leaps,
-        sim_cycles_leaped=harness.sim.cycles_leaped,
+        **{
+            f"sim_{key}": value
+            for key, value in harness.sim.stats().items()
+            if key in Simulator.STAT_KEYS
+        },
     )
 
 
@@ -368,6 +373,7 @@ def run_campaign(
     executor=None,
     batch_lanes: Optional[int] = None,
     batch_verify: bool = False,
+    metrics=None,
 ) -> List[InjectionResult]:
     """Cross-product campaign over configurations, stages and seeds.
 
@@ -440,6 +446,9 @@ def run_campaign(
                             issue_delay=seed,
                         )
                     )
+                    if metrics is not None:
+                        metrics.counter("campaign.runs").inc()
+                        metrics.counter("campaign.runs_executed").inc()
                     if reporter:
                         reporter.shard_done(1)
         if reporter:
@@ -454,6 +463,7 @@ def run_campaign(
         executor=executor,
         batch_lanes=batch_lanes,
         batch_verify=batch_verify,
+        metrics=metrics,
     )
 
 

@@ -64,6 +64,7 @@ class BatchStats:
     leaders: int = 0
     derived: int = 0
     retired: int = 0  # lanes that fell back to the scalar kernel
+    promoted: int = 0  # followers promoted to leader (no inert evidence)
 
     @property
     def simulated(self) -> int:
@@ -111,6 +112,8 @@ class BatchExecutor:
         self.derive_hook = derive_hook
         self.stats = BatchStats()
         self._reporter = None
+        self._metrics = None
+        self._metrics_flushed: Dict[str, int] = {}
         self._period_cache: Dict[Tuple, Optional[int]] = {}
 
     # ------------------------------------------------------------------
@@ -119,12 +122,32 @@ class BatchExecutor:
     def attach_progress(self, reporter) -> None:
         self._reporter = reporter
 
+    def attach_metrics(self, metrics) -> None:
+        """Publish :class:`BatchStats` into *metrics* as ``batch.*``
+        counters when ``map`` completes (engine seam, like
+        ``attach_progress``)."""
+        self._metrics = metrics
+
+    def _flush_metrics(self) -> None:
+        metrics = self._metrics
+        if metrics is None:
+            return
+        # Delta against the last flush so repeated map() calls on one
+        # executor never double-count.
+        for field in dataclasses.fields(BatchStats):
+            value = getattr(self.stats, field.name)
+            delta = value - self._metrics_flushed.get(field.name, 0)
+            if delta:
+                metrics.counter(f"batch.{field.name}").inc(delta)
+            self._metrics_flushed[field.name] = value
+
     def map(self, shards: Sequence[Shard]) -> Iterator[ShardResult]:
         runs = [run for shard in shards for run in shard.runs]
         results: Dict[int, object] = {}
         for group in self._group_runs(runs):
             self._execute_group(group, results)
         self._report_status()
+        self._flush_metrics()
         for shard in shards:
             yield shard.index, [results[run.index] for run in shard.runs]
 
@@ -250,6 +273,7 @@ class BatchExecutor:
                 # the transient reaches its onset): its own result
                 # stands, and the next lane — whose later onset leaves
                 # more room for the transient — is promoted to leader.
+                self.stats.promoted += 1
                 continue
             derivable = self._derivable_lanes(leader, leader_result, queue)
             followers, queue = queue, []
@@ -337,5 +361,6 @@ class BatchExecutor:
             stats = self.stats
             self._reporter.set_status(
                 f"batch: {stats.packs} pack(s) | {stats.leaders} leader(s) | "
-                f"{stats.derived} derived | {stats.retired} retired"
+                f"{stats.derived} derived | {stats.retired} retired | "
+                f"{stats.promoted} promoted"
             )

@@ -45,11 +45,24 @@ CACHE_FORMAT = 2
 
 
 class ResultCache:
-    """Shard-granular JSON cache for one campaign spec."""
+    """Shard-granular JSON cache for one campaign spec.
 
-    def __init__(self, root: Union[str, Path], spec: CampaignSpec) -> None:
+    *metrics* (a :class:`~repro.telemetry.MetricsRegistry`) receives
+    ``cache.hit`` / ``cache.miss`` / ``cache.corrupt`` / ``cache.store``
+    counters — one event per shard lookup: ``miss`` covers absent and
+    intact-but-inapplicable entries (format version, foreign shard
+    plan), ``corrupt`` the unreadable or malformed ones.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        spec: CampaignSpec,
+        metrics=None,
+    ) -> None:
         self.root = Path(root)
         self.spec = spec
+        self.metrics = metrics
         self.dir = self.root / spec.spec_hash()
         self.dir.mkdir(parents=True, exist_ok=True)
         spec_file = self.dir / "spec.json"
@@ -95,6 +108,7 @@ class ResultCache:
         """
         path = self._shard_path(shard)
         if not path.exists():
+            self._count("cache.miss")
             return None
         try:
             payload = json.loads(path.read_text())
@@ -102,6 +116,7 @@ class ResultCache:
             log.warning(
                 "cache entry %s is unreadable (%s); re-simulating", path.name, exc
             )
+            self._count("cache.corrupt")
             return None
         try:
             if payload.get("format") != CACHE_FORMAT:
@@ -111,6 +126,7 @@ class ResultCache:
                     payload.get("format"),
                     CACHE_FORMAT,
                 )
+                self._count("cache.miss")
                 return None
             if payload.get("run_ids") != shard.run_ids:
                 log.info(
@@ -118,20 +134,28 @@ class ResultCache:
                     "re-simulating",
                     path.name,
                 )
+                self._count("cache.miss")
                 return None
             results = [result_from_dict(entry) for entry in payload["results"]]
             if len(results) != len(shard.runs):
                 raise ValueError(
                     f"{len(results)} results for {len(shard.runs)} runs"
                 )
+            self._count("cache.hit")
             return results
         except (AttributeError, KeyError, TypeError, ValueError) as exc:
             log.warning(
                 "cache entry %s is malformed (%s); re-simulating", path.name, exc
             )
+            self._count("cache.corrupt")
             return None
 
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
     def store_shard(self, shard: Shard, results: List) -> None:
+        self._count("cache.store")
         self._write_atomic(
             self._shard_path(shard),
             {

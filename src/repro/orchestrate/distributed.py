@@ -39,6 +39,8 @@ import threading
 import time
 from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..telemetry.events import EventLog
+from ..telemetry.logs import worker_log_prefix
 from .executor import START_METHOD_ENV, ShardResult, execute_shard
 from .remote import (
     PROTOCOL_VERSION,
@@ -51,6 +53,8 @@ from .remote import (
     result_message,
     send_frame,
     shard_message,
+    status_message,
+    status_request_message,
     welcome_message,
 )
 from .serialize import result_from_dict, shard_from_dict
@@ -83,6 +87,7 @@ class ShardBoard:
         shards: Sequence[Shard],
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         clock: Callable[[], float] = time.monotonic,
+        event_hook: Optional[Callable[..., None]] = None,
     ) -> None:
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
@@ -96,6 +101,16 @@ class ShardBoard:
         self._clock = clock
         #: Stolen-lease count (visible in progress/status lines).
         self.reassignments = 0
+        #: ``event_hook(event, **fields)`` narrates the lease lifecycle
+        #: (claimed/renewed/expired/completed/released) — typically an
+        #: :class:`repro.telemetry.EventLog` appender.  Called with the
+        #: board lock held, so the hook must not call back into the
+        #: board.
+        self._event_hook = event_hook
+
+    def _event(self, event: str, **fields) -> None:
+        if self._event_hook is not None:
+            self._event_hook(event, **fields)
 
     # ------------------------------------------------------------------
     @property
@@ -136,25 +151,33 @@ class ShardBoard:
         if self._pending:
             shard = self._pending.popleft()
         else:
-            shard = self._expired_lease()
-            if shard is None:
+            expired = self._expired_lease()
+            if expired is None:
                 return None
+            shard, holder = expired
             self.reassignments += 1
             log.warning(
                 "lease on shard %d expired; reassigning to %s", shard.index, worker
+            )
+            self._event(
+                "lease_expired", shard=shard.index, worker=holder
+            )
+            self._event(
+                "lease_stolen", shard=shard.index, worker=worker, stolen_from=holder
             )
         self._leases[shard.index] = (
             shard,
             worker,
             self._clock() + self.lease_timeout,
         )
+        self._event("lease_claimed", shard=shard.index, worker=worker)
         return shard
 
-    def _expired_lease(self) -> Optional[Shard]:
+    def _expired_lease(self) -> Optional[Tuple[Shard, str]]:
         now = self._clock()
-        for shard, _worker, deadline in self._leases.values():
+        for shard, worker, deadline in self._leases.values():
             if deadline <= now:
-                return shard
+                return shard, worker
         return None
 
     def renew(self, index: int, worker: str) -> bool:
@@ -173,6 +196,7 @@ class ShardBoard:
                 worker,
                 self._clock() + self.lease_timeout,
             )
+            self._event("lease_renewed", shard=index, worker=worker)
             return True
 
     def complete(self, index: int, worker: str) -> bool:
@@ -187,9 +211,11 @@ class ShardBoard:
                 log.info(
                     "dropping duplicate result for shard %d from %s", index, worker
                 )
+                self._event("duplicate_dropped", shard=index, worker=worker)
                 return False
             self._completed.add(index)
             self._leases.pop(index, None)
+            self._event("shard_completed", shard=index, worker=worker)
             self._cond.notify_all()
             return True
 
@@ -210,8 +236,33 @@ class ShardBoard:
                 log.warning(
                     "worker %s gone; requeued shard(s) %s", worker, forfeited
                 )
+                self._event(
+                    "leases_released", worker=worker, shards=sorted(forfeited)
+                )
                 self._cond.notify_all()
             return len(forfeited)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time board state for the ``status`` wire frame."""
+        with self._cond:
+            now = self._clock()
+            return {
+                "total": self.total,
+                "pending": len(self._pending),
+                "completed": len(self._completed),
+                "reassignments": self.reassignments,
+                "leases": [
+                    {
+                        "shard": index,
+                        "worker": worker,
+                        "expires_in": round(deadline - now, 3),
+                        "expired": deadline <= now,
+                    }
+                    for index, (_shard, worker, deadline) in sorted(
+                        self._leases.items()
+                    )
+                ],
+            }
 
 
 class DistributedExecutor:
@@ -243,8 +294,16 @@ class DistributedExecutor:
         self._server: Optional[socket.socket] = None
         self._board: Optional[ShardBoard] = None
         self._reporter = None
+        self._metrics = None
         self._connected = 0
         self._status_lock = threading.Lock()
+        #: Structured fleet history: lease lifecycle (via the board's
+        #: event hook), worker connect/EOF, heartbeat observations.
+        #: Served verbatim in ``status_reply`` frames.
+        self.events = EventLog()
+        #: worker id -> liveness/throughput bookkeeping for the status
+        #: frame (guarded by ``_status_lock``).
+        self._worker_info: Dict[str, Dict[str, object]] = {}
 
     # ------------------------------------------------------------------
     def bind(self) -> Tuple[str, int]:
@@ -260,6 +319,16 @@ class DistributedExecutor:
         """Let the engine's progress line show worker/reassignment state."""
         self._reporter = reporter
 
+    def attach_metrics(self, metrics) -> None:
+        """Count fleet events (``fleet.<event>``) and track connected
+        workers (``fleet.workers_connected`` gauge) in *metrics*."""
+        self._metrics = metrics
+
+    def _record_event(self, event: str, **fields) -> None:
+        self.events.append(event, **fields)
+        if self._metrics is not None:
+            self._metrics.counter(f"fleet.{event}").inc()
+
     # ------------------------------------------------------------------
     def map(self, shards: Sequence[Shard]) -> Iterator[ShardResult]:
         if not shards:
@@ -271,7 +340,11 @@ class DistributedExecutor:
                 self._server.close()
                 self._server = None
             return
-        board = ShardBoard(shards, lease_timeout=self.lease_timeout)
+        board = ShardBoard(
+            shards,
+            lease_timeout=self.lease_timeout,
+            event_hook=self._record_event,
+        )
         self._board = board
         results: "queue.Queue[ShardResult]" = queue.Queue()
         stop = threading.Event()
@@ -336,7 +409,12 @@ class DistributedExecutor:
     def _serve_worker(self, conn, board: ShardBoard, results, stop) -> None:
         worker: Optional[str] = None
         try:
-            hello = expect(recv_frame(conn), "hello")
+            first = recv_frame(conn)
+            if first is not None and first.get("type") == "status":
+                # A monitor, not a worker: one snapshot and goodbye.
+                send_frame(conn, status_message(self.status_snapshot()))
+                return
+            hello = expect(first, "hello")
             if hello.get("version") != PROTOCOL_VERSION:
                 raise ProtocolError(
                     f"worker speaks protocol {hello.get('version')}, "
@@ -349,6 +427,16 @@ class DistributedExecutor:
             send_frame(
                 conn, welcome_message(board.total, heartbeat=self.lease_timeout / 3)
             )
+            now = time.monotonic()
+            with self._status_lock:
+                self._worker_info[worker] = {
+                    "connected": True,
+                    "connected_at": now,
+                    "last_seen": now,
+                    "shards_completed": 0,
+                    "heartbeat_gap_seconds": None,
+                }
+            self._record_event("worker_connect", worker=worker)
             self._worker_event(+1)
             while not stop.is_set():
                 shard = board.claim(worker, should_stop=stop.is_set)
@@ -360,6 +448,7 @@ class DistributedExecutor:
                     reply = recv_frame(conn)
                     if reply is not None and reply.get("type") == "ping":
                         board.renew(shard.index, worker)
+                        self._note_heartbeat(worker)
                         continue
                     reply = expect(reply, "result")
                     break
@@ -377,6 +466,11 @@ class DistributedExecutor:
                         f"shard {shard.index}: {len(decoded)} results for "
                         f"{len(shard.runs)} runs"
                     )
+                with self._status_lock:
+                    info = self._worker_info.get(worker)
+                    if info is not None:
+                        info["last_seen"] = time.monotonic()
+                        info["shards_completed"] += 1
                 if board.complete(shard.index, worker):
                     results.put((shard.index, decoded))
                 self._status()
@@ -386,14 +480,73 @@ class DistributedExecutor:
         finally:
             if worker is not None:
                 board.release_worker(worker)
+                with self._status_lock:
+                    info = self._worker_info.get(worker)
+                    if info is not None:
+                        info["connected"] = False
+                self._record_event("worker_eof", worker=worker)
                 self._worker_event(-1)
             _close_quietly(conn)
 
     # ------------------------------------------------------------------
+    def _note_heartbeat(self, worker: str) -> None:
+        """Record a ping arrival: liveness stamp + observed gap.
+
+        The gap between successive frames from one worker is the
+        fleet's heartbeat-latency signal — a healthy worker pings at
+        the period the welcome requested, so a gap stretching toward
+        the lease timeout is pre-steal evidence of distress.
+        """
+        now = time.monotonic()
+        gap: Optional[float] = None
+        with self._status_lock:
+            info = self._worker_info.get(worker)
+            if info is not None:
+                gap = now - float(info["last_seen"])
+                info["last_seen"] = now
+                info["heartbeat_gap_seconds"] = round(gap, 3)
+        if gap is not None and self._metrics is not None:
+            self._metrics.histogram("fleet.heartbeat_seconds").observe(gap)
+
     def _worker_event(self, delta: int) -> None:
         with self._status_lock:
             self._connected += delta
+            connected = self._connected
+        if self._metrics is not None:
+            self._metrics.gauge("fleet.workers_connected").set(connected)
         self._status()
+
+    def status_snapshot(self) -> Dict[str, object]:
+        """The fleet-health payload served to ``status`` connections.
+
+        Worker timestamps are reported as *ago* seconds (relative to
+        now) so the payload is meaningful off-machine, where the
+        coordinator's monotonic clock is not.
+        """
+        board = self._board
+        now = time.monotonic()
+        with self._status_lock:
+            connected = self._connected
+            workers = {
+                name: {
+                    "connected": info["connected"],
+                    "connected_ago_seconds": round(
+                        now - float(info["connected_at"]), 3
+                    ),
+                    "last_seen_ago_seconds": round(
+                        now - float(info["last_seen"]), 3
+                    ),
+                    "shards_completed": info["shards_completed"],
+                    "heartbeat_gap_seconds": info["heartbeat_gap_seconds"],
+                }
+                for name, info in self._worker_info.items()
+            }
+        return {
+            "connected_workers": connected,
+            "workers": workers,
+            "campaign": board.snapshot() if board is not None else None,
+            "events": self.events.snapshot(),
+        }
 
     def _status(self) -> None:
         reporter = self._reporter
@@ -431,6 +584,29 @@ class DistributedExecutor:
             if process.is_alive():  # pragma: no cover - defensive cleanup
                 process.terminate()
                 process.join(timeout=1.0)
+
+
+# ----------------------------------------------------------------------
+# Monitor side
+# ----------------------------------------------------------------------
+def request_status(host: str, port: int, timeout: float = 5.0) -> Dict:
+    """Poll a live coordinator for its fleet-health snapshot.
+
+    Opens a one-shot connection, sends the ``status`` frame and returns
+    the decoded snapshot dict (see
+    :meth:`DistributedExecutor.status_snapshot`).  This is what
+    ``repro status --connect HOST:PORT`` runs.
+    """
+    sock = socket.create_connection((host, port), timeout=timeout)
+    try:
+        send_frame(sock, status_request_message())
+        reply = expect(recv_frame(sock), "status_reply")
+        status = reply.get("status")
+        if not isinstance(status, dict):
+            raise ProtocolError(f"status_reply carries no snapshot: {reply!r:.80}")
+        return status
+    finally:
+        _close_quietly(sock)
 
 
 # ----------------------------------------------------------------------
@@ -479,6 +655,9 @@ def worker_loop(
     error: the worker joined a queue that simply had nothing for it.
     """
     worker_id = worker_id or default_worker_id()
+    # Tag this process's log records so interleaved multi-worker output
+    # on a shared terminal stays attributable.
+    worker_log_prefix(worker_id)
     sock = connect_with_retry(host, port, retry_seconds=retry_seconds)
     send_lock = threading.Lock()
 

@@ -18,6 +18,7 @@ harness for that claim.
 from __future__ import annotations
 
 from pathlib import Path
+from time import perf_counter
 from typing import IO, Dict, List, Optional, Union
 
 from .cache import ResultCache
@@ -35,6 +36,7 @@ def run_campaign_spec(
     executor=None,
     batch_lanes: Optional[int] = None,
     batch_verify: bool = False,
+    metrics=None,
 ) -> List:
     """Execute *spec* and return results in canonical run order.
 
@@ -67,12 +69,24 @@ def run_campaign_spec(
         packs of at most that many lanes; *batch_verify* additionally
         replays every derived lane on the scalar verify kernel.  The
         aggregated results are byte-identical to the serial executor's.
+    metrics:
+        A :class:`~repro.telemetry.MetricsRegistry` collecting campaign
+        accounting: run/shard counters, cache hit/miss/corrupt counts,
+        a ``campaign.shard_seconds`` histogram of coordinator-observed
+        shard completion spacing, and whatever the executor contributes
+        through ``attach_metrics`` (discovered by ``hasattr``, the same
+        seam as ``attach_progress``).  Purely observational — results
+        are identical with or without it.
     """
     if workers is None:
         workers = default_workers()
     runs = spec.runs()
     shards = plan_shards(runs, shard_size=shard_size)
-    cache = ResultCache(cache_dir, spec) if cache_dir is not None else None
+    cache = (
+        ResultCache(cache_dir, spec, metrics=metrics)
+        if cache_dir is not None
+        else None
+    )
 
     reporter: Optional[ProgressReporter] = None
     if isinstance(progress, ProgressReporter):
@@ -90,6 +104,8 @@ def run_campaign_spec(
             results_by_shard[shard.index] = cached
             if reporter:
                 reporter.shard_done(len(shard.runs), cached=True)
+            if metrics is not None:
+                metrics.counter("campaign.runs_cached").inc(len(shard.runs))
         else:
             pending.append(shard)
 
@@ -102,12 +118,31 @@ def run_campaign_spec(
             executor = make_executor(workers)
     if reporter is not None and hasattr(executor, "attach_progress"):
         executor.attach_progress(reporter)
+    if metrics is not None:
+        metrics.counter("campaign.runs").inc(len(runs))
+        metrics.counter("campaign.shards").inc(len(shards))
+        metrics.counter("campaign.shards_executed").inc(len(pending))
+        if hasattr(executor, "attach_metrics"):
+            executor.attach_metrics(metrics)
+    started = perf_counter()
+    last = started
     for index, results in executor.map(pending):
         results_by_shard[index] = results
+        if metrics is not None:
+            now = perf_counter()
+            metrics.histogram("campaign.shard_seconds").observe(now - last)
+            metrics.counter("campaign.runs_executed").inc(
+                len(shards[index].runs)
+            )
+            last = now
         if cache is not None:
             cache.store_shard(shards[index], results)
         if reporter:
             reporter.shard_done(len(shards[index].runs))
+    if metrics is not None:
+        metrics.gauge("campaign.elapsed_seconds").set(
+            round(perf_counter() - started, 6)
+        )
     if reporter:
         reporter.finish()
 

@@ -87,16 +87,25 @@ class ProgressReporter:
         return self._clock() - self._start
 
     def eta_seconds(self) -> Optional[float]:
-        """Projected seconds to completion, or ``None`` if unknowable."""
+        """Projected seconds to completion, or ``None`` if unknowable.
+
+        Never negative.  ``derived`` lanes are flagged *before* their
+        shard reports done, so mid-pack the executed count can dip
+        below zero — that window is "no rate information yet"
+        (``None``), not a negative rate; and the final projection is
+        clamped so a clock hiccup can never surface as ``eta -0.3s``.
+        """
         executed = self.done - self.cached - self.derived
         remaining = self.total - self.done
         if remaining <= 0:
             return 0.0
         if executed <= 0:
             return None
-        return self.elapsed / executed * remaining
+        return max(0.0, self.elapsed / executed * remaining)
 
     def _render(self, final: bool) -> None:
+        # A zero-run campaign (e.g. an empty stage filter) is vacuously
+        # complete: 100%, no division by its empty total.
         percent = 100.0 * self.done / self.total if self.total else 100.0
         parts = [f"campaign: {self.done}/{self.total} runs ({percent:.1f}%)"]
         if self.cached:

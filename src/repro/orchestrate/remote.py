@@ -20,6 +20,11 @@ The conversation is worker-initiated pull::
                              <---  shard {...} | done {}
     ...
 
+A *monitor* (``repro status --connect``) opens its own connection and
+sends ``status`` as its first frame instead of ``hello``; the
+coordinator answers with one ``status_reply`` frame carrying its fleet
+snapshot and closes the connection.
+
 Every message is a dict with a ``type`` key.  A worker that
 disconnects (or never answers within its lease) simply forfeits its
 leased shards — the coordinator reassigns them, and deterministic runs
@@ -152,6 +157,27 @@ def result_message(index: int, run_ids: List[str], results: List) -> Dict[str, A
 
 def done_message() -> Dict[str, Any]:
     return {"type": "done"}
+
+
+def status_request_message() -> Dict[str, Any]:
+    """Sent *instead of* ``hello`` as a connection's first frame.
+
+    A status connection is a one-shot poll, not a worker: the
+    coordinator answers with a single ``status_reply`` frame and closes.
+    ``repro status --connect HOST:PORT`` is the canonical sender.
+    """
+    return {"type": "status", "version": PROTOCOL_VERSION}
+
+
+def status_message(status: Dict[str, Any]) -> Dict[str, Any]:
+    """Coordinator's reply to a status poll; *status* is the snapshot
+    from :meth:`~repro.orchestrate.distributed.DistributedExecutor.
+    status_snapshot` (campaign board, workers, recent events)."""
+    return {
+        "type": "status_reply",
+        "version": PROTOCOL_VERSION,
+        "status": status,
+    }
 
 
 def expect(message: Optional[Dict[str, Any]], kind: str) -> Dict[str, Any]:

@@ -74,6 +74,7 @@ from __future__ import annotations
 
 import heapq
 import operator
+from time import perf_counter_ns
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .component import Component
@@ -131,6 +132,7 @@ class Simulator:
         strategy: str = "dirty",
         update_skipping: bool = True,
         time_leaping: bool = True,
+        tracer=None,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -185,6 +187,14 @@ class Simulator:
         #: Fast-forward statistics (for benchmarks and BENCH_kernel.json).
         self.leaps = 0
         self.cycles_leaped = 0
+        #: Optional telemetry tracer (see :mod:`repro.telemetry.tracer`).
+        #: Every hook site guards on a hoisted ``tracer is not None``
+        #: local — the probe-guard idiom — so the default costs nothing.
+        #: Tracers observing only step/wake/leap boundaries leave
+        #: ``trace_components`` False and the settle/update inner loops
+        #: run exactly as untraced; ``trace_components = True`` opts into
+        #: the timed per-component drive/update hooks.
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
     # Construction
@@ -345,11 +355,14 @@ class Simulator:
         heap = self._wake_heap
         now = self.cycle
         awake = self._update_pending
+        tracer = self._tracer
         while heap and heap[0][0] <= now:
             cycle, _, component = heapq.heappop(heap)
             if component._wake_cycle == cycle and component._sim is self:
                 component._wake_cycle = None
                 awake.add(component)
+                if tracer is not None:
+                    tracer.wake_fired(component, cycle)
 
     def _next_wake(self) -> Optional[int]:
         """Earliest still-armed wake cycle, pruning superseded entries."""
@@ -381,6 +394,9 @@ class Simulator:
         self.cycle = cycle
         self.leaps += 1
         self.cycles_leaped += cycle - start
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.leap(self, start, cycle)
         for probe in self._probes:
             on_leap = getattr(probe, "on_leap", None)
             if on_leap is not None:
@@ -390,6 +406,32 @@ class Simulator:
                 # of receiving the boundary (e.g. the VCD writer's
                 # initial-value flush).
                 probe(self)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    #: Scalar scheduler statistics, in the order they export.  This is
+    #: the single authority consumed by ``stats()``, the campaign result
+    #: dataclasses (as ``sim_<key>`` fields) and
+    #: ``analysis.export.scheduler_stats_dict`` — adding a key here is
+    #: what extends the exported ``scheduler`` JSON block.
+    STAT_KEYS: Tuple[str, ...] = ("leaps", "cycles_leaped")
+
+    def stats(self) -> Dict[str, Any]:
+        """Scheduler statistics as one dict.
+
+        Always carries the scalar ``STAT_KEYS`` counters; when the
+        installed tracer aggregates per-component counters (it has a
+        ``counters()`` method, as :class:`~repro.telemetry.KernelTracer`
+        does), they ride along under ``"components"``.
+        """
+        stats: Dict[str, Any] = {
+            key: getattr(self, key) for key in self.STAT_KEYS
+        }
+        counters = getattr(self._tracer, "counters", None)
+        if counters is not None:
+            stats["components"] = counters()
+        return stats
 
     # ------------------------------------------------------------------
     # Execution
@@ -437,11 +479,36 @@ class Simulator:
         else:
             component.drive()
 
+    def _timed_drive(self, component: Component) -> None:
+        """`_run_drive` wrapped in the tracer's wall-clock measurement."""
+        start = perf_counter_ns()
+        self._run_drive(component)
+        self._tracer.drive_executed(component, perf_counter_ns() - start)
+
+    def _drive_runner(self) -> Callable[[Component], None]:
+        """The drive executor for this settle: timed only when a
+        component-tier tracer is installed, so the untraced (and the
+        cycle-tier traced) hot path keeps the direct call."""
+        tracer = self._tracer
+        if tracer is not None and tracer.trace_components:
+            return self._timed_drive
+        return self._run_drive
+
     def _settle_exhaustive(self) -> None:
         previous = self._snapshot()
+        tracer = self._tracer
+        timed = tracer is not None and tracer.trace_components
         for _ in range(self.max_settle_iterations):
-            for component in self.components:
-                component.drive()
+            if timed:
+                for component in self.components:
+                    start = perf_counter_ns()
+                    component.drive()
+                    tracer.drive_executed(
+                        component, perf_counter_ns() - start
+                    )
+            else:
+                for component in self.components:
+                    component.drive()
             current = self._snapshot()
             if current == previous:
                 return
@@ -457,6 +524,7 @@ class Simulator:
         # invalidated since the last settle (update-phase state changes,
         # schedule_drive() calls, wires poked between cycles).
         pending.update(self._always)
+        run = self._drive_runner()
         for _ in range(self.max_settle_iterations):
             if not pending:
                 return
@@ -466,7 +534,7 @@ class Simulator:
                 # by a later batch member or the component itself —
                 # legitimately re-queues it for the next round.
                 pending.discard(component)
-                self._run_drive(component)
+                run(component)
         if not pending:
             # The final allowed round drained the worklist: settled.
             return
@@ -479,8 +547,9 @@ class Simulator:
         self._settle_dirty()
         watched = self._verify_watch_wires()
         before = [wire._value for wire in watched]
+        run = self._drive_runner()
         for component in self.components:
-            self._run_drive(component)
+            run(component)
         moved = [
             wire.name
             for wire, old in zip(watched, before)
@@ -516,6 +585,15 @@ class Simulator:
         """
         awake = self._update_pending
         if not awake:
+            tracer = self._tracer
+            if tracer is not None and tracer.trace_components:
+                # Component-tier tracing forgoes the pre-bound statics
+                # fast path: the general queue runner (of which this
+                # path is a pure optimization — statics never quiesce,
+                # and its splice handles mid-phase wakes identically)
+                # carries the per-update timing.
+                self._run_update_queue(self._static_updaters)
+                return
             statics = self._static_updaters
             for i, update in enumerate(self._static_updates):
                 update()
@@ -558,12 +636,20 @@ class Simulator:
         """
         awake = self._update_pending
         expected = len(awake)
+        tracer = self._tracer
+        if tracer is not None and not tracer.trace_components:
+            tracer = None  # cycle-tier tracer: skip per-update hooks
         i = 0
         n = len(queue)
         while i < n:
             component = queue[i]
             i += 1
-            component.update()
+            if tracer is None:
+                component.update()
+            else:
+                start = perf_counter_ns()
+                component.update()
+                tracer.update_executed(component, perf_counter_ns() - start)
             # Registration truth, not the class attribute: statics (and
             # everything under update_skipping=False) never quiesce.
             if component._update_scheduler is not None and component.quiescent():
@@ -608,18 +694,37 @@ class Simulator:
             self._static_updaters, self._demand_updaters
         )
         pending = self._pending
+        tracer = self._tracer
+        if tracer is not None and not tracer.trace_components:
+            tracer = None  # cycle-tier tracer: skip per-update hooks
         for component in queue:
             # Classify by how the component was *registered*, not by its
             # class attribute: with update_skipping=False every updater
             # (demand_update or not) is a static and must simply run.
             if component._update_scheduler is None:
-                component.update()
+                if tracer is None:
+                    component.update()
+                else:
+                    start = perf_counter_ns()
+                    component.update()
+                    tracer.update_executed(
+                        component, perf_counter_ns() - start
+                    )
                 continue
             if component in awake:
-                component.update()
+                if tracer is None:
+                    component.update()
+                else:
+                    start = perf_counter_ns()
+                    component.update()
+                    tracer.update_executed(
+                        component, perf_counter_ns() - start
+                    )
                 if component.quiescent():
                     awake.discard(component)
                 continue
+            # Quiescence replays below run under the no-op contract and
+            # are deliberately *not* reported as executed updates.
             # Skipped by quiescence: replay it in place and require a
             # provable no-op.
             before = component.snapshot_state()
@@ -644,6 +749,9 @@ class Simulator:
 
     def step(self) -> None:
         """Advance simulated time by one clock cycle."""
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.step_begin(self)
         if self._wake_heap:
             self._pop_due_wakes()
         self._settle()
@@ -657,6 +765,8 @@ class Simulator:
                 probe(self)
         if self._track_changes:
             self._changed_wires.clear()
+        if tracer is not None:
+            tracer.step_end(self)
 
     def run(self, cycles: int) -> None:
         """Advance simulated time by *cycles* clock cycles.

@@ -114,11 +114,13 @@ class CheshireSoC:
         sim_strategy: str = "dirty",
         sim_update_skipping: bool = True,
         sim_time_leaping: bool = True,
+        sim_tracer=None,
     ) -> None:
         self.sim = Simulator(
             strategy=sim_strategy,
             update_skipping=sim_update_skipping,
             time_leaping=sim_time_leaping,
+            tracer=sim_tracer,
         )
         config = tmu_config if tmu_config is not None else system_tmu_config()
 

@@ -135,6 +135,7 @@ def run_system_injection(
     sim_strategy: str = "dirty",
     sim_update_skipping: bool = True,
     sim_time_leaping: bool = True,
+    sim_tracer=None,
     trace=None,
 ) -> SystemInjectionResult:
     """One Fig. 11 data point: inject *stage* during the Ethernet frame.
@@ -162,6 +163,7 @@ def run_system_injection(
         sim_strategy=sim_strategy,
         sim_update_skipping=sim_update_skipping,
         sim_time_leaping=sim_time_leaping,
+        sim_tracer=sim_tracer,
     )
     if trace is not None:
         # Batch pack leaders register a LeapTrace here, before the
@@ -258,8 +260,11 @@ def run_system_injection(
         ethernet_resets=soc.ethernet.resets_taken,
         cpu_recoveries=len(soc.cpu.recoveries),
         recovered=recovered,
-        sim_leaps=soc.sim.leaps,
-        sim_cycles_leaped=soc.sim.cycles_leaped,
+        **{
+            f"sim_{key}": value
+            for key, value in soc.sim.stats().items()
+            if key in type(soc.sim).STAT_KEYS
+        },
     )
 
 
@@ -299,6 +304,7 @@ def run_fig11(
     seeds=(0,),
     batch_lanes: Optional[int] = None,
     batch_verify: bool = False,
+    metrics=None,
 ) -> Dict[str, List[SystemInjectionResult]]:
     """All Fig. 11 series: both variants across the six write stages.
 
@@ -334,6 +340,7 @@ def run_fig11(
         executor=executor,
         batch_lanes=batch_lanes,
         batch_verify=batch_verify,
+        metrics=metrics,
     )
     stride = len(FIG11_STAGES) * len(spec.seeds)
     return {

@@ -1,0 +1,51 @@
+"""Structured event log for fleet health.
+
+The distributed coordinator narrates its lease and worker lifecycle
+(claimed/renewed/expired/stolen, connect/EOF, heartbeats) into an
+:class:`EventLog` — a bounded, thread-safe ring of plain dicts.  The
+``status`` wire frame ships a snapshot of the tail to
+``repro status --connect``, so the log must stay cheap to append from
+the per-worker serving threads and safe to read concurrently.
+
+Timestamps are ``time.monotonic()`` (same clock the lease ledger uses
+for expiry), recorded relative to the log's creation so snapshots read
+as "seconds into the campaign" rather than meaningless absolute values.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import monotonic
+from typing import Any, Deque, Dict, List
+
+
+class EventLog:
+    """Bounded ring of ``{"t": seconds, "event": name, **fields}`` dicts.
+
+    Appends beyond *maxlen* silently evict the oldest entries (the total
+    accepted count survives in :attr:`total`), so a long campaign keeps
+    a recent-history window instead of an unbounded transcript.
+    """
+
+    def __init__(self, maxlen: int = 256) -> None:
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+        self._epoch = monotonic()
+        self.total = 0
+
+    def append(self, event: str, **fields: Any) -> None:
+        entry = {"t": round(monotonic() - self._epoch, 3), "event": event}
+        entry.update(fields)
+        with self._lock:
+            self._events.append(entry)
+            self.total += 1
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Oldest-first copy of the retained window."""
+        with self._lock:
+            return [dict(entry) for entry in self._events]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

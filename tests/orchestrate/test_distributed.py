@@ -413,6 +413,165 @@ def test_sigkilled_worker_forfeits_lease_immediately():
 
 
 # ----------------------------------------------------------------------
+# Fleet health: board events, status snapshots, the status wire frame
+# ----------------------------------------------------------------------
+def test_board_narrates_lease_lifecycle(shards):
+    from repro.telemetry import EventLog
+
+    clock = FakeClock()
+    log = EventLog()
+    board = ShardBoard(
+        shards[:2], lease_timeout=1.0, clock=clock, event_hook=log.append
+    )
+    first = board.claim("A")
+    board.renew(first.index, "A")
+    clock.now = 2.0  # A's lease expires silently
+    stolen = board.claim("B")  # B steals A's expired shard or takes #2
+    board.complete(stolen.index, "B")
+    board.complete(stolen.index, "B")  # duplicate: dropped, narrated
+    board.release_worker("B")
+
+    kinds = [e["event"] for e in log.snapshot()]
+    assert "lease_claimed" in kinds
+    assert "lease_renewed" in kinds
+    assert "shard_completed" in kinds
+    assert "duplicate_dropped" in kinds
+    claimed = next(e for e in log.snapshot() if e["event"] == "lease_claimed")
+    assert claimed["worker"] == "A" and claimed["shard"] == first.index
+
+
+def test_board_steal_emits_expired_and_stolen(shards):
+    from repro.telemetry import EventLog
+
+    clock = FakeClock()
+    log = EventLog()
+    board = ShardBoard(
+        shards[:1], lease_timeout=1.0, clock=clock, event_hook=log.append
+    )
+    shard = board.claim("victim")
+    clock.now = 5.0
+    stolen = board.claim("thief")
+    assert stolen.index == shard.index
+    events = {e["event"]: e for e in log.snapshot()}
+    assert events["lease_expired"]["worker"] == "victim"
+    assert events["lease_stolen"]["worker"] == "thief"
+    assert events["lease_stolen"]["shard"] == shard.index
+    assert board.reassignments == 1
+
+
+def test_board_snapshot_shows_expired_lease(shards):
+    clock = FakeClock()
+    board = ShardBoard(shards[:2], lease_timeout=1.0, clock=clock)
+    shard = board.claim("gone")
+    clock.now = 3.0
+    snapshot = board.snapshot()
+    assert snapshot["total"] == 2
+    assert snapshot["completed"] == 0
+    (lease,) = snapshot["leases"]
+    assert lease["shard"] == shard.index
+    assert lease["worker"] == "gone"
+    assert lease["expired"] is True
+    assert lease["expires_in"] <= 0
+
+
+def test_status_frame_reflects_killed_workers_lease_expiry():
+    """The acceptance scenario: a worker SIGKILLs mid-shard; a status
+    poll against the live coordinator must show the forfeiture — the
+    worker gone (EOF event) and its shard back in play."""
+    from repro.orchestrate.distributed import request_status
+
+    spec = ip_spec(seeds=(0, 1))
+    executor = DistributedExecutor(lease_timeout=600, result_timeout=120)
+    host, port = executor.bind()
+
+    context = multiprocessing.get_context()
+    claimed = context.Event()
+    release = context.Event()
+    victim = context.Process(
+        target=_hold_first_shard, args=(port, claimed, release), daemon=True
+    )
+    shards = plan_shards(spec.runs())
+    results = {}
+
+    def campaign():
+        results["out"] = run_campaign_spec(spec, executor=executor)
+
+    runner = threading.Thread(target=campaign)
+    victim.start()
+    runner.start()
+    try:
+        assert claimed.wait(timeout=30), "victim never got a lease"
+        before = request_status(host, port)
+        assert before["connected_workers"] == 1
+        assert "staller" in before["workers"]
+        leased = {
+            lease["shard"] for lease in before["campaign"]["leases"]
+        }
+        assert leased, "victim's lease must be visible"
+
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10)
+        deadline = time.monotonic() + 30
+        after = request_status(host, port)
+        while time.monotonic() < deadline and (
+            after["connected_workers"] or "worker_eof" not in
+            {e["event"] for e in after["events"]}
+        ):
+            time.sleep(0.1)
+            after = request_status(host, port)
+        # The kill is an EOF: worker marked gone, leases released.
+        assert after["connected_workers"] == 0
+        assert after["workers"]["staller"]["connected"] is False
+        kinds = {e["event"] for e in after["events"]}
+        assert "worker_connect" in kinds
+        assert "worker_eof" in kinds
+        assert "leases_released" in kinds
+        held = {lease["shard"] for lease in after["campaign"]["leases"]}
+        assert not (leased & held), "forfeited lease still held"
+    finally:
+        real = threading.Thread(target=worker_loop, args=(host, port),
+                                daemon=True)
+        real.start()
+        runner.join(timeout=120)
+    assert not runner.is_alive()
+    assert results["out"] == run_campaign_spec(spec)
+
+
+def test_status_snapshot_counts_completed_shards():
+    spec = ip_spec()
+    executor = DistributedExecutor(local_workers=1, result_timeout=120)
+    run_campaign_spec(spec, executor=executor)
+    status = executor.status_snapshot()
+    # The board survives the campaign for post-mortem polls: fully
+    # completed, nothing pending or leased.
+    campaign = status["campaign"]
+    assert campaign["completed"] == campaign["total"]
+    assert campaign["pending"] == 0 and campaign["leases"] == []
+    assert status["connected_workers"] == 0
+    total = sum(
+        info["shards_completed"] for info in status["workers"].values()
+    )
+    assert total == len(plan_shards(spec.runs()))
+    kinds = {e["event"] for e in status["events"]}
+    assert {"worker_connect", "shard_completed", "worker_eof"} <= kinds
+
+
+def test_executor_metrics_count_fleet_activity():
+    from repro.telemetry import MetricsRegistry
+
+    spec = ip_spec()
+    metrics = MetricsRegistry()
+    executor = DistributedExecutor(local_workers=1, result_timeout=120)
+    results = run_campaign_spec(spec, executor=executor, metrics=metrics)
+    assert results == run_campaign_spec(spec)
+    snapshot = metrics.to_dict()
+    shards = len(plan_shards(spec.runs()))
+    assert snapshot["counters"]["fleet.shard_completed"] == shards
+    assert snapshot["counters"]["fleet.worker_connect"] == 1
+    assert snapshot["counters"]["campaign.runs_executed"] == len(spec.runs())
+
+
+# ----------------------------------------------------------------------
 # Acceptance: Fig. 11 byte-identity through kill and resume
 # ----------------------------------------------------------------------
 def test_fig11_distributed_byte_identical_with_worker_kill_and_resume(

@@ -86,3 +86,53 @@ def test_render_and_finish_stream_shape():
     assert "2/4 runs" in text
     assert "batch: 1 pack(s)" in text
     assert text.endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# Edge cases: empty campaigns, rate-window races, live status
+# ----------------------------------------------------------------------
+def test_zero_run_campaign_final_line_is_sane():
+    # An empty stage filter produces a 0-run campaign; the final line
+    # must read as vacuously complete, not divide by zero or show NaN.
+    reporter, clock = make_reporter(0)
+    reporter.finish()
+    text = reporter.stream.getvalue()
+    assert "0/0 runs (100.0%)" in text
+    assert "nan" not in text.lower()
+    assert reporter.eta_seconds() == 0.0
+
+
+def test_eta_never_negative_when_derived_outpaces_done():
+    # The batch executor flags derived lanes *before* their shard
+    # reports done, so mid-pack executed = done - cached - derived can
+    # dip below zero.  That window has no rate information — eta must
+    # be None, never a negative projection.
+    reporter, clock = make_reporter(64)
+    reporter.runs_derived(31)
+    clock.advance(5.0)
+    assert reporter.eta_seconds() is None
+    reporter.shard_done(32)  # the pack lands; executed is positive again
+    eta = reporter.eta_seconds()
+    assert eta is not None and eta >= 0.0
+
+
+def test_eta_clamped_against_clock_regression():
+    # A non-monotonic clock hiccup must surface as eta 0, not eta -0.3s.
+    reporter, clock = make_reporter(8)
+    reporter.shard_done(4)
+    clock.now = -1.0
+    eta = reporter.eta_seconds()
+    assert eta is not None and eta == 0.0
+
+
+def test_set_status_renders_immediately():
+    reporter, clock = make_reporter(10)
+    assert reporter.stream.getvalue() == ""
+    reporter.set_status("2 worker(s)")
+    text = reporter.stream.getvalue()
+    # One redraw happened without waiting for a shard completion…
+    assert "2 worker(s)" in text
+    assert "0/10 runs" in text
+    # …and the next shard keeps the status segment on the line.
+    reporter.shard_done(1)
+    assert reporter.stream.getvalue().count("2 worker(s)") == 2

@@ -1,0 +1,219 @@
+"""Tracer hook ordering contract on the simulation kernel.
+
+The kernel promises its tracer a strict per-cycle protocol:
+
+* ``step_begin`` opens every *stepped* cycle and ``step_end`` closes it
+  (leaped cycles never step, so they never fire the pair);
+* ``wake_fired`` lands between a cycle's ``step_begin`` and its settle
+  phase — timed wakes are honored before any drive runs;
+* ``leap`` fires outside any step_begin/step_end bracket;
+* the per-component ``drive_executed``/``update_executed`` hooks fire
+  only for a ``trace_components`` tracer — a cycle-tier tracer's inner
+  loops run exactly as if untraced.
+
+These tests pin that contract with recording tracers, plus the
+KernelTracer counter semantics (skips = quiescent demand updaters,
+wakes, per-component drive/update tallies) and the ``Simulator.stats()``
+promotion of tracer counters.
+"""
+
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.sim.signal import Wire
+from repro.telemetry import KernelTracer, Tracer
+
+
+class RecordingTracer(Tracer):
+    """Cycle-tier tracer that journals every hook invocation in order."""
+
+    def __init__(self):
+        self.calls = []
+
+    def step_begin(self, sim):
+        self.calls.append(("step_begin", sim.cycle))
+
+    def step_end(self, sim):
+        self.calls.append(("step_end", sim.cycle))
+
+    def wake_fired(self, component, cycle):
+        self.calls.append(("wake_fired", component.name, cycle))
+
+    def leap(self, sim, start, dest):
+        self.calls.append(("leap", start, dest))
+
+    def drive_executed(self, component, elapsed_ns):
+        self.calls.append(("drive", component.name))
+
+    def update_executed(self, component, elapsed_ns):
+        self.calls.append(("update", component.name))
+
+
+class RecordingComponentTracer(RecordingTracer):
+    trace_components = True
+
+
+class Ticker(Component):
+    """Static updater: drives its count, updates every cycle."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.out = Wire(f"{name}.out", 0, width=32)
+        self.count = 0
+
+    def wires(self):
+        yield self.out
+
+    def drive(self):
+        self.out.value = self.count
+
+    def update(self):
+        self.count += 1
+        self.schedule_drive()
+
+
+class Sleeper(Component):
+    """Demand updater that sleeps on a timed wake, then goes quiescent."""
+
+    demand_update = True
+
+    def __init__(self, name, wake_cycle):
+        super().__init__(name)
+        self.wake_cycle = wake_cycle
+        self.fired = False
+
+    def update(self):
+        sim = self._sim
+        if self.fired:
+            return
+        if sim.cycle == 0:
+            self.wake_at(self.wake_cycle)
+        elif sim.cycle >= self.wake_cycle:
+            self.fired = True
+
+    def quiescent(self):
+        # Quiescent while asleep (the timed wake re-arms it) and forever
+        # once fired.
+        return self.fired or self._sim.cycle > 0
+
+
+def test_step_begin_and_end_bracket_every_stepped_cycle():
+    tracer = RecordingTracer()
+    sim = Simulator(tracer=tracer)
+    sim.add(Ticker("t"))
+    sim.run(3)
+    kinds = [call[0] for call in tracer.calls]
+    assert kinds == ["step_begin", "step_end"] * 3
+    # step_begin sees the pre-step cycle, step_end the advanced one.
+    assert [call[1] for call in tracer.calls] == [0, 1, 1, 2, 2, 3]
+
+
+def test_cycle_tier_tracer_never_receives_component_hooks():
+    tracer = RecordingTracer()
+    assert tracer.trace_components is False
+    sim = Simulator(tracer=tracer)
+    sim.add(Ticker("t"))
+    sim.run(4)
+    kinds = {call[0] for call in tracer.calls}
+    assert "drive" not in kinds and "update" not in kinds
+
+
+def test_component_tier_tracer_sees_drives_and_updates():
+    tracer = RecordingComponentTracer()
+    sim = Simulator(tracer=tracer)
+    sim.add(Ticker("t"))
+    sim.run(2)
+    kinds = [call[0] for call in tracer.calls]
+    assert "drive" in kinds and "update" in kinds
+    # Per-cycle ordering: begin, settle drives, phase updates, end.
+    first_cycle = kinds[: kinds.index("step_end") + 1]
+    assert first_cycle[0] == "step_begin"
+    assert first_cycle.index("drive") < first_cycle.index("update")
+
+
+def test_wake_fires_inside_its_cycles_bracket_before_any_drive():
+    tracer = RecordingComponentTracer()
+    sim = Simulator(tracer=tracer, time_leaping=False)
+    sim.add(Sleeper("s", wake_cycle=4))
+    sim.run(6)
+    wake = next(c for c in tracer.calls if c[0] == "wake_fired")
+    assert wake == ("wake_fired", "s", 4)
+    index = tracer.calls.index(wake)
+    # The enclosing bracket is cycle 4's, and no drive/update precedes
+    # the wake within it.
+    opened = [c for c in tracer.calls[:index] if c[0] == "step_begin"][-1]
+    assert opened == ("step_begin", 4)
+    bracket = tracer.calls[tracer.calls.index(opened) + 1 : index]
+    assert all(c[0] not in ("drive", "update") for c in bracket)
+
+
+def test_leap_fires_outside_step_brackets():
+    tracer = RecordingTracer()
+    sim = Simulator(tracer=tracer)
+    sim.add(Sleeper("s", wake_cycle=50))
+    sim.run(60)
+    kinds = [call[0] for call in tracer.calls]
+    assert "leap" in kinds
+    # Every step_begin is matched by the next call being... stronger:
+    # scan for balanced brackets with leap only at depth zero.
+    depth = 0
+    for call in tracer.calls:
+        if call[0] == "step_begin":
+            assert depth == 0
+            depth = 1
+        elif call[0] == "step_end":
+            assert depth == 1
+            depth = 0
+        elif call[0] == "leap":
+            assert depth == 0, "leap fired inside a step bracket"
+    leap = next(c for c in tracer.calls if c[0] == "leap")
+    assert leap[1] < leap[2] <= 50
+    assert sim.leaps >= 1
+
+
+def test_kernel_tracer_counts_skips_for_quiescent_updaters():
+    tracer = KernelTracer(events=False)
+    sim = Simulator(tracer=tracer, time_leaping=False)
+    sim.add(Ticker("ticker"))
+    sim.add(Sleeper("sleeper", wake_cycle=5))
+    sim.run(8)
+    counters = tracer.counters()
+    # The static ticker updates every cycle and never skips.
+    assert counters["ticker"]["updates"] == 8
+    assert counters["ticker"]["skips"] == 0
+    # The sleeper ran on cycle 0, woke at 5, ran once more, and was
+    # skipped every other stepped cycle.
+    sleeper = counters["sleeper"]
+    assert sleeper["wakes"] == 1
+    assert sleeper["updates"] >= 2
+    assert sleeper["skips"] == 8 - sleeper["updates"]
+
+
+def test_stats_promotes_tracer_counters():
+    tracer = KernelTracer(events=False)
+    sim = Simulator(tracer=tracer)
+    sim.add(Ticker("t"))
+    sim.run(3)
+    stats = sim.stats()
+    assert set(Simulator.STAT_KEYS) <= set(stats)
+    assert stats["components"]["t"]["updates"] == 3
+
+
+def test_stats_without_tracer_has_no_component_block():
+    sim = Simulator()
+    sim.add(Ticker("t"))
+    sim.run(3)
+    stats = sim.stats()
+    assert set(stats) == set(Simulator.STAT_KEYS)
+
+
+def test_traced_run_matches_untraced_run():
+    def final_count(tracer):
+        sim = Simulator(tracer=tracer)
+        ticker = sim.add(Ticker("t"))
+        sim.add(Sleeper("s", wake_cycle=9))
+        sim.run(20)
+        return ticker.count, sim.cycle, sim.leaps
+
+    untraced = final_count(None)
+    assert final_count(Tracer()) == untraced
+    assert final_count(KernelTracer()) == untraced

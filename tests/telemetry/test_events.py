@@ -1,0 +1,51 @@
+"""EventLog: bounded ring semantics and snapshot isolation."""
+
+import threading
+
+from repro.telemetry import EventLog
+
+
+def test_append_and_snapshot_oldest_first():
+    log = EventLog()
+    log.append("lease_claimed", shard=0, worker="a")
+    log.append("lease_expired", shard=0, worker="a")
+    events = log.snapshot()
+    assert [e["event"] for e in events] == ["lease_claimed", "lease_expired"]
+    assert events[0]["shard"] == 0 and events[0]["worker"] == "a"
+    assert events[0]["t"] <= events[1]["t"]
+
+
+def test_bounded_window_keeps_newest_but_counts_all():
+    log = EventLog(maxlen=3)
+    for i in range(10):
+        log.append("tick", n=i)
+    assert len(log) == 3
+    assert log.total == 10
+    assert [e["n"] for e in log.snapshot()] == [7, 8, 9]
+
+
+def test_snapshot_is_a_copy():
+    log = EventLog()
+    log.append("tick", n=0)
+    snapshot = log.snapshot()
+    snapshot[0]["n"] = 99
+    snapshot.append({"event": "bogus"})
+    fresh = log.snapshot()
+    assert len(fresh) == 1
+    assert fresh[0]["n"] == 0
+
+
+def test_concurrent_appends_never_lose_count():
+    log = EventLog(maxlen=50)
+
+    def hammer():
+        for i in range(500):
+            log.append("tick", n=i)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert log.total == 2000
+    assert len(log) == 50

@@ -1,0 +1,161 @@
+"""Chrome trace-event (Perfetto) export schema validation.
+
+The exported timeline must be loadable by Perfetto / chrome://tracing:
+valid JSON, every event phase-typed, spans non-negative and
+non-overlapping per track, and every referenced track named by a
+metadata event.  The acceptance scenario is the paper's mute-B stall
+under a watchdog-class budget: the 60k-cycle fast-forward must render
+as ONE leap span covering the jumped region — not sixty thousand
+per-cycle entries.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import run_injection
+from repro.faults.types import InjectionStage
+from repro.telemetry import KernelTracer, write_chrome_trace
+from repro.tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
+from repro.tmu.config import TmuConfig, Variant
+
+#: Watchdog-class budget: the whole wlast->bvalid stall is one idle span.
+STALL_BUDGET = 60_000
+
+
+def stall_config() -> TmuConfig:
+    # Every phase at the watchdog budget: the mute-B stall sits in the
+    # b_wait phase, so that is the counter whose expiry ends the leap.
+    budget = STALL_BUDGET
+    phases = PhaseBudgets(
+        aw_handshake=budget, w_entry=budget, w_first_hs=budget,
+        w_data_base=budget, b_wait=budget, b_handshake=budget,
+        ar_handshake=budget, r_entry=budget, r_first_hs=budget,
+        r_data_base=budget,
+    )
+    return TmuConfig(
+        variant=Variant.FULL,
+        max_uniq_ids=4,
+        txn_per_id=4,
+        budgets=AdaptiveBudgetPolicy(
+            phases, SpanBudgets(base=2 * budget, per_beat=1)
+        ),
+        max_txn_cycles=4 * STALL_BUDGET,
+    )
+
+
+@pytest.fixture(scope="module")
+def stall_trace(tmp_path_factory):
+    """Trace of the mute-B stall scenario, parsed back from disk."""
+    tracer = KernelTracer()
+    result = run_injection(
+        stall_config(),
+        InjectionStage.WLAST_TO_BVALID,
+        beats=4,
+        detect_timeout=2 * STALL_BUDGET,
+        harness_kwargs={"sim_tracer": tracer},
+    )
+    assert result.detected, "stall scenario must still detect"
+    path = tmp_path_factory.mktemp("trace") / "trace.json"
+    write_chrome_trace(tracer, path)
+    with open(path) as stream:
+        return json.load(stream)
+
+
+def test_trace_envelope(stall_trace):
+    assert set(stall_trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+    other = stall_trace["otherData"]
+    assert other["steps"] > 0
+    assert other["dropped_events"] == 0
+
+
+def test_every_event_is_phase_typed(stall_trace):
+    for event in stall_trace["traceEvents"]:
+        assert event["ph"] in ("X", "i", "M"), event
+        assert "name" in event and "pid" in event and "tid" in event
+        if event["ph"] == "X":
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        elif event["ph"] == "i":
+            assert event["s"] == "t" and event["ts"] >= 0
+        else:
+            assert event["name"] == "thread_name"
+
+
+def test_every_track_is_named(stall_trace):
+    named = {
+        e["tid"]
+        for e in stall_trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    referenced = {e["tid"] for e in stall_trace["traceEvents"]}
+    assert referenced <= named
+
+
+def test_spans_nest_monotonically_per_track(stall_trace):
+    """On each track, spans sorted by start never overlap: a component's
+    drive/update slots within a cycle (and across cycles) are disjoint,
+    and kernel leap spans cover disjoint jumped regions."""
+    by_tid = {}
+    for event in stall_trace["traceEvents"]:
+        if event["ph"] == "X":
+            by_tid.setdefault(event["tid"], []).append(event)
+    assert by_tid, "trace carries no spans at all"
+    for tid, spans in by_tid.items():
+        spans.sort(key=lambda e: e["ts"])
+        for before, after in zip(spans, spans[1:]):
+            assert before["ts"] + before["dur"] <= after["ts"] + 1e-9, (
+                tid,
+                before,
+                after,
+            )
+
+
+def test_stall_renders_as_one_leap_span(stall_trace):
+    leaps = [
+        e
+        for e in stall_trace["traceEvents"]
+        if e["ph"] == "X" and e["name"] == "leap"
+    ]
+    big = [e for e in leaps if e["args"]["cycles"] >= 0.9 * STALL_BUDGET]
+    assert len(big) == 1, f"expected the stall as one span, got {len(big)}"
+    span = big[0]
+    # The span covers exactly the jumped region in simulated time.
+    assert span["dur"] == span["args"]["cycles"]
+    assert span["args"]["to_cycle"] - span["args"]["from_cycle"] == span["args"]["cycles"]
+    assert stall_trace["otherData"]["cycles_leaped"] >= 0.9 * STALL_BUDGET
+
+
+def test_wake_instants_mark_the_detection(stall_trace):
+    instants = [
+        e for e in stall_trace["traceEvents"] if e["ph"] == "i"
+    ]
+    assert instants, "the armed counter's expiry wake must be recorded"
+
+
+def test_counter_only_tracer_records_no_events():
+    tracer = KernelTracer(events=False)
+    run_injection(
+        stall_config(),
+        InjectionStage.WLAST_TO_BVALID,
+        beats=4,
+        detect_timeout=2 * STALL_BUDGET,
+        harness_kwargs={"sim_tracer": tracer},
+    )
+    trace = tracer.chrome_trace()
+    # Only the kernel track metadata: no spans, but counters are full.
+    assert all(e["ph"] == "M" for e in trace["traceEvents"])
+    assert tracer.counters()
+
+
+def test_max_events_bound_drops_instead_of_growing():
+    tracer = KernelTracer(max_events=5)
+    run_injection(
+        stall_config(),
+        InjectionStage.WLAST_TO_BVALID,
+        beats=4,
+        detect_timeout=2 * STALL_BUDGET,
+        harness_kwargs={"sim_tracer": tracer},
+    )
+    trace = tracer.chrome_trace()
+    assert len([e for e in trace["traceEvents"] if e["ph"] != "M"]) <= 5
+    assert trace["otherData"]["dropped_events"] > 0

@@ -1,0 +1,70 @@
+"""Schema guard for the committed benchmark record.
+
+``benchmarks/BENCH_kernel.json`` is the ledger CI uploads and the
+README quotes; a benchmark that records a malformed entry (nested
+dicts, NaN, a stringified number) would silently corrupt it.  The
+shape contract: a JSON object mapping benchmark name -> flat object
+of finite numeric measurements.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "BENCH_kernel.json"
+
+# Benchmarks that must not silently vanish from the record.
+EXPECTED_ENTRIES = {
+    "campaign_batch_lockstep",
+    "settle_dirty_vs_exhaustive",
+    "stall_campaign_time_leap",
+    "stall_campaign_update_skip",
+    "tracer_noop_overhead",
+    "update_skip_idle_fraction",
+}
+
+
+@pytest.fixture(scope="module")
+def bench():
+    assert BENCH_PATH.exists(), f"missing benchmark record {BENCH_PATH}"
+    with open(BENCH_PATH) as stream:
+        return json.load(stream)
+
+
+def test_record_is_a_named_mapping(bench):
+    assert isinstance(bench, dict) and bench
+    assert all(isinstance(name, str) for name in bench)
+
+
+def test_known_benchmarks_are_present(bench):
+    missing = EXPECTED_ENTRIES - set(bench)
+    assert not missing, f"benchmark entries disappeared: {sorted(missing)}"
+
+
+def test_entries_are_flat_and_finite(bench):
+    for name, entry in bench.items():
+        assert isinstance(entry, dict) and entry, name
+        for key, value in entry.items():
+            assert isinstance(key, str), (name, key)
+            assert isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ), f"{name}.{key} is {type(value).__name__}, want a number"
+            assert math.isfinite(value), f"{name}.{key} is not finite"
+
+
+def test_seconds_and_counts_are_positive(bench):
+    for name, entry in bench.items():
+        for key, value in entry.items():
+            if key.endswith("_seconds") or key.endswith("seconds"):
+                assert value > 0, f"{name}.{key} should be positive wall time"
+            if key in ("runs", "cycles", "budget_cycles"):
+                assert value > 0 and value == int(value), f"{name}.{key}"
+
+
+def test_record_round_trips_deterministically(bench):
+    # The file is machine-written with sort_keys; a hand edit that
+    # breaks ordering would churn every future benchmark commit.
+    on_disk = BENCH_PATH.read_text()
+    assert json.dumps(bench, indent=2, sort_keys=True) + "\n" == on_disk

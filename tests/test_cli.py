@@ -185,3 +185,167 @@ def test_worker_against_live_coordinator(tmp_path):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ----------------------------------------------------------------------
+# Telemetry surfaces: --trace, --telemetry, report, status, --log-level
+# ----------------------------------------------------------------------
+def test_inject_trace_writes_perfetto_json(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    code = main(["inject", "--stage", "wlast_bvalid_error",
+                 "--trace", str(trace)])
+    assert code == 0
+    assert f"wrote {trace}" in capsys.readouterr().err
+    data = json.loads(trace.read_text())
+    assert {"traceEvents", "displayTimeUnit", "otherData"} <= set(data)
+    names = {e["name"] for e in data["traceEvents"]}
+    assert "leap" in names  # the stall fast-forward is on the timeline
+
+
+def test_inject_trace_does_not_change_results(capsys, tmp_path):
+    assert main(["inject", "--stage", "wlast_bvalid_error"]) == 0
+    untraced = capsys.readouterr().out
+    trace = tmp_path / "trace.json"
+    assert main(["inject", "--stage", "wlast_bvalid_error",
+                 "--trace", str(trace)]) == 0
+    assert capsys.readouterr().out == untraced
+
+
+def test_campaign_telemetry_and_report(tmp_path, capsys):
+    telemetry = tmp_path / "telemetry.json"
+    assert main(["campaign", "--kind", "ip", "--variant", "full",
+                 "--stage", "aw_stage_error", "--beats", "4",
+                 "--telemetry", str(telemetry)]) == 0
+    capsys.readouterr()
+    assert telemetry.exists()
+    assert main(["report", "--telemetry", str(telemetry)]) == 0
+    out = capsys.readouterr().out
+    assert "campaign.runs" in out
+    assert "campaign.shard_seconds" in out
+    assert "counters" in out and "histograms" in out
+
+
+def test_campaign_telemetry_does_not_change_export(tmp_path, capsys):
+    base = ["campaign", "--kind", "ip", "--variant", "full",
+            "--stage", "aw_stage_error", "--beats", "4"]
+    plain = tmp_path / "plain.json"
+    tele = tmp_path / "tele.json"
+    assert main(base + ["--json", str(plain)]) == 0
+    assert main(base + ["--json", str(tele),
+                        "--telemetry", str(tmp_path / "t.json")]) == 0
+    assert plain.read_text() == tele.read_text()
+
+
+def test_report_rejects_non_telemetry_file(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"not": "telemetry"}')
+    assert main(["report", "--telemetry", str(bogus)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_status_requires_hostport():
+    with pytest.raises(SystemExit):
+        main(["status", "--connect", "nonsense"])
+
+
+def test_status_against_dead_coordinator(capsys):
+    assert main(["status", "--connect", "127.0.0.1:1", "--timeout", "1"]) == 1
+    assert "status error" in capsys.readouterr().err
+
+
+def test_status_against_live_coordinator(capsys):
+    import json
+    import threading
+    import time
+
+    from repro.orchestrate import CampaignSpec, DistributedExecutor, run_campaign_spec
+    from repro.faults.types import InjectionStage
+    from repro.tmu.config import full_config
+
+    from tests.conftest import fast_budgets
+
+    spec = CampaignSpec.ip(
+        [full_config(budgets=fast_budgets())],
+        [InjectionStage.AW_READY_MISSING],
+        beats=4,
+        seeds=(0, 1, 2, 3),
+    )
+    executor = DistributedExecutor(local_workers=1, result_timeout=120)
+    host, port = executor.bind()
+    outcome = {}
+
+    def serve():
+        outcome["results"] = run_campaign_spec(spec, executor=executor)
+
+    coordinator = threading.Thread(target=serve)
+    coordinator.start()
+    # Poll until the one-shot status connection lands mid-campaign.
+    code = 1
+    deadline = time.monotonic() + 30
+    while code != 0 and time.monotonic() < deadline:
+        code = main(["status", "--connect", f"{host}:{port}"])
+        if code != 0:
+            time.sleep(0.05)
+    coordinator.join(timeout=60)
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert f"coordinator {host}:{port}" in captured
+    assert "campaign:" in captured
+    assert outcome["results"] == run_campaign_spec(spec)
+
+    # And the machine-readable form round-trips through json.
+    executor2 = DistributedExecutor(local_workers=1, result_timeout=120)
+    host2, port2 = executor2.bind()
+
+    def serve2():
+        run_campaign_spec(spec, executor=executor2)
+
+    coordinator2 = threading.Thread(target=serve2)
+    coordinator2.start()
+    code = 1
+    deadline = time.monotonic() + 30
+    while code != 0 and time.monotonic() < deadline:
+        capsys.readouterr()
+        code = main(["status", "--connect", f"{host2}:{port2}", "--json"])
+        if code != 0:
+            time.sleep(0.05)
+    coordinator2.join(timeout=60)
+    assert code == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert "connected_workers" in snapshot and "events" in snapshot
+
+
+def test_log_level_flag_configures_repro_logger(capsys):
+    import logging
+
+    logger = logging.getLogger("repro")
+    saved = (list(logger.handlers), logger.level, logger.propagate)
+    try:
+        assert main(["--log-level", "debug", "area", "--variant", "tiny"]) == 0
+        assert logger.level == logging.DEBUG
+        assert len(logger.handlers) == 1
+        assert logger.propagate is False
+    finally:
+        logger.handlers = saved[0]
+        logger.setLevel(saved[1])
+        logger.propagate = saved[2]
+
+
+def test_log_json_flag_emits_json_lines(capsys):
+    import json
+    import logging
+
+    logger = logging.getLogger("repro")
+    saved = (list(logger.handlers), logger.level, logger.propagate)
+    try:
+        assert main(["--log-level", "info", "--log-json",
+                     "area", "--variant", "tiny"]) == 0
+        logging.getLogger("repro.test").info("hello")
+        line = capsys.readouterr().err.strip().splitlines()[-1]
+        assert json.loads(line)["message"] == "hello"
+    finally:
+        logger.handlers = saved[0]
+        logger.setLevel(saved[1])
+        logger.propagate = saved[2]
