@@ -152,3 +152,62 @@ def campaign_dict(results, spec=None) -> Dict[str, Any]:
 def to_json(payload: Any, indent: int = 2) -> str:
     """Serialize an export dictionary (or list of them) to JSON text."""
     return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def write_campaign_json(results, stream, spec=None, indent: int = 2) -> int:
+    """Stream a campaign export, byte-identical to the in-memory path.
+
+    Emits exactly the text ``to_json(campaign_dict(results, spec=spec))``
+    produces, but one result at a time — aggregation as a streamed,
+    index-ordered query instead of an in-memory list.  *results* is any
+    iterable of result objects, or a zero-argument callable returning a
+    fresh iterator (e.g. ``lambda: store.iter_results(spec.runs())``):
+    the aggregate counts precede the entries in the sorted-key layout,
+    so the writer makes two passes and never holds more than one result.
+    A plain list works too (it is simply iterated twice).  Returns the
+    number of results written.
+    """
+    def fresh():
+        return iter(results() if callable(results) else results)
+
+    pad = " " * indent
+
+    def nested(payload: Any, depth: int) -> str:
+        """json.dumps re-indented to sit at *depth* levels deep."""
+        blob = json.dumps(payload, indent=indent, sort_keys=True)
+        return blob.replace("\n", "\n" + pad * depth)
+
+    runs = detected = recovered = 0
+    scheduler = {key: 0 for key in Simulator.STAT_KEYS}
+    for result in fresh():
+        runs += 1
+        if result.detect_cycle is not None:
+            detected += 1
+        if result.recovered:
+            recovered += 1
+        for key in scheduler:
+            scheduler[key] += int(getattr(result, f"sim_{key}", 0) or 0)
+
+    write = stream.write
+    write("{\n")
+    write(f'{pad}"detected": {detected},\n')
+    write(f'{pad}"recovered": {recovered},\n')
+    write(f'{pad}"results": [')
+    first = True
+    for result in fresh():
+        entry = (
+            system_injection_result_dict(result)
+            if hasattr(result, "fig11_latency")
+            else injection_result_dict(result)
+        )
+        write(("" if first else ",") + "\n" + pad * 2 + nested(entry, 2))
+        first = False
+    write(("\n" + pad + "]") if not first else "]")
+    write(",\n")
+    write(f'{pad}"runs": {runs},\n')
+    write(f'{pad}"scheduler": {nested(scheduler, 1)}')
+    if spec is not None:
+        write(f',\n{pad}"spec": {nested(spec.canonical_dict(), 1)}')
+        write(f',\n{pad}"spec_hash": {json.dumps(spec.spec_hash())}')
+    write("\n}")
+    return runs

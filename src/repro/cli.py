@@ -26,6 +26,15 @@ Distributed campaigns (coordinator + any number of pull workers)::
     python -m repro fig11 --distributed --local-workers 2
     python -m repro campaign --resume --cache-dir /shared/cache ...
 
+Run-granular result store (incremental reuse across overlapping
+sweeps: a superset campaign simulates only its frontier)::
+
+    python -m repro campaign --kind system --seeds 4 --store /shared/store
+    python -m repro campaign --kind system --seeds 8 --store /shared/store
+    python -m repro worker --connect 10.0.0.5:7453 --store /shared/store
+    python -m repro store stats /shared/store --cold /shared/cache
+    python -m repro store migrate /shared/cache --store /shared/store
+
 Telemetry (all opt-in; never changes a result)::
 
     python -m repro inject --stage wlast_bvalid_error --trace trace.json
@@ -45,7 +54,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .analysis.export import campaign_dict, to_json
+from .analysis.export import write_campaign_json
 from .analysis.report import render_series, render_table
 from .area.gf12 import REFERENCE_PRESCALE_STEP
 from .area.model import estimate_area, prescaler_saving
@@ -126,6 +135,7 @@ def _distributed_executor(args) -> Optional[DistributedExecutor]:
             "port": args.port,
             "local_workers": args.local_workers,
             "lease_timeout": args.lease_timeout,
+            "store_dir": getattr(args, "store", None),
         },
     )
     host, port = executor.bind()
@@ -341,6 +351,7 @@ def cmd_fig11(args) -> int:
         batch_lanes=args.batch_lanes,
         batch_verify=args.batch_verify,
         metrics=metrics,
+        store=args.store,
     )
     if metrics is not None:
         write_telemetry(metrics, args.telemetry)
@@ -408,6 +419,7 @@ def cmd_campaign(args, executor=None) -> int:
         batch_lanes=batch_lanes,
         batch_verify=getattr(args, "batch_verify", False),
         metrics=metrics,
+        store=args.store,
     )
     if metrics is not None:
         write_telemetry(metrics, args.telemetry)
@@ -436,8 +448,10 @@ def cmd_campaign(args, executor=None) -> int:
     recovered = sum(1 for result in results if result.recovered)
     print(f"{len(results)} runs | {detected} detected | {recovered} recovered")
     if args.json_out:
+        # Streamed writer: byte-identical to to_json(campaign_dict(...))
+        # but never materializes the export dict.
         with open(args.json_out, "w") as stream:
-            stream.write(to_json(campaign_dict(results, spec=spec)))
+            write_campaign_json(results, stream, spec=spec)
         print(f"wrote {args.json_out}")
     return 0 if detected == recovered == len(results) else 1
 
@@ -449,6 +463,7 @@ def cmd_serve(args) -> int:
         port=args.port,
         local_workers=args.local_workers,
         lease_timeout=args.lease_timeout,
+        store_dir=args.store,
     )
     host, port = executor.bind()
     print(
@@ -460,7 +475,9 @@ def cmd_serve(args) -> int:
     return cmd_campaign(args, executor=executor)
 
 
-def _worker_process(host, port, worker_id, retry_seconds, log_level, log_json):
+def _worker_process(
+    host, port, worker_id, retry_seconds, log_level, log_json, store=None
+):
     """Spawned worker entry point (module-level, so it pickles).
 
     Spawn-start children inherit no logging configuration from the
@@ -470,7 +487,10 @@ def _worker_process(host, port, worker_id, retry_seconds, log_level, log_json):
     """
     if log_level or log_json:
         setup_logging(log_level or "warning", json_lines=log_json)
-    worker_loop(host, port, worker_id=worker_id, retry_seconds=retry_seconds)
+    worker_loop(
+        host, port, worker_id=worker_id, retry_seconds=retry_seconds,
+        store=store,
+    )
 
 
 def cmd_worker(args) -> int:
@@ -489,6 +509,7 @@ def cmd_worker(args) -> int:
                     args.retry,
                     args.log_level,
                     args.log_json,
+                    args.store,
                 ),
             )
             for index in range(args.processes)
@@ -499,7 +520,9 @@ def cmd_worker(args) -> int:
             process.join()
         return 0 if all(process.exitcode == 0 for process in processes) else 1
     try:
-        executed = worker_loop(host, port, retry_seconds=args.retry)
+        executed = worker_loop(
+            host, port, retry_seconds=args.retry, store=args.store
+        )
     except (OSError, ProtocolError) as exc:
         print(f"worker error: {exc}", file=sys.stderr)
         return 1
@@ -634,6 +657,43 @@ def cmd_status(args) -> int:
     return 0
 
 
+def cmd_store_stats(args) -> int:
+    """Point-in-time accounting of a result store's tiers."""
+    from .orchestrate.store import ResultStore
+
+    with ResultStore.open(args.root, cold_roots=args.cold or ()) as store:
+        if store.cold_roots:
+            store.index_cold()
+        stats = store.stats()
+    if args.json_output:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [key, value if not isinstance(value, list) else ", ".join(value) or "--"]
+        for key, value in stats.items()
+    ]
+    print(render_table(["field", "value"], rows, title=f"store {args.root}"))
+    return 0
+
+
+def cmd_store_migrate(args) -> int:
+    """One-shot, idempotent import of a shard-JSON cache into a store."""
+    from .orchestrate.store import ResultStore
+
+    if not Path(args.cache_dir).is_dir():
+        print(f"error: no such cache directory: {args.cache_dir}",
+              file=sys.stderr)
+        return 2
+    with ResultStore.open(args.store) as store:
+        outcome = store.migrate_cache(args.cache_dir)
+    print(
+        f"migrated {args.cache_dir} -> {args.store}: "
+        f"{outcome['imported']} imported, "
+        f"{outcome['skipped']} already present"
+    )
+    return 0
+
+
 def cmd_table2(args) -> int:
     print(
         render_table(
@@ -707,6 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="persist completed shards here; re-runs skip them",
     )
+    _add_store_arg(p_fig11)
     p_fig11.add_argument(
         "--seeds", type=_positive_int, default=1,
         help="start-delay phase offsets 0..N-1 per (variant, stage) point",
@@ -790,7 +851,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry", type=float, default=DEFAULT_CONNECT_RETRY,
         help="seconds to keep retrying the initial connection",
     )
+    p_worker.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="shared result store: look up each assigned run before "
+        "simulating it and publish results for other workers",
+    )
     p_worker.set_defaults(func=cmd_worker)
+
+    p_store = sub.add_parser(
+        "store",
+        help="result-store maintenance: stats and cache migration",
+        description=(
+            "Inspect or populate a run-granular result store (the "
+            "hot/warm/cold tier behind --store)."
+        ),
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_stats = store_sub.add_parser(
+        "stats", help="report a store's row counts, size and tiers"
+    )
+    p_stats.add_argument("root", help="store directory")
+    p_stats.add_argument(
+        "--cold", action="append", metavar="DIR",
+        help="shard-cache directory to mount (and index) as a cold tier; "
+        "repeatable",
+    )
+    p_stats.add_argument(
+        "--json", dest="json_output", action="store_true",
+        help="print the stats as JSON instead of a table",
+    )
+    p_stats.set_defaults(func=cmd_store_stats)
+    p_migrate = store_sub.add_parser(
+        "migrate",
+        help="import a shard-JSON cache directory into a store "
+        "(one-shot, idempotent)",
+    )
+    p_migrate.add_argument("cache_dir", help="shard cache directory to import")
+    p_migrate.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="target store directory (created if missing)",
+    )
+    p_migrate.set_defaults(func=cmd_store_migrate)
 
     p_report = sub.add_parser(
         "report",
@@ -861,6 +962,7 @@ def _add_campaign_axes(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None,
         help="persist completed shards here; re-runs skip them",
     )
+    _add_store_arg(parser)
     parser.add_argument(
         "--json", dest="json_out", default=None,
         help="also export the full campaign to this JSON file",
@@ -872,6 +974,16 @@ def _add_campaign_axes(parser: argparse.ArgumentParser) -> None:
         "--telemetry", default=None, metavar="PATH",
         help="write campaign metrics (telemetry.json) here; summarize "
         "with: repro report --telemetry PATH",
+    )
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="run-granular result store: runs any earlier campaign "
+        "already simulated are fetched instead of re-run (a superset "
+        "sweep executes only its frontier); --cache-dir mounts as the "
+        "store's cold tier",
     )
 
 

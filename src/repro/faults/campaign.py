@@ -374,6 +374,7 @@ def run_campaign(
     batch_lanes: Optional[int] = None,
     batch_verify: bool = False,
     metrics=None,
+    store=None,
 ) -> List[InjectionResult]:
     """Cross-product campaign over configurations, stages and seeds.
 
@@ -385,7 +386,9 @@ def run_campaign(
     batch executor (:class:`~repro.orchestrate.batch.BatchExecutor`;
     *batch_verify* replays every derived lane on the scalar verify
     kernel),
-    *cache_dir* persists completed shards so re-runs skip them, and
+    *cache_dir* persists completed shards so re-runs skip them, *store*
+    (a :class:`~repro.orchestrate.store.ResultStore` or a path) adds
+    run-granular reuse across overlapping sweeps, and
     *progress* enables the live status line.  Result ordering is
     canonical (config-major, then stage, then seed) regardless of
     executor, so the parallel path is a drop-in replacement for the
@@ -419,6 +422,7 @@ def run_campaign(
             or cache_dir is not None
             or executor is not None
             or batch_lanes is not None
+            or store is not None
         ):
             raise
         from ..orchestrate import ProgressReporter
@@ -464,6 +468,7 @@ def run_campaign(
         batch_lanes=batch_lanes,
         batch_verify=batch_verify,
         metrics=metrics,
+        store=store,
     )
 
 

@@ -24,6 +24,9 @@ Layers (one module each):
   kernel.
 * :mod:`~repro.orchestrate.cache` — shard-granular JSON result cache;
   atomic writes, defensive loads, the campaign-resume substrate.
+* :mod:`~repro.orchestrate.store` — the run-granular tiered result
+  store (:class:`ResultStore`): hot LRU over warm SQLite over the cold
+  shard-JSON archive; the substrate for incremental sub-campaign reuse.
 * :mod:`~repro.orchestrate.progress` — live progress/ETA reporting.
 * :mod:`~repro.orchestrate.engine` — :func:`run_campaign_spec`, the
   driver tying the above together.
@@ -35,7 +38,7 @@ for the distributed pair) exposes it from the shell.
 """
 
 from .batch import BatchExecutor, BatchStats
-from .cache import ResultCache
+from .cache import ResultCache, sweep_stale_tmp
 from .distributed import (
     DistributedExecutor,
     DistributedTimeout,
@@ -65,6 +68,7 @@ from .serialize import (
     shard_to_dict,
 )
 from .spec import CampaignSpec, RunSpec, Shard, plan_shards
+from .store import STORE_FORMAT, ResultStore
 
 __all__ = [
     "BatchExecutor",
@@ -76,7 +80,9 @@ __all__ = [
     "ProgressReporter",
     "ProtocolError",
     "ResultCache",
+    "ResultStore",
     "RunSpec",
+    "STORE_FORMAT",
     "SerialExecutor",
     "Shard",
     "ShardBoard",
@@ -98,5 +104,6 @@ __all__ = [
     "send_frame",
     "shard_from_dict",
     "shard_to_dict",
+    "sweep_stale_tmp",
     "worker_loop",
 ]

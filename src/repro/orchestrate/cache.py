@@ -18,7 +18,10 @@ both directions are hardened:
   the same directory (flushed and fsynced) and land via
   :func:`os.replace` — a SIGKILLed coordinator, a concurrent worker on
   another machine sharing the directory, or a full disk can leave stale
-  ``*.tmp`` litter but never a half-written shard file.
+  ``*.tmp`` litter but never a half-written shard file.  Opening a
+  cache (or store) sweeps litter older than an hour via
+  :func:`sweep_stale_tmp`, so crashed writers no longer accumulate
+  forever.
 * **Loads are defensive.**  A truncated, hand-corrupted or
   schema-mangled entry is logged and treated as a miss — the shard is
   simply re-simulated — instead of crashing or, worse, half-loading.
@@ -30,6 +33,7 @@ import json
 import logging
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import List, Optional, Union
 
@@ -42,6 +46,45 @@ log = logging.getLogger(__name__)
 #: the per-run scheduler statistics (``sim_leaps``/``sim_cycles_leaped``)
 #: to every serialized result.
 CACHE_FORMAT = 2
+
+#: Age (seconds) past which ``*.tmp`` litter is presumed orphaned.  A
+#: fresh temp file may belong to a concurrent writer mid-``os.replace``
+#: on a shared directory, so only stale ones are swept.
+STALE_TMP_SECONDS = 3600.0
+
+
+def sweep_stale_tmp(
+    directory: Union[str, Path],
+    max_age_seconds: float = STALE_TMP_SECONDS,
+    clock: Optional[float] = None,
+) -> int:
+    """Delete orphaned ``*.tmp`` files under *directory*; return count.
+
+    Crashed atomic writers (SIGKILL between ``mkstemp`` and
+    ``os.replace``) leave uniquely-named temp files behind; before this
+    sweep they accumulated forever.  Both the shard cache and the result
+    store call it at open.  Only files older than *max_age_seconds* go —
+    a young temp file may be a live writer on a directory shared between
+    coordinators.  Unlinking races (another opener sweeping the same
+    litter) and permission defects are ignored: the sweep is hygiene,
+    never a correctness step.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    now = time.time() if clock is None else clock
+    swept = 0
+    for tmp in directory.glob("*.tmp"):
+        try:
+            if now - tmp.stat().st_mtime < max_age_seconds:
+                continue
+            tmp.unlink()
+            swept += 1
+        except OSError:
+            continue
+    if swept:
+        log.info("swept %d stale temp file(s) from %s", swept, directory)
+    return swept
 
 
 class ResultCache:
@@ -65,6 +108,7 @@ class ResultCache:
         self.metrics = metrics
         self.dir = self.root / spec.spec_hash()
         self.dir.mkdir(parents=True, exist_ok=True)
+        sweep_stale_tmp(self.dir)
         spec_file = self.dir / "spec.json"
         if not spec_file.exists():
             self._write_atomic(

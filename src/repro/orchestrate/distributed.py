@@ -282,6 +282,7 @@ class DistributedExecutor:
         local_workers: int = 0,
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         result_timeout: Optional[float] = None,
+        store_dir: Optional[str] = None,
     ) -> None:
         if local_workers < 0:
             raise ValueError("local_workers must be >= 0")
@@ -290,6 +291,9 @@ class DistributedExecutor:
         self.local_workers = local_workers
         self.lease_timeout = lease_timeout
         self.result_timeout = result_timeout
+        #: Result-store path handed to spawned loopback workers, so they
+        #: short-circuit against the same shared store the engine uses.
+        self.store_dir = store_dir
         self.workers = max(local_workers, 1)  # parity with the other executors
         self._server: Optional[socket.socket] = None
         self._board: Optional[ShardBoard] = None
@@ -568,7 +572,10 @@ class DistributedExecutor:
             process = context.Process(
                 target=worker_loop,
                 args=(self.host, self.port),
-                kwargs={"worker_id": f"local-{index}-{os.getpid()}"},
+                kwargs={
+                    "worker_id": f"local-{index}-{os.getpid()}",
+                    "store": self.store_dir,
+                },
                 name=f"repro-worker-{index}",
                 daemon=True,
             )
@@ -639,6 +646,7 @@ def worker_loop(
     port: int,
     worker_id: Optional[str] = None,
     retry_seconds: float = DEFAULT_CONNECT_RETRY,
+    store=None,
 ) -> int:
     """Pull-execute-reply until the coordinator says ``done``.
 
@@ -650,11 +658,22 @@ def worker_loop(
     requested in its welcome, renewing the lease so a slow-but-healthy
     shard is never stolen.  Returns the number of shards executed.
 
+    *store* (a :class:`~repro.orchestrate.store.ResultStore`, or a path
+    to open one at) makes the worker consult the shared result store
+    before simulating each run of a shard and write every simulated run
+    back — so a shard stolen from a dead-but-productive worker, or one
+    whose runs an earlier campaign already computed, costs only the
+    missing simulations.  ``repro worker --store DIR`` is this knob.
+
     A coordinator that disappears during the handshake (finished its
     campaign from cache, or died) is a clean zero-shard exit, not an
     error: the worker joined a queue that simply had nothing for it.
     """
     worker_id = worker_id or default_worker_id()
+    if store is not None and not hasattr(store, "get"):
+        from .store import ResultStore
+
+        store = ResultStore.open(store)
     # Tag this process's log records so interleaved multi-worker output
     # on a shared terminal stays attributable.
     worker_log_prefix(worker_id)
@@ -693,7 +712,12 @@ def worker_loop(
                 )
                 pinger.start()
             try:
-                index, shard_results = execute_shard(shard)
+                # Positional call when storeless: tests (and embedders)
+                # substitute plain ``f(shard)`` executors.
+                if store is None:
+                    index, shard_results = execute_shard(shard)
+                else:
+                    index, shard_results = execute_shard(shard, store=store)
             finally:
                 stop_ping.set()
                 if pinger is not None:

@@ -2,29 +2,44 @@
 
 Glues the layers of this package together: expand a
 :class:`~repro.orchestrate.spec.CampaignSpec` into its canonical run
-list, plan shards, satisfy what it can from the on-disk cache, fan the
-rest out through an executor, and re-assemble the result stream into
-the exact ordering the serial runners produce.
+list, plan shards, satisfy what it can from the shard cache and the
+run-granular result store, fan the *frontier* out through an executor,
+and re-assemble the result stream into the exact ordering the serial
+runners produce.
 
 The engine is deliberately deterministic end to end: run enumeration is
 canonical, shard planning is contiguous, and aggregation is by run
 index — so ``workers=16`` and ``workers=1`` return *equal* result
-lists, and a cache hit returns the same objects a fresh simulation
-would.  ``strategy="verify"`` campaigns (via ``harness_kwargs``) plus
-the determinism tests in ``tests/orchestrate/`` are the correctness
-harness for that claim.
+lists, and a cache or store hit returns the same objects a fresh
+simulation would.  ``strategy="verify"`` campaigns (via
+``harness_kwargs``) plus the determinism tests in ``tests/orchestrate/``
+are the correctness harness for that claim.
+
+Reuse happens at two granularities, consulted in order:
+
+1. **Shard cache** (*cache_dir*): whole shards of *this exact spec*
+   loaded from disk — the crash-safe ``--resume`` substrate.
+2. **Result store** (*store*): individual runs keyed by their
+   campaign-independent parameter hash.  A sweep that is a superset of
+   any earlier one (more seeds, more stages) fetches the intersection
+   here and simulates only the frontier; ``--resume`` degenerates to a
+   frontier of zero.
+
+When both are configured they feed each other: cache hits are promoted
+into the store, executed frontier runs land in both, and the cache
+directory doubles as the store's cold tier.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 from time import perf_counter
-from typing import IO, Dict, List, Optional, Union
+from typing import IO, Any, Dict, List, Optional, Union
 
 from .cache import ResultCache
 from .executor import default_workers, make_executor
 from .progress import ProgressReporter
-from .spec import CampaignSpec, plan_shards
+from .spec import CampaignSpec, RunSpec, plan_shards
 
 
 def run_campaign_spec(
@@ -37,7 +52,9 @@ def run_campaign_spec(
     batch_lanes: Optional[int] = None,
     batch_verify: bool = False,
     metrics=None,
-) -> List:
+    store=None,
+    collect: bool = True,
+) -> Optional[List]:
     """Execute *spec* and return results in canonical run order.
 
     Parameters
@@ -72,11 +89,25 @@ def run_campaign_spec(
     metrics:
         A :class:`~repro.telemetry.MetricsRegistry` collecting campaign
         accounting: run/shard counters, cache hit/miss/corrupt counts,
-        a ``campaign.shard_seconds`` histogram of coordinator-observed
+        per-tier ``store.*`` hit/miss/frontier counters, a
+        ``campaign.shard_seconds`` histogram of coordinator-observed
         shard completion spacing, and whatever the executor contributes
         through ``attach_metrics`` (discovered by ``hasattr``, the same
         seam as ``attach_progress``).  Purely observational — results
         are identical with or without it.
+    store:
+        A :class:`~repro.orchestrate.store.ResultStore` (or a path to
+        open one at) providing run-granular reuse: pending runs already
+        present in any tier are fetched instead of simulated, and every
+        executed or cache-loaded run is written back.  When *cache_dir*
+        is also set it is mounted as the store's cold tier, so shard
+        caches written by earlier campaigns hit at run granularity.
+    collect:
+        ``False`` skips materializing the result list (the call returns
+        ``None``); every result is still reachable through the store's
+        streamed, index-ordered query
+        (:meth:`~repro.orchestrate.store.ResultStore.iter_results`).
+        Requires *store*.
     """
     if workers is None:
         workers = default_workers()
@@ -87,6 +118,9 @@ def run_campaign_spec(
         if cache_dir is not None
         else None
     )
+    store = _open_store(store, cache_dir, metrics)
+    if not collect and store is None:
+        raise ValueError("collect=False requires a result store")
 
     reporter: Optional[ProgressReporter] = None
     if isinstance(progress, ProgressReporter):
@@ -96,18 +130,53 @@ def run_campaign_spec(
             len(runs), stream=None if progress is True else progress
         )
 
-    results_by_shard: Dict[int, List] = {}
+    results_by_index: Dict[int, Any] = {}
+
+    def keep(run: RunSpec, result) -> None:
+        if collect:
+            results_by_index[run.index] = result
+
+    # ------------------------------------------------------------------
+    # Tier 1: whole shards of this exact spec, from the cache directory.
+    # ------------------------------------------------------------------
     pending = []
     for shard in shards:
         cached = cache.load_shard(shard) if cache is not None else None
         if cached is not None:
-            results_by_shard[shard.index] = cached
+            for run, result in zip(shard.runs, cached):
+                keep(run, result)
+                if store is not None:
+                    store.put(run, result)
             if reporter:
                 reporter.shard_done(len(shard.runs), cached=True)
             if metrics is not None:
                 metrics.counter("campaign.runs_cached").inc(len(shard.runs))
         else:
             pending.append(shard)
+
+    # ------------------------------------------------------------------
+    # Tier 2: individual runs from the result store; what remains is the
+    # frontier — the only work any executor will see.
+    # ------------------------------------------------------------------
+    if store is not None:
+        frontier: List[RunSpec] = []
+        reused = 0
+        for shard in pending:
+            for run in shard.runs:
+                result = store.get(run)
+                if result is None:
+                    frontier.append(run)
+                else:
+                    keep(run, result)
+                    reused += 1
+        if reporter and reused:
+            reporter.shard_done(reused, cached=True)
+        if metrics is not None:
+            metrics.counter("store.reused_runs").inc(reused)
+            metrics.counter("store.frontier_runs").inc(len(frontier))
+        exec_shards = plan_shards(frontier, shard_size=shard_size)
+    else:
+        exec_shards = pending
 
     if executor is None:
         if batch_lanes is not None:
@@ -121,24 +190,48 @@ def run_campaign_spec(
     if metrics is not None:
         metrics.counter("campaign.runs").inc(len(runs))
         metrics.counter("campaign.shards").inc(len(shards))
-        metrics.counter("campaign.shards_executed").inc(len(pending))
+        metrics.counter("campaign.shards_executed").inc(len(exec_shards))
         if hasattr(executor, "attach_metrics"):
             executor.attach_metrics(metrics)
     started = perf_counter()
     last = started
-    for index, results in executor.map(pending):
-        results_by_shard[index] = results
+    # Executors report completions by the shard's own index (which is
+    # campaign-global for cache-filtered pending shards, plan-local for
+    # frontier-planned ones), so resolve through a map, not a position.
+    exec_by_index = {shard.index: shard for shard in exec_shards}
+    for index, results in executor.map(exec_shards):
+        shard = exec_by_index[index]
+        for run, result in zip(shard.runs, results):
+            keep(run, result)
+            if store is not None:
+                store.put(run, result)
         if metrics is not None:
             now = perf_counter()
             metrics.histogram("campaign.shard_seconds").observe(now - last)
-            metrics.counter("campaign.runs_executed").inc(
-                len(shards[index].runs)
-            )
+            metrics.counter("campaign.runs_executed").inc(len(shard.runs))
             last = now
-        if cache is not None:
-            cache.store_shard(shards[index], results)
+        if cache is not None and store is None:
+            cache.store_shard(shard, results)
         if reporter:
-            reporter.shard_done(len(shards[index].runs))
+            reporter.shard_done(len(shard.runs))
+
+    # With a store in play the executed shards were frontier-planned and
+    # need not align with the cache's shard plan, so the write-back
+    # happens here: every originally-pending shard is assembled (from
+    # the collected results or the store's hot tier) and persisted,
+    # keeping --resume and the cold tier exactly as complete as before.
+    if cache is not None and store is not None:
+        for shard in pending:
+            cache.store_shard(
+                shard,
+                [
+                    results_by_index[run.index]
+                    if collect
+                    else store.get(run)
+                    for run in shard.runs
+                ],
+            )
+
     if metrics is not None:
         metrics.gauge("campaign.elapsed_seconds").set(
             round(perf_counter() - started, 6)
@@ -146,8 +239,30 @@ def run_campaign_spec(
     if reporter:
         reporter.finish()
 
-    ordered: List = [None] * len(runs)
-    for shard in shards:
-        for run, result in zip(shard.runs, results_by_shard[shard.index]):
-            ordered[run.index] = result
-    return ordered
+    if not collect:
+        return None
+    return [results_by_index[run.index] for run in runs]
+
+
+def _open_store(store, cache_dir, metrics):
+    """Normalize the *store* argument: path -> opened ResultStore.
+
+    A pre-built store gains the campaign's metrics registry (if it has
+    none) and the cache directory as a cold root, so callers never have
+    to pre-wire the tiers to match the engine's.
+    """
+    if store is None:
+        return None
+    if isinstance(store, (str, Path)):
+        from .store import ResultStore
+
+        return ResultStore.open(
+            store,
+            cold_roots=(cache_dir,) if cache_dir is not None else (),
+            metrics=metrics,
+        )
+    if metrics is not None and getattr(store, "metrics", None) is None:
+        store.metrics = metrics
+    if cache_dir is not None:
+        store.add_cold_root(cache_dir)
+    return store

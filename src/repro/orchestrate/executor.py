@@ -88,9 +88,27 @@ def execute_run(run: RunSpec, trace=None):
     )
 
 
-def execute_shard(shard: Shard) -> ShardResult:
-    """Worker entry point: run every injection of one shard, in order."""
-    return shard.index, [execute_run(run) for run in shard.runs]
+def execute_shard(shard: Shard, store=None) -> ShardResult:
+    """Worker entry point: run every injection of one shard, in order.
+
+    *store* (a :class:`~repro.orchestrate.store.ResultStore`) is the
+    worker-side short-circuit: each run is looked up before it is
+    simulated and written back after — so a distributed worker handed a
+    reassigned shard whose original holder already pushed results into
+    the shared store only simulates the genuinely missing runs.  The
+    returned results are identical either way (store hits round-trip
+    the exact result objects).
+    """
+    if store is None:
+        return shard.index, [execute_run(run) for run in shard.runs]
+    results = []
+    for run in shard.runs:
+        result = store.get(run)
+        if result is None:
+            result = execute_run(run)
+            store.put(run, result)
+        results.append(result)
+    return shard.index, results
 
 
 class SerialExecutor:

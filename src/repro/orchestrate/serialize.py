@@ -118,6 +118,29 @@ def run_to_dict(run) -> Dict[str, Any]:
     return payload
 
 
+def run_param_dict(run) -> Dict[str, Any]:
+    """The simulation-determining parameters of a run, as plain data.
+
+    Everything that changes what :func:`~.executor.execute_run` computes
+    is here; everything that merely names the run's place inside one
+    campaign (``index``, and the ``run_id`` derived from it) is not.
+    This is the identity the run-granular result store keys on, so the
+    same injection reused by two different sweeps hashes identically in
+    both.
+    """
+    return {
+        "kind": run.kind,
+        "config": run.config,
+        "stage": run.stage,
+        "seed": run.seed,
+        "beats": run.beats,
+        "background": run.background,
+        "detect_timeout": run.detect_timeout,
+        "recovery_timeout": run.recovery_timeout,
+        "harness_kwargs": [list(item) for item in run.harness_kwargs],
+    }
+
+
 def run_from_dict(data: Dict[str, Any]):
     from .spec import RunSpec
 

@@ -25,7 +25,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..faults.types import InjectionStage
 from ..tmu.config import TmuConfig, Variant
-from .serialize import SpecSerializationError, config_to_dict
+from .serialize import SpecSerializationError, config_to_dict, run_param_dict
 
 #: Campaign kinds understood by the executors.
 KINDS = ("ip", "system")
@@ -59,6 +59,20 @@ class RunSpec:
             f"{self.kind}-{self.index:06d}-{self.config['variant']}"
             f"-{self.stage}-s{self.seed}"
         )
+
+    def param_key(self) -> str:
+        """Content hash of the simulation-determining parameters.
+
+        Unlike :attr:`run_id` (which embeds the campaign-local
+        ``index``), this key is independent of the enclosing sweep: the
+        same (config, stage, seed, run parameters) tuple hashes the same
+        whether it sits in a 12-run subset or a 1200-run superset.  It
+        is the lookup identity of the run-granular result store
+        (:mod:`repro.orchestrate.store`), which is what lets a superset
+        sweep fetch the intersection and simulate only the frontier.
+        """
+        canonical = json.dumps(run_param_dict(self), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:24]
 
 
 @dataclasses.dataclass(frozen=True)

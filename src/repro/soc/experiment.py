@@ -305,6 +305,7 @@ def run_fig11(
     batch_lanes: Optional[int] = None,
     batch_verify: bool = False,
     metrics=None,
+    store=None,
 ) -> Dict[str, List[SystemInjectionResult]]:
     """All Fig. 11 series: both variants across the six write stages.
 
@@ -318,8 +319,11 @@ def run_fig11(
     (:class:`~repro.orchestrate.batch.BatchExecutor`; *batch_verify*
     replays every derived lane on the scalar verify kernel), *cache_dir*
     lets
-    re-runs skip completed shards, and the aggregated series are
-    identical to the serial ones whatever the executor.
+    re-runs skip completed shards, *store* (a
+    :class:`~repro.orchestrate.store.ResultStore` or a path) adds
+    run-granular reuse — a wider seed sweep simulates only the frontier
+    — and the aggregated series are identical to the serial ones
+    whatever the executor.
 
     *seeds* sweeps each (variant, stage) point over start-delay phase
     offsets; each variant's series is stage-major, then seed (length
@@ -341,6 +345,7 @@ def run_fig11(
         batch_lanes=batch_lanes,
         batch_verify=batch_verify,
         metrics=metrics,
+        store=store,
     )
     stride = len(FIG11_STAGES) * len(spec.seeds)
     return {

@@ -42,6 +42,13 @@ DEFAULT_SECONDS_BOUNDS: Tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0
 )
 
+#: Fine-grained bucket bounds (seconds) for point lookups — result-store
+#: gets sit in the microsecond-to-millisecond range, far below the
+#: shard-latency buckets above.
+DEFAULT_LOOKUP_BOUNDS: Tuple[float, ...] = (
+    0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 1.0
+)
+
 
 class Counter:
     """Monotonic count of events (hits, retirements, reassignments)."""

@@ -96,3 +96,71 @@ def test_export_list_of_results():
     assert {entry["stage"] for entry in parsed} == {
         "aw_stage_error", "r_stage_timeout",
     }
+
+
+# ----------------------------------------------------------------------
+# Streamed campaign writer: byte-identical to the in-memory exporter
+# ----------------------------------------------------------------------
+def _stream(results, spec=None):
+    import io
+
+    from repro.analysis.export import write_campaign_json
+
+    buffer = io.StringIO()
+    count = write_campaign_json(results, buffer, spec=spec)
+    return buffer.getvalue(), count
+
+
+def _ip_results():
+    return run_campaign(
+        [full_config(budgets=fast_budgets())],
+        (InjectionStage.AW_READY_MISSING, InjectionStage.WLAST_TO_BVALID),
+        beats=4,
+        seeds=(0, 1),
+    )
+
+
+def test_streamed_campaign_json_matches_dict_export():
+    results = _ip_results()
+    text, count = _stream(results)
+    assert text == to_json(campaign_dict(results))
+    assert count == len(results)
+
+
+def test_streamed_campaign_json_with_spec():
+    from repro.orchestrate import CampaignSpec
+
+    spec = CampaignSpec.ip(
+        [full_config(budgets=fast_budgets())],
+        (InjectionStage.AW_READY_MISSING, InjectionStage.WLAST_TO_BVALID),
+        beats=4,
+        seeds=(0, 1),
+    )
+    results = _ip_results()
+    text, _count = _stream(results, spec=spec)
+    assert text == to_json(campaign_dict(results, spec=spec))
+
+
+def test_streamed_campaign_json_system_results():
+    from repro.soc.experiment import run_fig11
+
+    series = run_fig11(beats=16)
+    flat = series["full"] + series["tiny"]
+    text, count = _stream(flat)
+    assert text == to_json(campaign_dict(flat))
+    assert count == len(flat)
+
+
+def test_streamed_campaign_json_empty():
+    text, count = _stream([])
+    assert text == to_json(campaign_dict([]))
+    assert count == 0
+
+
+def test_streamed_campaign_json_accepts_iterator_factory():
+    # A zero-arg callable returning fresh iterators: the two-pass writer
+    # never needs the results materialized as a list.
+    results = _ip_results()
+    text, count = _stream(lambda: iter(results))
+    assert text == to_json(campaign_dict(results))
+    assert count == len(results)

@@ -145,3 +145,48 @@ def test_missing_file_is_a_silent_miss(tmp_path, spec, caplog):
     with caplog.at_level(logging.DEBUG, logger="repro.orchestrate.cache"):
         assert cache.load_shard(shard) is None
     assert not caplog.records  # a plain miss is not worth a log line
+
+
+# ----------------------------------------------------------------------
+# Stale tmp sweep at open
+# ----------------------------------------------------------------------
+def test_stale_tmp_swept_at_open(tmp_path, spec):
+    import os
+
+    from repro.orchestrate.cache import STALE_TMP_SECONDS
+
+    namespace = tmp_path / spec.spec_hash()
+    namespace.mkdir()
+    stale = namespace / "shard-000000-of-000004.json.999.tmp"
+    stale.write_text("{half a paylo")
+    old = stale.stat().st_mtime - STALE_TMP_SECONDS - 60
+    os.utime(stale, (old, old))
+    ResultCache(tmp_path, spec)
+    assert not stale.exists()
+
+
+def test_young_tmp_spared_at_open(tmp_path, spec):
+    # A young .tmp may be a live concurrent writer mid-replace; sweeping
+    # it would corrupt that writer's atomic store.
+    namespace = tmp_path / spec.spec_hash()
+    namespace.mkdir()
+    young = namespace / "shard-000001-of-000004.json.123.tmp"
+    young.write_text("{in flight")
+    ResultCache(tmp_path, spec)
+    assert young.exists()
+
+
+def test_sweep_reports_count_and_tolerates_races(tmp_path):
+    import os
+
+    from repro.orchestrate.cache import sweep_stale_tmp
+
+    for index in range(3):
+        litter = tmp_path / f"litter-{index}.tmp"
+        litter.write_text("x")
+        old = litter.stat().st_mtime - 7200
+        os.utime(litter, (old, old))
+    (tmp_path / "keep.json").write_text("{}")
+    assert sweep_stale_tmp(tmp_path) == 3
+    assert sweep_stale_tmp(tmp_path) == 0
+    assert (tmp_path / "keep.json").exists()

@@ -643,3 +643,60 @@ def test_partial_cache_resume_only_runs_missing_shards(tmp_path):
     resumed = run_campaign_spec(spec, cache_dir=tmp_path, executor=Counting())
     assert campaign_json(spec, resumed) == serial_json
     assert sorted(executed) == [shard.index for shard in shards[3:]]
+
+
+# ----------------------------------------------------------------------
+# Shared result store: workers short-circuit runs another worker pushed
+# ----------------------------------------------------------------------
+def test_worker_with_store_skips_prepopulated_runs(tmp_path, monkeypatch):
+    """A worker handed runs already in the shared store must not
+    re-simulate them — the reassigned-shard reuse path."""
+    from repro.orchestrate import ResultStore
+    from repro.orchestrate import executor as executor_module
+
+    spec = ip_spec(seeds=(0, 1))
+    serial = run_campaign_spec(spec)
+    store_dir = tmp_path / "store"
+    store = ResultStore.open(store_dir)
+    runs = spec.runs()
+    for run, result in zip(runs, serial):
+        store.put(run, result)
+    store.close()
+
+    simulated = []
+    real = executor_module.execute_run
+
+    def counting(run, trace=None):
+        simulated.append(run.run_id)
+        return real(run, trace)
+
+    monkeypatch.setattr(executor_module, "execute_run", counting)
+
+    executor = DistributedExecutor(result_timeout=120)
+    host, port = executor.bind()
+    worker = threading.Thread(
+        target=worker_loop,
+        args=(host, port),
+        kwargs={"store": str(store_dir)},
+        daemon=True,
+    )
+    worker.start()
+    distributed = run_campaign_spec(spec, executor=executor)
+    worker.join(timeout=10)
+    assert distributed == serial
+    assert simulated == []  # every run came out of the shared store
+
+
+def test_local_workers_inherit_store_dir(tmp_path):
+    """DistributedExecutor(store_dir=...) hands the store to the loopback
+    workers it spawns; results land in it for the next campaign."""
+    from repro.orchestrate import ResultStore
+
+    store_dir = tmp_path / "store"
+    spec = ip_spec()
+    executor = DistributedExecutor(
+        local_workers=2, result_timeout=120, store_dir=str(store_dir)
+    )
+    results = run_campaign_spec(spec, executor=executor)
+    store = ResultStore.open(store_dir)
+    assert list(store.iter_results(spec.runs())) == results

@@ -1,0 +1,398 @@
+"""Result-store hardening: tiers, concurrency, corruption, migration.
+
+The store is shared infrastructure — many campaigns, many processes,
+any of which may die mid-write — so the battery here mirrors the cache
+battery one level down: every defect a row or a database file can
+exhibit must demote to a logged, run-granular miss (re-simulated,
+repaired), never a crash, a wrong result, or a wedged store.
+"""
+
+import dataclasses
+import json
+import logging
+import multiprocessing
+import sqlite3
+
+import pytest
+
+from tests.conftest import fast_budgets
+
+from repro.faults.types import InjectionStage
+from repro.orchestrate import CampaignSpec, ResultStore, plan_shards
+from repro.orchestrate.cache import ResultCache
+from repro.orchestrate.executor import execute_shard
+from repro.orchestrate.store import DB_NAME, STORE_FORMAT
+from repro.telemetry import MetricsRegistry
+from repro.tmu.config import full_config, tiny_config
+
+
+@pytest.fixture
+def spec():
+    return CampaignSpec.ip(
+        [full_config(budgets=fast_budgets())],
+        [InjectionStage.AW_READY_MISSING, InjectionStage.WLAST_TO_BVALID],
+        beats=4,
+        seeds=(0, 1),
+    )
+
+
+@pytest.fixture
+def executed(spec):
+    """The spec's runs plus their simulated results, in canonical order."""
+    runs = spec.runs()
+    results = []
+    for shard in plan_shards(runs):
+        results.extend(execute_shard(shard)[1])
+    return runs, results
+
+
+@pytest.fixture
+def populated(tmp_path, executed):
+    """A store holding every result of the executed spec."""
+    store = ResultStore.open(tmp_path / "store")
+    runs, results = executed
+    for run, result in zip(runs, results):
+        assert store.put(run, result)
+    return store, runs, results
+
+
+def corrupt_row(store, key, **columns):
+    """Rewrite one warm row in place (simulating on-disk damage)."""
+    sets = ", ".join(f"{name}=?" for name in columns)
+    with store._db:
+        store._db.execute(
+            f"UPDATE results SET {sets} WHERE param_key=?",
+            (*columns.values(), key),
+        )
+
+
+def fresh_view(store):
+    """Reopen the same store directory with an empty hot tier."""
+    return ResultStore.open(store.root, metrics=MetricsRegistry())
+
+
+# ----------------------------------------------------------------------
+# Tiers
+# ----------------------------------------------------------------------
+def test_round_trip_preserves_results_exactly(populated):
+    store, runs, results = populated
+    for run, result in zip(runs, results):
+        assert store.get(run) == result
+
+
+def test_warm_tier_survives_reopen(populated):
+    store, runs, results = populated
+    view = fresh_view(store)
+    for run, result in zip(runs, results):
+        assert view.get(run) == result
+    counters = view.metrics.to_dict()["counters"]
+    assert counters["store.warm_hit"] == len(runs)
+    assert "store.hot_hit" not in counters
+
+
+def test_hot_tier_serves_repeats(populated):
+    store, runs, results = populated
+    store.metrics = MetricsRegistry()
+    assert store.get(runs[0]) == results[0]
+    counters = store.metrics.to_dict()["counters"]
+    assert counters == {"store.hot_hit": 1}
+
+
+def test_scheduler_stats_round_trip(populated):
+    store, runs, results = populated
+    view = fresh_view(store)
+    for run, fresh in zip(runs, results):
+        loaded = view.get(run)
+        assert loaded.sim_leaps == fresh.sim_leaps
+        assert loaded.sim_cycles_leaped == fresh.sim_cycles_leaped
+
+
+def test_lru_evicts_but_warm_backstops(tmp_path, executed):
+    runs, results = executed
+    store = ResultStore.open(
+        tmp_path / "store", hot_capacity=1, metrics=MetricsRegistry()
+    )
+    for run, result in zip(runs, results):
+        store.put(run, result)
+    assert len(store._hot) == 1
+    # Every run still resolves — through the warm tier, not the LRU.
+    for run, result in zip(runs, results):
+        assert store.get(run) == result
+    counters = store.metrics.to_dict()["counters"]
+    assert counters["store.warm_hit"] + counters.get("store.hot_hit", 0) == len(runs)
+
+
+def test_zero_hot_capacity_is_valid(tmp_path, executed):
+    runs, results = executed
+    store = ResultStore.open(tmp_path / "store", hot_capacity=0)
+    store.put(runs[0], results[0])
+    assert store._hot == {}
+    assert store.get(runs[0]) == results[0]
+
+
+def test_param_key_ignores_campaign_index(spec):
+    """The same parameters hash identically from different campaigns."""
+    wider = CampaignSpec.ip(
+        [tiny_config(budgets=fast_budgets()), full_config(budgets=fast_budgets())],
+        [InjectionStage.AW_READY_MISSING, InjectionStage.WLAST_TO_BVALID],
+        beats=4,
+        seeds=(0, 1, 2),
+    )
+    narrow_keys = {run.param_key(): run.run_id for run in spec.runs()}
+    wide_keys = {run.param_key(): run.run_id for run in wider.runs()}
+    shared = set(narrow_keys) & set(wide_keys)
+    # Every narrow run reappears in the superset under the same key,
+    # even though its run_id (campaign-local index) differs.
+    assert shared == set(narrow_keys)
+    assert any(narrow_keys[key] != wide_keys[key] for key in shared)
+
+
+def test_miss_returns_none_and_counts(tmp_path, spec):
+    store = ResultStore.open(tmp_path / "store", metrics=MetricsRegistry())
+    assert store.get(spec.runs()[0]) is None
+    assert store.metrics.to_dict()["counters"] == {"store.miss": 1}
+
+
+def test_iter_results_streams_in_order(populated):
+    store, runs, results = populated
+    assert list(store.iter_results(runs)) == results
+    assert list(store.iter_results(list(reversed(runs)))) == list(
+        reversed(results)
+    )
+
+
+def test_iter_results_raises_on_gap(populated, spec):
+    store, runs, _results = populated
+    stranger = dataclasses.replace(runs[0], seed=99)
+    with pytest.raises(KeyError):
+        list(store.iter_results([runs[0], stranger]))
+
+
+# ----------------------------------------------------------------------
+# First-result-wins
+# ----------------------------------------------------------------------
+def test_duplicate_put_keeps_first(populated):
+    store, runs, results = populated
+    impostor = dataclasses.replace(results[0], inject_cycle=123456)
+    assert store.put(runs[0], impostor) is False
+    assert fresh_view(store).get(runs[0]) == results[0]
+
+
+def _racing_writer(root, runs, results, tag, wins):
+    """Child process: put a tagged variant of every result."""
+    store = ResultStore.open(root)
+    for run, result in zip(runs, results):
+        tagged = dataclasses.replace(result, inject_cycle=tag)
+        if store.put(run, tagged):
+            wins.append((run.param_key(), tag))
+
+
+def test_two_processes_first_result_wins(tmp_path, executed):
+    """Two writers race every key of a shared store; exactly one wins each."""
+    runs, results = executed
+    root = tmp_path / "store"
+    ResultStore.open(root).close()  # create schema before the race
+    context = multiprocessing.get_context("fork")
+    with multiprocessing.Manager() as manager:
+        wins = manager.list()
+        writers = [
+            context.Process(
+                target=_racing_writer, args=(root, runs, results, tag, wins)
+            )
+            for tag in (1001, 2002)
+        ]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=60)
+            assert writer.exitcode == 0
+        wins = list(wins)
+    # Exactly one insert won per key, and the surviving row is the
+    # winner's payload, untorn.
+    assert len(wins) == len(runs)
+    winner_by_key = dict(wins)
+    assert len(winner_by_key) == len(runs)
+    store = ResultStore.open(root)
+    for run in runs:
+        assert store.get(run).inject_cycle == winner_by_key[run.param_key()]
+
+
+# ----------------------------------------------------------------------
+# Row-granular corruption: logged miss, then repair
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "damage",
+    [
+        {"payload": '{"truncated'},
+        {"payload": '"not a dict"'},
+        {"payload": "{}"},
+        {"format": STORE_FORMAT + 1},
+        {"format": 0},
+    ],
+    ids=["truncated", "wrong-shape", "empty-dict", "future-format", "foreign-format"],
+)
+def test_defective_row_is_logged_miss(populated, caplog, damage):
+    store, runs, results = populated
+    corrupt_row(store, runs[0].param_key(), **damage)
+    view = fresh_view(store)
+    with caplog.at_level(logging.WARNING, logger="repro.orchestrate.store"):
+        assert view.get(runs[0]) is None
+    assert caplog.records, "defective row must be logged"
+    counters = view.metrics.to_dict()["counters"]
+    assert counters["store.corrupt"] == 1
+    assert counters["store.miss"] == 1
+    # Other rows are untouched...
+    assert view.get(runs[1]) == results[1]
+    # ...and the defective key is evicted, so a re-simulation repairs it.
+    assert view.put(runs[0], results[0]) is True
+    assert fresh_view(store).get(runs[0]) == results[0]
+
+
+def test_wholly_corrupt_database_is_moved_aside(tmp_path, executed, caplog):
+    runs, results = executed
+    root = tmp_path / "store"
+    root.mkdir()
+    (root / DB_NAME).write_bytes(b"this is not a sqlite file at all")
+    with caplog.at_level(logging.WARNING, logger="repro.orchestrate.store"):
+        store = ResultStore.open(root)
+    assert (root / "store.sqlite.corrupt").exists()
+    assert any("unusable" in record.message for record in caplog.records)
+    store.put(runs[0], results[0])
+    assert fresh_view(store).get(runs[0]) == results[0]
+
+
+def test_future_schema_version_is_refused_then_recovered(tmp_path):
+    root = tmp_path / "store"
+    ResultStore.open(root).close()
+    db = sqlite3.connect(root / DB_NAME)
+    db.execute("PRAGMA user_version=99")
+    db.close()
+    # A future schema is hopeless for this reader: moved aside, fresh start.
+    store = ResultStore.open(root)
+    assert (root / "store.sqlite.corrupt").exists()
+    assert store.stats()["warm_rows"] == 0
+
+
+def test_stale_tmp_litter_swept_at_open(tmp_path):
+    root = tmp_path / "store"
+    root.mkdir()
+    stale = root / "shard-000001.json.4242.tmp"
+    stale.write_text("{half a")
+    import os
+
+    old = stale.stat().st_mtime - 7200
+    os.utime(stale, (old, old))
+    young = root / "inflight.tmp"
+    young.write_text("{live writer}")
+    ResultStore.open(root)
+    assert not stale.exists(), "stale tmp litter must be swept at open"
+    assert young.exists(), "young tmp files may be live concurrent writers"
+
+
+# ----------------------------------------------------------------------
+# Cold tier: read-through over shard-JSON caches
+# ----------------------------------------------------------------------
+@pytest.fixture
+def cold_cache(tmp_path, spec, executed):
+    """A shard cache populated the way a real campaign writes it."""
+    cache_dir = tmp_path / "cache"
+    cache = ResultCache(cache_dir, spec)
+    runs, results = executed
+    for shard in plan_shards(runs):
+        cache.store_shard(shard, [results[run.index] for run in shard.runs])
+    return cache_dir
+
+
+def test_cold_tier_read_through(tmp_path, executed, cold_cache):
+    runs, results = executed
+    store = ResultStore.open(
+        tmp_path / "store", cold_roots=(cold_cache,), metrics=MetricsRegistry()
+    )
+    for run, result in zip(runs, results):
+        assert store.get(run) == result
+    counters = store.metrics.to_dict()["counters"]
+    assert counters["store.cold_hit"] == len(runs)
+    # Promotion: a fresh view (no cold roots) now warm-hits everything.
+    view = fresh_view(store)
+    for run, result in zip(runs, results):
+        assert view.get(run) == result
+    assert view.metrics.to_dict()["counters"]["store.warm_hit"] == len(runs)
+
+
+def test_cold_tier_ignores_foreign_format(tmp_path, executed, cold_cache):
+    runs, _results = executed
+    for shard_file in cold_cache.glob("*/shard-*.json"):
+        payload = json.loads(shard_file.read_text())
+        payload["format"] = 999
+        shard_file.write_text(json.dumps(payload))
+    store = ResultStore.open(
+        tmp_path / "store", cold_roots=(cold_cache,), metrics=MetricsRegistry()
+    )
+    assert store.get(runs[0]) is None
+    assert store.metrics.to_dict()["counters"]["store.miss"] == 1
+
+
+def test_cold_tier_survives_unreadable_namespace(tmp_path, executed, cold_cache):
+    runs, results = executed
+    (cold_cache / "not-a-campaign").mkdir()
+    (cold_cache / "not-a-campaign" / "spec.json").write_text("{broken")
+    store = ResultStore.open(tmp_path / "store", cold_roots=(cold_cache,))
+    assert store.get(runs[0]) == results[0]
+
+
+def test_cold_tier_mismatched_plan_is_safe_miss(tmp_path, executed, cold_cache):
+    """A shard file whose run_ids disagree with the derived plan misses."""
+    runs, _results = executed
+    target = sorted(cold_cache.glob("*/shard-*.json"))[0]
+    payload = json.loads(target.read_text())
+    payload["run_ids"] = ["someone-else-entirely"] * len(payload["run_ids"])
+    target.write_text(json.dumps(payload))
+    store = ResultStore.open(tmp_path / "store", cold_roots=(cold_cache,))
+    assert store.get(runs[0]) is None
+
+
+# ----------------------------------------------------------------------
+# Migration
+# ----------------------------------------------------------------------
+def test_migrate_imports_every_run(tmp_path, executed, cold_cache):
+    runs, results = executed
+    store = ResultStore.open(tmp_path / "store")
+    outcome = store.migrate_cache(cold_cache)
+    assert outcome == {"imported": len(runs), "skipped": 0}
+    view = fresh_view(store)
+    for run, result in zip(runs, results):
+        assert view.get(run) == result
+
+
+def test_migrate_is_idempotent(tmp_path, executed, cold_cache):
+    runs, _results = executed
+    store = ResultStore.open(tmp_path / "store")
+    assert store.migrate_cache(cold_cache)["imported"] == len(runs)
+    assert store.migrate_cache(cold_cache) == {
+        "imported": 0, "skipped": len(runs)
+    }
+
+
+def test_migrate_skips_malformed_entries(tmp_path, executed, cold_cache, caplog):
+    runs, _results = executed
+    target = sorted(cold_cache.glob("*/shard-*.json"))[0]
+    payload = json.loads(target.read_text())
+    dropped = len(payload["results"])
+    payload["results"] = [{"nonsense": True} for _ in payload["results"]]
+    target.write_text(json.dumps(payload))
+    store = ResultStore.open(tmp_path / "store")
+    with caplog.at_level(logging.WARNING, logger="repro.orchestrate.store"):
+        outcome = store.migrate_cache(cold_cache)
+    assert outcome["imported"] == len(runs) - dropped
+    assert any("malformed" in record.message for record in caplog.records)
+
+
+def test_stats_reports_tiers(populated, cold_cache):
+    store, runs, _results = populated
+    store.add_cold_root(cold_cache)
+    assert store.index_cold() == len(runs)
+    stats = store.stats()
+    assert stats["warm_rows"] == len(runs)
+    assert stats["format"] == STORE_FORMAT
+    assert stats["cold_indexed_runs"] == len(runs)
+    assert str(cold_cache) in stats["cold_roots"]

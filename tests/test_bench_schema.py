@@ -18,6 +18,7 @@ BENCH_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "BENCH_kernel.
 # Benchmarks that must not silently vanish from the record.
 EXPECTED_ENTRIES = {
     "campaign_batch_lockstep",
+    "campaign_store_reuse",
     "settle_dirty_vs_exhaustive",
     "stall_campaign_time_leap",
     "stall_campaign_update_skip",

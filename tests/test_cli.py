@@ -349,3 +349,87 @@ def test_log_json_flag_emits_json_lines(capsys):
         logger.handlers = saved[0]
         logger.setLevel(saved[1])
         logger.propagate = saved[2]
+
+
+# ----------------------------------------------------------------------
+# Result store: --store, repro store stats / migrate
+# ----------------------------------------------------------------------
+CAMPAIGN_BASE = [
+    "campaign", "--kind", "ip", "--variant", "full",
+    "--stage", "aw_stage_error", "--stage", "wlast_bvalid_error",
+    "--beats", "4",
+]
+
+
+def test_campaign_store_superset_reuses(capsys, tmp_path):
+    import json
+
+    store = str(tmp_path / "store")
+    telemetry = str(tmp_path / "telemetry.json")
+    assert main(CAMPAIGN_BASE + ["--seeds", "1", "--store", store]) == 0
+    capsys.readouterr()
+    assert main(CAMPAIGN_BASE + ["--seeds", "2", "--store", store,
+                                 "--telemetry", telemetry]) == 0
+    capsys.readouterr()
+    with open(telemetry) as stream:
+        counters = json.load(stream)["metrics"]["counters"]
+    # One extra seed per stage: 2 frontier runs, 2 reused.
+    assert counters["store.frontier_runs"] == 2
+    assert counters["campaign.runs_executed"] == 2
+    assert counters["store.reused_runs"] == 2
+
+
+def test_campaign_store_json_matches_storeless(capsys, tmp_path):
+    with_store = str(tmp_path / "with_store.json")
+    without = str(tmp_path / "without.json")
+    assert main(CAMPAIGN_BASE + ["--store", str(tmp_path / "store"),
+                                 "--json", with_store]) == 0
+    assert main(CAMPAIGN_BASE + ["--json", without]) == 0
+    capsys.readouterr()
+    with open(with_store) as left, open(without) as right:
+        assert left.read() == right.read()
+
+
+def test_store_stats_command(capsys, tmp_path):
+    import json
+
+    store = str(tmp_path / "store")
+    cache = str(tmp_path / "cache")
+    assert main(CAMPAIGN_BASE + ["--store", store, "--cache-dir", cache]) == 0
+    capsys.readouterr()
+    assert main(["store", "stats", store]) == 0
+    out = capsys.readouterr().out
+    assert "warm_rows" in out and "2" in out
+    assert main(["store", "stats", store, "--cold", cache, "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["warm_rows"] == 2
+    assert stats["cold_indexed_runs"] == 2
+
+
+def test_store_migrate_command(capsys, tmp_path):
+    store = str(tmp_path / "store")
+    cache = str(tmp_path / "cache")
+    assert main(CAMPAIGN_BASE + ["--cache-dir", cache]) == 0
+    capsys.readouterr()
+    assert main(["store", "migrate", cache, "--store", store]) == 0
+    assert "2 imported, 0 already present" in capsys.readouterr().out
+    # Idempotent.
+    assert main(["store", "migrate", cache, "--store", store]) == 0
+    assert "0 imported, 2 already present" in capsys.readouterr().out
+    # Migrated rows satisfy a campaign without simulating: the run table
+    # must render from store hits alone.
+    assert main(CAMPAIGN_BASE + ["--store", store,
+                                 "--telemetry", str(tmp_path / "t.json")]) == 0
+    import json
+
+    with open(tmp_path / "t.json") as stream:
+        counters = json.load(stream)["metrics"]["counters"]
+    assert counters["store.frontier_runs"] == 0
+    assert counters["store.reused_runs"] == 2
+
+
+def test_store_migrate_missing_cache_errors(capsys, tmp_path):
+    code = main(["store", "migrate", str(tmp_path / "nope"),
+                 "--store", str(tmp_path / "store")])
+    assert code == 2
+    assert "no such cache directory" in capsys.readouterr().err
