@@ -1,0 +1,129 @@
+"""Dark-corner detection gap: per-transaction TMU vs. shared-timer watchdog.
+
+The dark corner: a narrow write whose B response never arrives
+(``mute_b``), buried under a stream of outstanding narrow reads that a
+reorder-window subordinate keeps serving.  Every R beat rewinds the
+watchdog's single shared stall timer, so the stuck write stays
+invisible to it until the whole read stream drains; the TMU budgets
+each transaction separately and raises its IRQ on schedule regardless
+of unrelated progress.  The protocol checker never fires at all — a
+subordinate that simply stays silent is protocol-clean.
+
+Reproduces the paper's core claim (per-transaction monitoring beats
+interface-level timeouts) on traffic the earlier benchmarks never
+generated: narrow beats, deep outstanding queues, reordered responses.
+"""
+
+from conftest import record_json, report, run_once
+
+from repro.axi.traffic import read_spec, write_spec
+from repro.baselines import AxiChecker, XilinxStyleTimeout
+from repro.faults.campaign import IpHarness
+from repro.tmu.config import full_config
+
+READS = 12
+READ_BEATS = 32
+SIZE = 1  # 2-byte beats on the 8-byte bus
+REORDER_DEPTH = 4
+WATCHDOG_WINDOW = 64
+
+
+def build(tmu_enabled):
+    """The dark-corner loop with every monitor attached.
+
+    With ``tmu_enabled=False`` the TMU degenerates to a pure wire, so
+    the watchdog and checker observe the identical workload without
+    the TMU's fault-state recovery perturbing the bus mid-measurement.
+    """
+    harness = IpHarness(
+        full_config(enabled=tmu_enabled),
+        reorder_depth=REORDER_DEPTH,
+        r_latency=2,
+        with_reset_unit=tmu_enabled,
+    )
+    watchdog = XilinxStyleTimeout(
+        "watchdog", harness.host, window=WATCHDOG_WINDOW
+    )
+    checker = AxiChecker("checker", harness.host)
+    harness.sim.add(watchdog)
+    harness.sim.add(checker)
+    harness.subordinate.faults.mute_b = True
+    harness.manager.submit(write_spec(0, 0x1000, beats=4, size=SIZE))
+    for i in range(READS):
+        harness.manager.submit(
+            read_spec(
+                1 + i % 3, 0x2000 + i * 0x1000, beats=READ_BEATS, size=SIZE
+            )
+        )
+    return harness, watchdog, checker
+
+
+def run_gap():
+    # TMU run: stop at the IRQ, before recovery reshapes the traffic.
+    harness, _, _ = build(tmu_enabled=True)
+    tmu_detect = harness.run_until(
+        lambda h: bool(h.tmu.irq.value), timeout=20_000
+    )
+    assert tmu_detect is not None, "TMU missed the muted B response"
+    tmu_latency = tmu_detect - harness.wlast_cycle
+
+    # Watchdog run: identical workload, TMU as a pure wire.
+    harness, watchdog, checker = build(tmu_enabled=False)
+    wd_detect = harness.run_until(
+        lambda h: bool(watchdog.timeouts), timeout=60_000
+    )
+    assert wd_detect is not None, "watchdog never timed out"
+    wd_latency = watchdog.timeouts[0] - harness.wlast_cycle
+    reads_done_at_detect = sum(
+        1 for t in harness.manager.completed if t.data is not None
+    )
+    return {
+        "tmu_latency": tmu_latency,
+        "wd_latency": wd_latency,
+        "reads_done_at_detect": reads_done_at_detect,
+        "checker_violations": len(checker.violations),
+    }
+
+
+def test_darkcorner_detection_gap(benchmark):
+    outcome = run_once(benchmark, run_gap)
+    gap = outcome["wd_latency"] - outcome["tmu_latency"]
+
+    # The whole read stream had to drain before the shared timer could
+    # even engage on the stuck write — the structural reason for the gap.
+    assert outcome["reads_done_at_detect"] == READS
+    # A silent subordinate is protocol-clean: the checker is blind here.
+    assert outcome["checker_violations"] == 0
+    assert outcome["tmu_latency"] < outcome["wd_latency"], outcome
+
+    watchdog_label = f"watchdog (window {WATCHDOG_WINDOW})"
+    body = "\n".join(
+        [
+            f"workload: 1 narrow write (muted B) + {READS} outstanding "
+            f"narrow reads of {READ_BEATS} beats, AxSIZE={SIZE}, "
+            f"reorder window {REORDER_DEPTH}",
+            "",
+            f"{'monitor':<28}{'detect latency (cycles)':>24}",
+            f"{'TMU (per-transaction)':<28}{outcome['tmu_latency']:>24}",
+            f"{watchdog_label:<28}{outcome['wd_latency']:>24}",
+            f"{'protocol checker':<28}{'never (0 violations)':>24}",
+            "",
+            f"detection gap: {gap} cycles — every R beat of the "
+            "unrelated reads rewound the watchdog's shared stall timer.",
+        ]
+    )
+    report("Dark-corner detection gap: TMU vs. interface watchdog", body)
+    record_json(
+        "darkcorner_detection_gap",
+        {
+            "size": SIZE,
+            "outstanding_reads": READS,
+            "read_beats": READ_BEATS,
+            "reorder_depth": REORDER_DEPTH,
+            "watchdog_window": WATCHDOG_WINDOW,
+            "tmu_detect_latency": outcome["tmu_latency"],
+            "watchdog_detect_latency": outcome["wd_latency"],
+            "detection_gap_cycles": gap,
+            "checker_violations": outcome["checker_violations"],
+        },
+    )

@@ -1,5 +1,6 @@
 """AXI4 protocol substrate: types, channels, managers, subordinates."""
 
+from .addrspace import AddressSpace, Region
 from .channels import ArBeat, AwBeat, BBeat, RBeat, WBeat, remap_id
 from .id_remap import IdRemapTable
 from .interface import AxiInterface
@@ -18,6 +19,7 @@ from .traffic import (
 from .types import AxiDir, BurstType, Resp
 
 __all__ = [
+    "AddressSpace",
     "ArBeat",
     "AwBeat",
     "AxiDir",
@@ -30,6 +32,7 @@ __all__ = [
     "ManagerFaults",
     "RBeat",
     "RandomTraffic",
+    "Region",
     "Resp",
     "SparseMemory",
     "Subordinate",

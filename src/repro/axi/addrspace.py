@@ -1,0 +1,125 @@
+"""Memory-map modelling: named regions and a decodable address space.
+
+Mirrors the ``Region``/``AddressSpace`` idea of the cocotbext-axi
+exemplar: an :class:`AddressSpace` is an ordered set of non-overlapping
+:class:`Region` windows, each naming one subordinate (or one window of a
+multi-level interconnect).  Traffic generators draw targets from the
+map — weighted by region — instead of a flat ``addr_space`` integer, so
+campaigns can exercise many-manager × many-subordinate topologies with
+realistic locality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """One window of the memory map.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier (e.g. the subordinate it decodes to).
+    base / size:
+        Window geometry in bytes; ``size`` must be positive.
+    weight:
+        Relative draw weight for traffic generators (0 = never a
+        random target, e.g. a read-only ROM window on a write sweep).
+    """
+
+    name: str
+    base: int
+    size: int
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region {self.name!r} has size {self.size}")
+        if self.base < 0:
+            raise ValueError(f"region {self.name!r} has base {self.base}")
+        if self.weight < 0:
+            raise ValueError(f"region {self.name!r} has weight {self.weight}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the window."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def to_range(self) -> Tuple[int, int]:
+        """(base, end) half-open interval."""
+        return (self.base, self.end)
+
+    def to_address_range(self):
+        """Crossbar route-table entry for this window."""
+        from .crossbar import AddressRange
+
+        return AddressRange(self.base, self.size)
+
+
+class AddressSpace:
+    """Ordered, non-overlapping collection of :class:`Region` windows."""
+
+    def __init__(self, regions: Optional[List[Region]] = None) -> None:
+        self._regions: List[Region] = []
+        self._by_name: Dict[str, Region] = {}
+        for region in regions or []:
+            self.add(region)
+
+    def add(self, region: Region) -> Region:
+        """Register a window, rejecting overlaps and duplicate names."""
+        if region.name in self._by_name:
+            raise ValueError(f"duplicate region name {region.name!r}")
+        for other in self._regions:
+            if region.base < other.end and other.base < region.end:
+                raise ValueError(
+                    f"region {region.name!r} [{region.base:#x}, "
+                    f"{region.end:#x}) overlaps {other.name!r} "
+                    f"[{other.base:#x}, {other.end:#x})"
+                )
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+        self._by_name[region.name] = region
+        return region
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def __getitem__(self, name: str) -> Region:
+        return self._by_name[name]
+
+    @property
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    def region_for(self, addr: int) -> Optional[Region]:
+        """The window containing *addr*, or None (a DECERR address)."""
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def decode(self, addr: int) -> Optional[str]:
+        """Name of the window containing *addr*, or None."""
+        region = self.region_for(addr)
+        return region.name if region is not None else None
+
+    def ranges(self) -> List[Tuple[int, int]]:
+        """(base, end) pairs in map order."""
+        return [region.to_range() for region in self._regions]
+
+    def route_table(self) -> List:
+        """Crossbar route-table entries, in map order."""
+        return [region.to_address_range() for region in self._regions]
+
+    def weighted_regions(self) -> List[Region]:
+        """Regions eligible as random-traffic targets (weight > 0)."""
+        return [region for region in self._regions if region.weight > 0]

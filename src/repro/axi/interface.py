@@ -13,6 +13,10 @@ from typing import Iterator
 from ..sim.signal import Channel, Wire
 
 
+#: Default bus data width in bytes (Cheshire's 64-bit bus).
+DEFAULT_DATA_BYTES = 8
+
+
 class AxiInterface:
     """The five AXI4 channels between one manager port and one subordinate.
 
@@ -22,10 +26,18 @@ class AxiInterface:
         Request channels — manager side is the source.
     b, r:
         Response channels — subordinate side is the source.
+
+    ``data_bytes`` is the W/R data bus width in bytes.  Narrow transfers
+    (AxSIZE smaller than the bus) place their data and write strobes on
+    the byte lanes the beat address selects, exactly as AXI4 specifies;
+    components on both sides consult this width for the lane math.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, data_bytes: int = DEFAULT_DATA_BYTES) -> None:
+        if data_bytes <= 0 or data_bytes & (data_bytes - 1):
+            raise ValueError(f"data_bytes must be a power of two, got {data_bytes}")
         self.name = name
+        self.data_bytes = data_bytes
         self.aw = Channel(f"{name}.aw")
         self.w = Channel(f"{name}.w")
         self.b = Channel(f"{name}.b")

@@ -18,7 +18,7 @@ from ..sim.component import Component, DriveSensitiveState
 from .channels import ArBeat, AwBeat, BBeat, RBeat, WBeat
 from .interface import AxiInterface
 from .traffic import TransactionSpec
-from .types import AxiDir, Resp
+from .types import AxiDir, Resp, bytes_per_beat
 
 
 @dataclasses.dataclass
@@ -357,11 +357,12 @@ class Manager(Component):
             bus.ar.idle()
         # W
         if self._w_active is not None and self._w_gap == 0 and not self.faults.freeze_w:
-            record, data, index = self._w_active
+            record, beats, index = self._w_active
+            data, strb = beats[index]
             bus.w.drive(
                 WBeat(
-                    data=data[index],
-                    strb=record.spec.full_strb(),
+                    data=data,
+                    strb=strb,
                     last=index == record.spec.beats - 1,
                 )
             )
@@ -484,7 +485,7 @@ class Manager(Component):
     def _activate_w_if_needed(self) -> None:
         if self._w_active is None and self._w_pending:
             record = self._w_pending.popleft()
-            self._w_active = (record, record.spec.write_data(), 0)
+            self._w_active = (record, record.spec.wire_write_beats(), 0)
             self._w_gap = 0
 
     def _on_w_fired(self) -> None:
@@ -546,7 +547,18 @@ class Manager(Component):
         if record.first_data_cycle is None:
             record.first_data_cycle = self._cycle
         assert record.read_data is not None
-        record.read_data.append(beat.data)
+        spec = record.spec
+        width = bytes_per_beat(spec.size)
+        if width < spec.bus_bytes:
+            # Narrow beat: the data sits on the addressed byte lanes —
+            # extract the logical value so the scoreboard matches what
+            # write_data() produced.  (Clamp guards spurious extras.)
+            index = min(len(record.read_data), spec.beats - 1)
+            lane = spec.lane(index)
+            value = (beat.data >> (8 * lane)) & ((1 << (8 * width)) - 1)
+        else:
+            value = beat.data
+        record.read_data.append(value)
         if beat.resp.is_error or beat.resp > record.worst_resp:
             record.worst_resp = max(record.worst_resp, beat.resp)
         if beat.last:

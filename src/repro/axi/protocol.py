@@ -27,6 +27,8 @@ from .types import (
     BurstType,
     Resp,
     aligned,
+    beat_strb,
+    burst_addresses,
     crosses_4k_boundary,
     is_legal_wrap_len,
 )
@@ -139,6 +141,13 @@ ERRS_RLAST_POSITION = _rule(
 ERRS_R_IN_ORDER = _rule(
     "ERRS_R_IN_ORDER", "same-ID reads must complete in request order"
 )
+ERRS_R_INTERLEAVE_DEPTH = _rule(
+    "ERRS_R_INTERLEAVE_DEPTH",
+    "R data interleaved across more IDs than the configured depth",
+)
+ERRM_AXSIZE_RANGE = _rule(
+    "ERRM_AXSIZE_RANGE", "AxSIZE must not exceed the data bus width"
+)
 
 
 @dataclasses.dataclass
@@ -147,6 +156,8 @@ class _PendingWrite:
     beats: int
     beats_seen: int = 0
     wlast_seen: bool = False
+    size: int = 3
+    addrs: tuple = ()
 
 
 @dataclasses.dataclass
@@ -179,11 +190,30 @@ class _Stability:
 
 
 class ProtocolChecker(Component):
-    """Passive AXI4 rule checker attached to one interface."""
+    """Passive AXI4 rule checker attached to one interface.
 
-    def __init__(self, name: str, bus: AxiInterface) -> None:
+    Parameters
+    ----------
+    bus:
+        Interface to observe; its ``data_bytes`` feeds the narrow-beat
+        WSTRB lane rules.
+    max_r_interleave:
+        Interleaving-legality bound: the maximum number of read bursts
+        whose R data may be concurrently interleaved (AXI4 leaves this
+        unbounded, but interconnects advertise a depth).  ``None``
+        disables the check, so legal traffic never false-positives.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bus: AxiInterface,
+        max_r_interleave: Optional[int] = None,
+    ) -> None:
         super().__init__(name)
         self.bus = bus
+        self.max_r_interleave = max_r_interleave
+        self._bus_bytes = getattr(bus, "data_bytes", 8)
         self.violations: List[RuleViolation] = []
         self._cycle = 0
         self._stab = {ch: _Stability() for ch in ("aw", "w", "b", "ar", "r")}
@@ -256,7 +286,17 @@ class ProtocolChecker(Component):
             self._flag(ERRM_AW_4K_BOUNDARY, f"addr={beat.addr:#x} len={beat.len}")
         if not 0 <= beat.len < MAX_BURST_LEN:
             self._flag(ERRM_AWLEN_RANGE, f"len={beat.len}")
+        if 0 <= beat.size <= 7 and (1 << beat.size) > self._bus_bytes:
+            self._flag(
+                ERRM_AXSIZE_RANGE,
+                f"awsize={beat.size} on a {self._bus_bytes}-byte bus",
+            )
         pending = _PendingWrite(txn_id=beat.id, beats=beat.len + 1)
+        if 0 <= beat.len < MAX_BURST_LEN and 0 <= beat.size <= 7:
+            pending.size = beat.size
+            pending.addrs = tuple(
+                burst_addresses(beat.addr, beat.len, beat.size, beat.burst)
+            )
         self._writes.setdefault(beat.id, deque()).append(pending)
         self._write_order.append(pending)
 
@@ -268,6 +308,11 @@ class ProtocolChecker(Component):
                 self._flag(ERRM_ARADDR_ALIGNED_WRAP, f"addr={beat.addr:#x}")
         if crosses_4k_boundary(beat.addr, beat.len, beat.size, beat.burst):
             self._flag(ERRM_AR_4K_BOUNDARY, f"addr={beat.addr:#x} len={beat.len}")
+        if 0 <= beat.size <= 7 and (1 << beat.size) > self._bus_bytes:
+            self._flag(
+                ERRM_AXSIZE_RANGE,
+                f"arsize={beat.size} on a {self._bus_bytes}-byte bus",
+            )
         self._reads.setdefault(beat.id, deque()).append(
             _PendingRead(txn_id=beat.id, beats=beat.len + 1)
         )
@@ -283,6 +328,18 @@ class ProtocolChecker(Component):
         if target is None:
             self._flag(ERRM_W_NO_OUTSTANDING, "")
             return
+        if target.beats_seen < len(target.addrs):
+            # Sparse strobes are legal; lanes outside the beat's
+            # size-and-address window are not.
+            legal = beat_strb(
+                target.addrs[target.beats_seen], target.size, self._bus_bytes
+            )
+            if beat.strb & ~legal:
+                self._flag(
+                    ERRM_WSTRB_RANGE,
+                    f"strb={beat.strb:#x} outside lane mask {legal:#x} "
+                    f"at beat {target.beats_seen}",
+                )
         target.beats_seen += 1
         if beat.last:
             if target.beats_seen != target.beats:
@@ -322,6 +379,20 @@ class ProtocolChecker(Component):
             self._flag(ERRS_R_UNREQUESTED, f"id={beat.id}")
             return
         head = queue[0]
+        if head.beats_seen == 0 and self.max_r_interleave is not None:
+            # A new burst's first beat joins the set of mid-burst
+            # streams; count how many distinct IDs it interleaves with.
+            active = sum(
+                1
+                for txn_id, pending in self._reads.items()
+                if txn_id != beat.id and pending and pending[0].beats_seen > 0
+            )
+            if active + 1 > self.max_r_interleave:
+                self._flag(
+                    ERRS_R_INTERLEAVE_DEPTH,
+                    f"id={beat.id} joins {active} mid-burst streams "
+                    f"(depth limit {self.max_r_interleave})",
+                )
         head.beats_seen += 1
         if beat.last:
             if head.beats_seen != head.beats:
@@ -329,6 +400,18 @@ class ProtocolChecker(Component):
                     ERRS_RLAST_POSITION,
                     f"rlast at beat {head.beats_seen} of {head.beats}",
                 )
+                if any(
+                    pending.beats == head.beats_seen
+                    for pending in list(queue)[1:]
+                ):
+                    # The rlast lands exactly where a younger same-ID
+                    # burst would end: the signature of a subordinate
+                    # completing same-ID reads out of request order.
+                    self._flag(
+                        ERRS_R_IN_ORDER,
+                        f"id={beat.id}: rlast matches a younger burst's "
+                        f"length — served out of request order",
+                    )
             queue.popleft()
             if not queue:
                 del self._reads[beat.id]

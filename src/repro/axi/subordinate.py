@@ -22,7 +22,7 @@ from ..sim.signal import Wire
 from .channels import ArBeat, AwBeat, BBeat, RBeat
 from .interface import AxiInterface
 from .memory import SparseMemory
-from .types import Resp, burst_addresses, bytes_per_beat
+from .types import Resp, beat_lane, burst_addresses, bytes_per_beat
 
 
 @dataclasses.dataclass
@@ -41,6 +41,10 @@ class SubordinateFaults(DriveSensitiveState):
     * ``drop_r_last`` — final R beat arrives without ``last``.
     * ``spurious_b`` / ``spurious_r`` — unrequested response with that ID.
     * ``error_resp`` — respond with SLVERR instead of OKAY.
+    * ``reorder_same_id`` — the reorder window ignores the same-ID
+      ordering constraint, illegally interleaving R beats of two
+      transactions that share an ID (the dark-corner fault the
+      interleaving-legality rules exist to catch).
 
     Injectors flip these switches mid-simulation, between cycles; the
     :class:`DriveSensitiveState` base notifies the owning subordinate.
@@ -57,6 +61,7 @@ class SubordinateFaults(DriveSensitiveState):
     spurious_b: Optional[int] = None
     spurious_r: Optional[int] = None
     error_resp: bool = False
+    reorder_same_id: bool = False
 
     def clear(self) -> None:
         self.deaf_aw = False
@@ -70,6 +75,7 @@ class SubordinateFaults(DriveSensitiveState):
         self.spurious_b = None
         self.spurious_r = None
         self.error_resp = False
+        self.reorder_same_id = False
 
     @property
     def any_active(self) -> bool:
@@ -86,6 +92,7 @@ class SubordinateFaults(DriveSensitiveState):
                 self.spurious_b is not None,
                 self.spurious_r is not None,
                 self.error_resp,
+                self.reorder_same_id,
             )
         )
 
@@ -135,6 +142,14 @@ class Subordinate(Component):
         Serve R beats round-robin across outstanding reads of
         *different* IDs (AXI4 permits interleaving read data between
         transactions with different IDs; same-ID order is preserved).
+        Equivalent to an unbounded ``reorder_depth`` on the read side.
+    reorder_depth:
+        Size of the response reorder window.  ``0``/``1`` preserve the
+        strict in-order legacy behaviour.  With depth ``k`` the
+        subordinate may serve any of the first ``k`` outstanding
+        responses per direction — interleaving R beats across IDs and
+        reordering B responses — while still completing same-ID
+        transactions in order, exactly the latitude AXI4 grants.
     """
 
     demand_driven = True
@@ -157,6 +172,7 @@ class Subordinate(Component):
         max_outstanding: int = 64,
         reset_clears_faults: bool = True,
         interleave_reads: bool = False,
+        reorder_depth: int = 0,
     ) -> None:
         super().__init__(name)
         self.bus = bus
@@ -173,7 +189,9 @@ class Subordinate(Component):
         self.max_outstanding = max_outstanding
         self.reset_clears_faults = reset_clears_faults
         self.interleave_reads = interleave_reads
+        self.reorder_depth = reorder_depth
         self._r_rr = 0
+        self._b_rr = 0
 
         self.faults = SubordinateFaults()
         self.faults._owner = self
@@ -286,12 +304,28 @@ class Subordinate(Component):
         if faults.spurious_b is not None and bus.b.ready._value:
             return False
         if self._b_queue and not faults.mute_b and faults.spurious_b is None:
-            head_countdown = self._b_queue[0][1]
-            if head_countdown > 0:
-                if wake is None or now + head_countdown < wake:
-                    wake = now + head_countdown
-            elif not bus.b.valid._value or bus.b.ready._value:
-                return False
+            if self._b_window() <= 1:
+                # Serial ticking: only the head countdown is a real
+                # wall-clock crossing (entries behind tick after it).
+                head_countdown = self._b_queue[0][1]
+                if head_countdown > 0:
+                    if wake is None or now + head_countdown < wake:
+                        wake = now + head_countdown
+                elif not bus.b.valid._value or bus.b.ready._value:
+                    return False
+            else:
+                # Parallel ticking: any in-window entry maturing can
+                # change the selection, so each crossing arms a wake.
+                window = self._b_window()
+                for position, entry in enumerate(self._b_queue):
+                    if position >= window:
+                        break
+                    if entry[1] > 0 and (wake is None or now + entry[1] < wake):
+                        wake = now + entry[1]
+                if self._select_b_entry() is not None and (
+                    not bus.b.valid._value or bus.b.ready._value
+                ):
+                    return False
         # R: mirror of B over the parallel per-job countdown/gap chains.
         # Every still-counting chain arms a wake — a crossing can change
         # which job _select_r_job() picks (and hence the driven beat),
@@ -329,6 +363,7 @@ class Subordinate(Component):
             tuple(entry[0] for entry in self._b_queue),
             tuple((job.ar.id, job.index) for job in self._reads),
             self._r_rr,
+            self._b_rr,
             self._in_reset,
             self.resets_taken,
             self.writes_done,
@@ -373,32 +408,47 @@ class Subordinate(Component):
         if faults.spurious_b is not None:
             bus.b.drive(BBeat(id=faults.spurious_b, resp=Resp.OKAY))
             return
-        if faults.mute_b or not self._b_queue or self._b_queue[0][1] > 0:
+        entry = self._select_b_entry() if not faults.mute_b else None
+        if entry is None:
             bus.b.idle()
             return
-        txn_id = self._b_queue[0][0]
+        txn_id = entry[0]
         if faults.corrupt_b_id is not None:
             txn_id = faults.corrupt_b_id
         resp = Resp.SLVERR if faults.error_resp else Resp.OKAY
         bus.b.drive(BBeat(id=txn_id, resp=resp))
 
+    def _r_window(self) -> int:
+        """Read-side reorder window size (``interleave_reads`` = unbounded)."""
+        if self.interleave_reads:
+            return len(self._reads)
+        return max(1, self.reorder_depth)
+
+    def _b_window(self) -> int:
+        """Write-response reorder window size."""
+        return max(1, self.reorder_depth)
+
     def _select_r_job(self) -> Optional[_ReadJob]:
         """Deterministic choice of the read job to serve this cycle.
 
         Pure function of registered state, so drive() and update() can
-        both call it and agree.  Without interleaving the oldest job is
-        served; with it, the round-robin pointer picks among the heads
-        of each ID's in-order stream.
+        both call it and agree.  With a window of one the oldest job is
+        served; otherwise the round-robin pointer picks among the heads
+        of each ID's in-order stream within the window (every job when
+        the ``reorder_same_id`` fault erases the same-ID constraint).
         """
         if not self._reads:
             return None
-        if not self.interleave_reads:
+        window = self._r_window()
+        if window <= 1:
             job = self._reads[0]
             return job if job.countdown == 0 and job.gap == 0 else None
         heads = []
         seen_ids = set()
-        for job in self._reads:
-            if job.ar.id in seen_ids:
+        for position, job in enumerate(self._reads):
+            if position >= window:
+                break
+            if job.ar.id in seen_ids and not self.faults.reorder_same_id:
                 continue  # same-ID reads stay in order
             seen_ids.add(job.ar.id)
             if job.countdown == 0 and job.gap == 0:
@@ -406,6 +456,34 @@ class Subordinate(Component):
         if not heads:
             return None
         return heads[self._r_rr % len(heads)]
+
+    def _select_b_entry(self) -> Optional[List[int]]:
+        """Deterministic choice of the B response to present this cycle.
+
+        Mirror of :meth:`_select_r_job` over the write-response queue:
+        within the reorder window any matured response whose ID has no
+        older sibling still queued may complete; same-ID responses keep
+        AW order (unless the ``reorder_same_id`` fault erases it).
+        """
+        if not self._b_queue:
+            return None
+        window = self._b_window()
+        if window <= 1:
+            entry = self._b_queue[0]
+            return entry if entry[1] <= 0 else None
+        candidates = []
+        seen_ids = set()
+        for position, entry in enumerate(self._b_queue):
+            if position >= window:
+                break
+            if entry[0] in seen_ids and not self.faults.reorder_same_id:
+                continue  # same-ID responses keep AW order
+            seen_ids.add(entry[0])
+            if entry[1] <= 0:
+                candidates.append(entry)
+        if not candidates:
+            return None
+        return candidates[self._b_rr % len(candidates)]
 
     def _drive_r(self) -> None:
         bus, faults = self.bus, self.faults
@@ -419,7 +497,11 @@ class Subordinate(Component):
             bus.r.idle()
             return
         width = bytes_per_beat(job.ar.size)
-        data = self.memory.read_word(job.addrs[job.index], width)
+        addr = job.addrs[job.index]
+        data = self.memory.read_word(addr, width)
+        if width < self.bus.data_bytes:
+            # Narrow beat: place the data on the addressed byte lanes.
+            data <<= 8 * beat_lane(addr, self.bus.data_bytes)
         is_last = job.index == len(job.addrs) - 1
         txn_id = job.ar.id
         if faults.corrupt_r_id is not None:
@@ -451,6 +533,17 @@ class Subordinate(Component):
             self.schedule_drive()
             elapsed = 1  # the slept reset span ticked nothing
         changed = False
+
+        # A response handshake completing this edge carries the payload
+        # selected at the last settle — i.e. from *pre-tick* state.
+        # Resolve the selection now, before the countdown ticks below
+        # can mature another window entry and skew the round-robin pick.
+        b_fired_entry = None
+        if b.valid._value and b.ready._value and self.faults.spurious_b is None:
+            b_fired_entry = self._select_b_entry()
+        r_fired_job = None
+        if r.valid._value and r.ready._value and self.faults.spurious_r is None:
+            r_fired_job = self._select_r_job()
 
         # The wait counters feed drive() only through the
         # "wait >= *_ready_delay" comparisons, so only a threshold
@@ -493,26 +586,42 @@ class Subordinate(Component):
                 and not self.faults.deaf_w
             ):
                 changed = True
-        # b_latency counts down serially (the front-most nonzero entry,
-        # one tick per cycle); a span of `elapsed` cycles distributes
-        # across the queue in that order.  Only the head reaching zero
-        # on an unparked channel raises b_valid next settle.
-        remaining = elapsed
-        for entry in self._b_queue:
-            if remaining <= 0:
-                break
-            if entry[1] <= 0:
-                continue
-            ticks = entry[1] if entry[1] < remaining else remaining
-            entry[1] -= ticks
-            remaining -= ticks
-            if (
-                entry[1] == 0
-                and entry is self._b_queue[0]
-                and not self.faults.mute_b
-                and self.faults.spurious_b is None
-            ):
-                changed = True
+        # b_latency countdowns: serially in the legacy in-order regime
+        # (the front-most nonzero entry, one tick per cycle — a span of
+        # `elapsed` cycles distributes across the queue in that order);
+        # in parallel across the queue when a reorder window is open,
+        # since any window entry maturing can change the selection.
+        if self._b_window() <= 1:
+            remaining = elapsed
+            for entry in self._b_queue:
+                if remaining <= 0:
+                    break
+                if entry[1] <= 0:
+                    continue
+                ticks = entry[1] if entry[1] < remaining else remaining
+                entry[1] -= ticks
+                remaining -= ticks
+                if (
+                    entry[1] == 0
+                    and entry is self._b_queue[0]
+                    and not self.faults.mute_b
+                    and self.faults.spurious_b is None
+                ):
+                    changed = True
+        else:
+            window = self._b_window()
+            for position, entry in enumerate(self._b_queue):
+                if entry[1] <= 0:
+                    continue
+                ticks = entry[1] if entry[1] < elapsed else elapsed
+                entry[1] -= ticks
+                if (
+                    entry[1] == 0
+                    and position < window
+                    and not self.faults.mute_b
+                    and self.faults.spurious_b is None
+                ):
+                    changed = True
         # r_latency/r_gap chains count down in parallel across jobs
         # (countdown first, then gap); a chain reaching zero on an
         # unparked channel makes its job selectable next settle.
@@ -561,10 +670,10 @@ class Subordinate(Component):
             self._on_w_fired(w.payload._value)
             changed = True
         if b.valid._value and b.ready._value:
-            self._on_b_fired()
+            self._on_b_fired(b_fired_entry)
             changed = True
         if r.valid._value and r.ready._value:
-            self._on_r_fired()
+            self._on_r_fired(r_fired_job)
             changed = True
         if changed:
             self.schedule_drive()
@@ -574,7 +683,17 @@ class Subordinate(Component):
             return  # W beat with no accepted AW; protocol checker's domain
         job = self._writes[0]
         width = bytes_per_beat(job.aw.size)
-        self.memory.write_masked(job.addrs[job.index], beat.data, beat.strb, width)
+        bus_bytes = self.bus.data_bytes
+        if width < bus_bytes:
+            # Narrow beat: data and strobes are lane-positioned over the
+            # bus-aligned word containing the beat address.
+            addr = job.addrs[job.index]
+            base = addr - beat_lane(addr, bus_bytes)
+            self.memory.write_masked(base, beat.data, beat.strb, bus_bytes)
+        else:
+            self.memory.write_masked(
+                job.addrs[job.index], beat.data, beat.strb, width
+            )
         job.w_wait = 0
         job.index += 1
         if beat.last or job.index >= len(job.addrs):
@@ -582,22 +701,24 @@ class Subordinate(Component):
             self._b_queue.append([job.aw.id, self.b_latency])
             self.writes_done += 1
 
-    def _on_b_fired(self) -> None:
+    def _on_b_fired(self, entry: Optional[List[int]]) -> None:
         if self.faults.spurious_b is not None:
             self.faults.spurious_b = None
             return
-        if self._b_queue:
-            self._b_queue.popleft()
+        if entry is None:
+            return
+        self._b_queue.remove(entry)
+        if self._b_window() > 1:
+            self._b_rr += 1
 
-    def _on_r_fired(self) -> None:
+    def _on_r_fired(self, job: Optional[_ReadJob]) -> None:
         if self.faults.spurious_r is not None:
             self.faults.spurious_r = None
             return
-        job = self._select_r_job()
         if job is None:
             return
         job.index += 1
-        if self.interleave_reads:
+        if self.interleave_reads or self.reorder_depth > 1:
             self._r_rr += 1
         if job.index >= len(job.addrs):
             self._reads.remove(job)
@@ -612,6 +733,7 @@ class Subordinate(Component):
         self._b_queue.clear()
         self._reads.clear()
         self._r_rr = 0
+        self._b_rr = 0
         if self.reset_clears_faults:
             self.faults.clear()
 

@@ -14,7 +14,17 @@ import dataclasses
 import random
 from typing import List, Optional, Sequence
 
-from .types import AxiDir, BurstType, axlen_of, bytes_per_beat
+from .addrspace import AddressSpace
+from .types import (
+    MAX_BURST_LEN,
+    AxiDir,
+    BurstType,
+    axlen_of,
+    beat_lane,
+    burst_addresses,
+    bytes_per_beat,
+    wrap_boundary,
+)
 
 
 @dataclasses.dataclass
@@ -45,6 +55,10 @@ class TransactionSpec:
         Cycles the manager delays ``b.ready``/``r.ready`` per beat.
     qos:
         AxQOS priority (0-15); honoured by QoS-arbitrating crossbars.
+    bus_bytes:
+        Width of the data bus the transaction travels on.  Narrow beats
+        (``size`` < bus width) occupy the byte lanes their addresses
+        select; a beat wider than the bus is rejected outright.
     """
 
     direction: AxiDir
@@ -58,6 +72,14 @@ class TransactionSpec:
     w_gap: int = 0
     resp_ready_delay: int = 0
     qos: int = 0
+    bus_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if bytes_per_beat(self.size) > self.bus_bytes:
+            raise ValueError(
+                f"AxSIZE {self.size} ({bytes_per_beat(self.size)} bytes/beat) "
+                f"exceeds the {self.bus_bytes}-byte data bus"
+            )
 
     @property
     def beats(self) -> int:
@@ -81,6 +103,50 @@ class TransactionSpec:
     def full_strb(self) -> int:
         """Write strobe with every lane enabled for this beat size."""
         return (1 << bytes_per_beat(self.size)) - 1
+
+    def beat_addresses(self) -> List[int]:
+        """Per-beat addresses following AXI4 address arithmetic."""
+        return burst_addresses(self.addr, self.len, self.size, self.burst)
+
+    def beat_address(self, index: int) -> int:
+        """Address of beat *index* (O(1), unlike :meth:`beat_addresses`)."""
+        width = bytes_per_beat(self.size)
+        if self.burst == BurstType.FIXED:
+            return self.addr
+        if self.burst == BurstType.INCR:
+            return self.addr + index * width
+        low = wrap_boundary(self.addr, self.len, self.size)
+        span = self.beats * width
+        return low + ((self.addr - low + index * width) % span)
+
+    def lane(self, index: int) -> int:
+        """Byte lane of beat *index* on the ``bus_bytes``-wide data bus."""
+        return beat_lane(self.beat_address(index), self.bus_bytes)
+
+    def beat_strb(self, index: int) -> int:
+        """Write strobe of beat *index*, positioned on its byte lanes."""
+        return self.full_strb() << self.lane(index)
+
+    def wire_write_beats(self) -> List[tuple]:
+        """``(data, strb)`` per beat, as they appear on the W channel.
+
+        Full-width aligned bursts sit on lane 0 and come out exactly as
+        :meth:`write_data`/:meth:`full_strb` always produced; narrow
+        beats are shifted onto the byte lanes their addresses select.
+        """
+        values = self.write_data()
+        full = self.full_strb()
+        if (
+            bytes_per_beat(self.size) == self.bus_bytes
+            and self.addr % self.bus_bytes == 0
+        ):
+            return [(value, full) for value in values]
+        return [
+            (value << (8 * lane), full << lane)
+            for value, lane in (
+                (values[i], self.lane(i)) for i in range(self.beats)
+            )
+        ]
 
 
 def write_spec(
@@ -113,7 +179,11 @@ class RandomTraffic:
     """Random mixed read/write traffic over a configurable ID set.
 
     Mirrors the paper's IP-level setup: a few unique IDs (default 4),
-    bounded burst lengths, interleaved reads and writes.
+    bounded burst lengths, interleaved reads and writes.  With a
+    ``space`` memory map the generator draws weighted region targets —
+    the multi-region, multi-subordinate workload shape — instead of a
+    flat ``addr_space``; the flat path's RNG stream is untouched, so
+    seeded reproducibility of existing campaigns is preserved.
     """
 
     def __init__(
@@ -126,6 +196,8 @@ class RandomTraffic:
         max_issue_delay: int = 4,
         max_w_gap: int = 2,
         seed: int = 0,
+        space: Optional["AddressSpace"] = None,
+        bus_bytes: int = 8,
     ) -> None:
         if not ids:
             raise ValueError("at least one ID is required")
@@ -136,15 +208,37 @@ class RandomTraffic:
         self.addr_space = addr_space
         self.max_issue_delay = max_issue_delay
         self.max_w_gap = max_w_gap
+        self.bus_bytes = bus_bytes
+        self.space = space
+        self._targets: List = []
+        self._weights: List[int] = []
+        if space is not None:
+            self._targets = space.weighted_regions()
+            if not self._targets:
+                raise ValueError("memory map has no weighted traffic targets")
+            for region in self._targets:
+                if region.base % 0x1000 or region.size % 0x1000:
+                    raise ValueError(
+                        f"traffic-target region {region.name!r} must be "
+                        f"4 KiB-aligned in base and size"
+                    )
+            self._weights = [region.weight for region in self._targets]
         self._rng = random.Random(seed)
 
     def next_spec(self) -> TransactionSpec:
         rng = self._rng
         beats = rng.randint(1, self.max_beats)
         width = bytes_per_beat(self.size)
-        # Keep INCR bursts inside a 4 KiB page, as AXI4 requires.
+        # Clamp to an AXI-legal burst: AxLEN caps at 256 beats and an
+        # INCR burst must fit inside one 4 KiB page.  Clamping after the
+        # draw keeps the RNG stream identical for in-range parameters.
+        beats = min(beats, MAX_BURST_LEN, 0x1000 // width)
         span = beats * width
-        page = rng.randrange(0, self.addr_space, 0x1000)
+        if self.space is None:
+            page = rng.randrange(0, self.addr_space, 0x1000)
+        else:
+            region = rng.choices(self._targets, weights=self._weights)[0]
+            page = region.base + 0x1000 * rng.randrange(region.size // 0x1000)
         offset = rng.randrange(0, 0x1000 - span + 1, width)
         direction = (
             AxiDir.WRITE if rng.random() < self.write_fraction else AxiDir.READ
@@ -157,6 +251,7 @@ class RandomTraffic:
             size=self.size,
             issue_delay=rng.randint(0, self.max_issue_delay),
             w_gap=rng.randint(0, self.max_w_gap),
+            bus_bytes=self.bus_bytes,
         )
 
     def take(self, count: int) -> List[TransactionSpec]:

@@ -122,3 +122,23 @@ def burst_addresses(addr: int, axlen: int, axsize: int, burst: BurstType):
     low = wrap_boundary(addr, axlen, axsize)
     span = count * width
     return [low + ((addr - low + i * width) % span) for i in range(count)]
+
+
+def beat_lane(addr: int, bus_bytes: int) -> int:
+    """Byte-lane offset of a beat's data on a *bus_bytes*-wide data bus.
+
+    AXI4 narrow transfers place each beat's bytes on the lanes its
+    address selects within the bus word; a full-width aligned beat sits
+    at lane 0 (the historical full-bus convention degenerates to this).
+    """
+    return addr % bus_bytes
+
+
+def beat_strb(addr: int, axsize: int, bus_bytes: int) -> int:
+    """Write-strobe mask (over the full bus word) for one narrow beat."""
+    width = bytes_per_beat(axsize)
+    if width > bus_bytes:
+        raise ValueError(
+            f"AxSIZE {axsize} ({width} bytes) exceeds the {bus_bytes}-byte bus"
+        )
+    return ((1 << width) - 1) << beat_lane(addr, bus_bytes)

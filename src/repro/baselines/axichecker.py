@@ -27,10 +27,18 @@ class AxiChecker(Component):
     demand_driven = True
     demand_update = True
 
-    def __init__(self, name: str, bus: AxiInterface, log_depth: int = 64) -> None:
+    def __init__(
+        self,
+        name: str,
+        bus: AxiInterface,
+        log_depth: int = 64,
+        max_r_interleave: "int | None" = None,
+    ) -> None:
         super().__init__(name)
         self.bus = bus
-        self._checker = ProtocolChecker(f"{name}.rules", bus)
+        self._checker = ProtocolChecker(
+            f"{name}.rules", bus, max_r_interleave=max_r_interleave
+        )
         self.log_depth = log_depth
         self.error = Wire(f"{name}.error", False)
         self._error_state = False

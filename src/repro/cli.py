@@ -58,6 +58,7 @@ from .analysis.export import write_campaign_json
 from .analysis.report import render_series, render_table
 from .area.gf12 import REFERENCE_PRESCALE_STEP
 from .area.model import estimate_area, prescaler_saving
+from .axi.types import axsize_of
 from .baselines.features import TABLE2_COLUMNS, table2_profiles
 from .faults.campaign import (
     measure_stall_detection_latency,
@@ -103,6 +104,16 @@ def _positive_int(value: str) -> int:
     if count <= 0:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {value!r}")
     return count
+
+
+def _narrow_bytes(value: str) -> int:
+    width = int(value)
+    if width not in (1, 2, 4, 8):
+        raise argparse.ArgumentTypeError(
+            f"--narrow must be a power-of-two beat width up to the "
+            f"8-byte bus (1/2/4/8), got {value!r}"
+        )
+    return width
 
 
 def _stage(value: str) -> InjectionStage:
@@ -331,8 +342,9 @@ def cmd_fig8(args) -> int:
 
 def cmd_fig11(args) -> int:
     seeds = tuple(range(args.seeds))
+    axes = _dark_corner_kwargs(args)
     spec = CampaignSpec.system(
-        (Variant.FULL, Variant.TINY), FIG11_STAGES, seeds=seeds
+        (Variant.FULL, Variant.TINY), FIG11_STAGES, seeds=seeds, **axes
     )
     code = _check_resume(args, spec)
     if code is not None:
@@ -352,6 +364,7 @@ def cmd_fig11(args) -> int:
         batch_verify=args.batch_verify,
         metrics=metrics,
         store=args.store,
+        **axes,
     )
     if metrics is not None:
         write_telemetry(metrics, args.telemetry)
@@ -378,6 +391,7 @@ def cmd_fig11(args) -> int:
 
 def _campaign_spec(args) -> CampaignSpec:
     variants = args.variants or [Variant.FULL, Variant.TINY]
+    axes = _dark_corner_kwargs(args)
     if args.kind == "system":
         stages = args.stages or list(FIG11_STAGES)
         return CampaignSpec.system(
@@ -386,6 +400,7 @@ def _campaign_spec(args) -> CampaignSpec:
             beats=args.beats if args.beats is not None else 250,
             seeds=range(args.seeds),
             background=args.background,
+            **axes,
         )
     stages = args.stages or list(FIG9_WRITE_STAGES)
     return CampaignSpec.ip(
@@ -393,6 +408,7 @@ def _campaign_spec(args) -> CampaignSpec:
         stages,
         beats=args.beats if args.beats is not None else 8,
         seeds=range(args.seeds),
+        **axes,
     )
 
 
@@ -777,6 +793,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write campaign metrics (telemetry.json) here; summarize "
         "with: repro report --telemetry PATH",
     )
+    _add_dark_corner_axes(p_fig11)
     _add_batch_args(p_fig11)
     _add_distributed_args(p_fig11)
     _add_resume_arg(p_fig11)
@@ -957,6 +974,7 @@ def _add_campaign_axes(parser: argparse.ArgumentParser) -> None:
         "--background", type=int, default=0,
         help="background CVA6 transactions (system campaigns)",
     )
+    _add_dark_corner_axes(parser)
     parser.add_argument("--shard-size", type=int, default=1)
     parser.add_argument(
         "--cache-dir", default=None,
@@ -975,6 +993,35 @@ def _add_campaign_axes(parser: argparse.ArgumentParser) -> None:
         help="write campaign metrics (telemetry.json) here; summarize "
         "with: repro report --telemetry PATH",
     )
+
+
+def _add_dark_corner_axes(parser: argparse.ArgumentParser) -> None:
+    """The AXI dark-corner sweep axes: narrow, outstanding, reorder."""
+    parser.add_argument(
+        "--narrow", type=_narrow_bytes, default=None, metavar="BYTES",
+        help="bytes per beat (1/2/4/8): narrow the workload's AxSIZE "
+        "below the 8-byte bus (default: full-width)",
+    )
+    parser.add_argument(
+        "--outstanding", type=_positive_int, default=1,
+        help="concurrent outstanding transactions in the workload "
+        "(default 1 = the legacy single-stream shape)",
+    )
+    parser.add_argument(
+        "--reorder-depth", type=int, default=0,
+        help="subordinate response reorder window: complete B/R "
+        "responses out of request order within the first N queued "
+        "(0/1 = strict in-order)",
+    )
+
+
+def _dark_corner_kwargs(args) -> dict:
+    """size/outstanding/reorder_depth kwargs from parsed dark-corner args."""
+    return {
+        "size": 3 if args.narrow is None else axsize_of(args.narrow),
+        "outstanding": args.outstanding,
+        "reorder_depth": args.reorder_depth,
+    }
 
 
 def _add_store_arg(parser: argparse.ArgumentParser) -> None:

@@ -21,7 +21,7 @@ from ..axi.interface import AxiInterface
 from ..axi.manager import Manager
 from ..axi.subordinate import Subordinate
 from ..axi.traffic import read_spec, write_spec
-from ..axi.types import AxiDir
+from ..axi.types import AxiDir, bytes_per_beat
 from ..sim.kernel import Simulator
 from ..soc.reset_unit import ResetUnit
 from ..tmu.config import TmuConfig
@@ -43,6 +43,7 @@ class IpHarness:
         sim_update_skipping: bool = True,
         sim_time_leaping: bool = True,
         sim_tracer=None,
+        reorder_depth: int = 0,
     ) -> None:
         self.sim = Simulator(
             strategy=sim_strategy,
@@ -61,7 +62,11 @@ class IpHarness:
             standalone_ack_after=None if with_reset_unit else reset_duration,
         )
         self.subordinate = Subordinate(
-            "subordinate", self.device, b_latency=b_latency, r_latency=r_latency
+            "subordinate",
+            self.device,
+            b_latency=b_latency,
+            r_latency=r_latency,
+            reorder_depth=reorder_depth,
         )
         self.sim.add(self.manager)
         self.sim.add(self.tmu)
@@ -276,13 +281,22 @@ def run_injection(
     harness_kwargs: Optional[dict] = None,
     issue_delay: int = 0,
     trace=None,
+    size: int = 3,
+    outstanding: int = 1,
+    reorder_depth: int = 0,
 ) -> InjectionResult:
     """Inject one fault and measure detection and recovery.
 
-    The workload is a single transaction of *beats* beats in the stage's
-    direction, issued after *issue_delay* idle cycles — campaign seeds
-    map to this delay, sweeping the injection across prescaler phase
-    offsets exactly like the Fig. 8 stall measurement.  After detection,
+    The default workload is a single transaction of *beats* beats in
+    the stage's direction, issued after *issue_delay* idle cycles —
+    campaign seeds map to this delay, sweeping the injection across
+    prescaler phase offsets exactly like the Fig. 8 stall measurement.
+    The dark-corner axes reshape it: *size* sweeps the beat width
+    (narrow transfers when below the bus width), *outstanding* stacks
+    that many concurrent transactions over the config's ID space (only
+    the first carries the issue delay, so the stimulus onset — and the
+    batch executor's onset law — is unchanged), and *reorder_depth*
+    opens the subordinate's response reorder window.  After detection,
     manager-side faults are cleared (the software recovery routine the
     paper's interrupt triggers) and the run continues until the manager
     has drained, the subordinate has been reset, and the TMU is
@@ -293,11 +307,26 @@ def run_injection(
     before anything runs — the batch executor's pack leaders collect
     their inert-prefix evidence through it.
     """
-    harness = IpHarness(config, **(harness_kwargs or {}))
+    kwargs = dict(harness_kwargs or {})
+    if reorder_depth and "reorder_depth" not in kwargs:
+        kwargs["reorder_depth"] = reorder_depth
+    harness = IpHarness(config, **kwargs)
     if trace is not None:
         harness.sim.add_probe(trace)
     spec_fn = write_spec if stage.direction == AxiDir.WRITE else read_spec
-    harness.manager.submit(spec_fn(0, 0x1000, beats=beats, issue_delay=issue_delay))
+    # Each transaction gets its own 4 KiB-aligned page span so INCR
+    # bursts stay AXI-legal at every (beats, size) grid point.
+    stride = 0x1000 * ((beats * bytes_per_beat(size) + 0xFFF) // 0x1000)
+    for i in range(max(1, outstanding)):
+        harness.manager.submit(
+            spec_fn(
+                i % max(1, config.max_uniq_ids),
+                0x1000 + i * stride,
+                beats=beats,
+                size=size,
+                issue_delay=issue_delay if i == 0 else 0,
+            )
+        )
 
     deferred = _injection_deferred(stage, beats)
     if deferred is None:
@@ -375,6 +404,9 @@ def run_campaign(
     batch_verify: bool = False,
     metrics=None,
     store=None,
+    size: int = 3,
+    outstanding: int = 1,
+    reorder_depth: int = 0,
 ) -> List[InjectionResult]:
     """Cross-product campaign over configurations, stages and seeds.
 
@@ -415,6 +447,9 @@ def run_campaign(
             detect_timeout=detect_timeout,
             recovery_timeout=recovery_timeout,
             harness_kwargs=harness_kwargs,
+            size=size,
+            outstanding=outstanding,
+            reorder_depth=reorder_depth,
         )
     except SpecSerializationError:
         if (
@@ -448,6 +483,9 @@ def run_campaign(
                             recovery_timeout=recovery_timeout,
                             harness_kwargs=harness_kwargs,
                             issue_delay=seed,
+                            size=size,
+                            outstanding=outstanding,
+                            reorder_depth=reorder_depth,
                         )
                     )
                     if metrics is not None:

@@ -167,6 +167,9 @@ class BatchExecutor:
             run.detect_timeout,
             run.recovery_timeout,
             run.harness_kwargs,
+            run.size,
+            run.outstanding,
+            run.reorder_depth,
         )
 
     def _group_runs(self, runs: Sequence[RunSpec]) -> List[List[RunSpec]]:
@@ -185,18 +188,21 @@ class BatchExecutor:
         component inventory.
         """
         key = (run.kind, json.dumps(run.config, sort_keys=True),
-               run.beats, run.harness_kwargs)
+               run.beats, run.harness_kwargs, run.reorder_depth)
         if key not in self._period_cache:
             kwargs = dict(run.harness_kwargs)
             if run.kind == "ip":
                 from ..faults.campaign import IpHarness
                 from .serialize import config_from_dict
 
+                if run.reorder_depth and "reorder_depth" not in kwargs:
+                    kwargs["reorder_depth"] = run.reorder_depth
                 sim = IpHarness(config_from_dict(run.config), **kwargs).sim
             else:
                 from ..soc.cheshire import CheshireSoC, system_tmu_config
                 from ..tmu.config import Variant
 
+                kwargs.setdefault("reorder_depth", run.reorder_depth)
                 sim = CheshireSoC(
                     system_tmu_config(
                         Variant(run.config["variant"]), frame_beats=run.beats

@@ -72,6 +72,9 @@ def execute_run(run: RunSpec, trace=None):
             harness_kwargs=dict(run.harness_kwargs) or None,
             issue_delay=run.seed,
             trace=trace,
+            size=run.size,
+            outstanding=run.outstanding,
+            reorder_depth=run.reorder_depth,
         )
     from ..soc.experiment import run_system_injection
 
@@ -84,6 +87,9 @@ def execute_run(run: RunSpec, trace=None):
         recovery_timeout=run.recovery_timeout,
         start_delay=run.seed,
         trace=trace,
+        size=run.size,
+        outstanding=run.outstanding,
+        reorder_depth=run.reorder_depth,
         **dict(run.harness_kwargs),
     )
 

@@ -138,6 +138,9 @@ def run_param_dict(run) -> Dict[str, Any]:
         "detect_timeout": run.detect_timeout,
         "recovery_timeout": run.recovery_timeout,
         "harness_kwargs": [list(item) for item in run.harness_kwargs],
+        "size": run.size,
+        "outstanding": run.outstanding,
+        "reorder_depth": run.reorder_depth,
     }
 
 

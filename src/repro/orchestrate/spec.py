@@ -51,6 +51,15 @@ class RunSpec:
     detect_timeout: int
     recovery_timeout: int
     harness_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    #: AxSIZE of the workload's beats (3 = full-width on the 64-bit bus;
+    #: smaller values sweep the narrow-transfer axis).
+    size: int = 3
+    #: Concurrent outstanding transactions in the workload (1 = the
+    #: legacy single-stream shape; higher values stack same- and
+    #: cross-ID streams to exercise deep outstanding windows).
+    outstanding: int = 1
+    #: Subordinate response reorder window (0/1 = strict in-order).
+    reorder_depth: int = 0
 
     @property
     def run_id(self) -> str:
@@ -101,6 +110,9 @@ class CampaignSpec:
     detect_timeout: int = 10_000
     recovery_timeout: int = 2_000
     harness_kwargs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    size: int = 3
+    outstanding: int = 1
+    reorder_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -127,6 +139,9 @@ class CampaignSpec:
         detect_timeout: int = 10_000,
         recovery_timeout: int = 2_000,
         harness_kwargs: Optional[Dict[str, Any]] = None,
+        size: int = 3,
+        outstanding: int = 1,
+        reorder_depth: int = 0,
     ) -> "CampaignSpec":
         """IP-level sweep over full TMU configurations (Fig. 9 shape)."""
         return cls(
@@ -138,6 +153,9 @@ class CampaignSpec:
             detect_timeout=detect_timeout,
             recovery_timeout=recovery_timeout,
             harness_kwargs=dict(harness_kwargs or {}),
+            size=size,
+            outstanding=outstanding,
+            reorder_depth=reorder_depth,
         )
 
     @classmethod
@@ -151,6 +169,9 @@ class CampaignSpec:
         detect_timeout: int = 20_000,
         recovery_timeout: int = 5_000,
         harness_kwargs: Optional[Dict[str, Any]] = None,
+        size: int = 3,
+        outstanding: int = 1,
+        reorder_depth: int = 0,
     ) -> "CampaignSpec":
         """System-level sweep over TMU variants (Fig. 11 shape).
 
@@ -171,6 +192,9 @@ class CampaignSpec:
             detect_timeout=detect_timeout,
             recovery_timeout=recovery_timeout,
             harness_kwargs=dict(harness_kwargs or {}),
+            size=size,
+            outstanding=outstanding,
+            reorder_depth=reorder_depth,
         )
 
     # ------------------------------------------------------------------
@@ -199,6 +223,9 @@ class CampaignSpec:
                             detect_timeout=self.detect_timeout,
                             recovery_timeout=self.recovery_timeout,
                             harness_kwargs=harness_items,
+                            size=self.size,
+                            outstanding=self.outstanding,
+                            reorder_depth=self.reorder_depth,
                         )
                     )
         return out
@@ -221,6 +248,9 @@ class CampaignSpec:
                 "detect_timeout": self.detect_timeout,
                 "recovery_timeout": self.recovery_timeout,
                 "harness_kwargs": dict(sorted(self.harness_kwargs.items())),
+                "size": self.size,
+                "outstanding": self.outstanding,
+                "reorder_depth": self.reorder_depth,
             }
         )
 

@@ -28,8 +28,8 @@ from ..axi.interface import AxiInterface
 from ..axi.manager import Manager
 from ..axi.memory import SparseMemory
 from ..axi.subordinate import Subordinate
-from ..axi.traffic import RandomTraffic
-from ..axi.types import AxiDir
+from ..axi.traffic import RandomTraffic, read_spec
+from ..axi.types import AxiDir, bytes_per_beat
 from ..sim.kernel import Simulator
 from ..tmu.budget import AdaptiveBudgetPolicy, PhaseBudgets, SpanBudgets
 from ..tmu.config import TmuConfig, Variant
@@ -115,6 +115,7 @@ class CheshireSoC:
         sim_update_skipping: bool = True,
         sim_time_leaping: bool = True,
         sim_tracer=None,
+        reorder_depth: int = 0,
     ) -> None:
         self.sim = Simulator(
             strategy=sim_strategy,
@@ -151,19 +152,23 @@ class CheshireSoC:
                 else system_tmu_config(Variant.TINY)
             )
             self.dram = Subordinate(
-                "dram", dram_dev_bus, SparseMemory(), b_latency=4, r_latency=6
+                "dram", dram_dev_bus, SparseMemory(), b_latency=4, r_latency=6,
+                reorder_depth=reorder_depth,
             )
             self.dram_tmu = TransactionMonitoringUnit(
                 "dram_tmu", self.dram_bus, dram_dev_bus, dram_cfg
             )
         else:
             self.dram = Subordinate(
-                "dram", self.dram_bus, SparseMemory(), b_latency=4, r_latency=6
+                "dram", self.dram_bus, SparseMemory(), b_latency=4, r_latency=6,
+                reorder_depth=reorder_depth,
             )
         self.bootrom = Subordinate(
             "bootrom", self.bootrom_bus, SparseMemory(), r_latency=2
         )
-        self.ethernet = EthernetMac("ethernet", self.eth_dev_bus)
+        self.ethernet = EthernetMac(
+            "ethernet", self.eth_dev_bus, reorder_depth=reorder_depth
+        )
 
         self.tmu = TransactionMonitoringUnit(
             "tmu", self.eth_host_bus, self.eth_dev_bus, config
@@ -248,13 +253,22 @@ class CheshireSoC:
     # ------------------------------------------------------------------
     # Workloads
     # ------------------------------------------------------------------
-    def send_ethernet_frame(self, beats: int = 250, txn_id: int = 0) -> None:
-        """Queue the paper's 250-beat, 64-bit-bus Ethernet transfer."""
+    def send_ethernet_frame(
+        self, beats: int = 250, txn_id: int = 0, size: int = 3
+    ) -> None:
+        """Queue the paper's 250-beat, 64-bit-bus Ethernet transfer.
+
+        *size* narrows the DMA beats (AxSIZE < 3): same beat count, less
+        data per beat — the frame still spans *beats* handshakes, so the
+        TMU-observed transaction shape is preserved while the W channel
+        exercises narrow byte lanes.
+        """
         self.dma.enqueue_descriptor(
             DmaDescriptor(
                 dst=ETHERNET_BASE + EthernetMac.TX_BUFFER_OFFSET,
-                length_bytes=beats * 8,
+                length_bytes=beats * bytes_per_beat(size),
                 direction=AxiDir.WRITE,
+                beat_size=size,
                 txn_id=txn_id,
             )
         )
@@ -264,6 +278,31 @@ class CheshireSoC:
         for spec in self._traffic.take(count):
             spec.addr += DRAM_BASE
             self.cva6[manager].submit(spec)
+
+    def submit_outstanding_reads(
+        self,
+        count: int,
+        beats: int = 8,
+        size: int = 3,
+        manager: int = 1,
+    ) -> None:
+        """Stack *count* deterministic DRAM reads on one CVA6 core.
+
+        Unlike :meth:`submit_background_traffic` (seeded random), these
+        are fixed-shape reads at disjoint pages — the system campaign's
+        ``outstanding`` axis, deepening the in-flight window behind the
+        crossbar without perturbing the random traffic stream.
+        """
+        stride = 0x1000 * ((beats * bytes_per_beat(size) + 0xFFF) // 0x1000)
+        for i in range(count):
+            self.cva6[manager].submit(
+                read_spec(
+                    i % 2,
+                    DRAM_BASE + 0x10_0000 + i * stride,
+                    beats=beats,
+                    size=size,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Convenience queries

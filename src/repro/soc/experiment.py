@@ -137,6 +137,9 @@ def run_system_injection(
     sim_time_leaping: bool = True,
     sim_tracer=None,
     trace=None,
+    size: int = 3,
+    outstanding: int = 1,
+    reorder_depth: int = 0,
 ) -> SystemInjectionResult:
     """One Fig. 11 data point: inject *stage* during the Ethernet frame.
 
@@ -148,6 +151,13 @@ def run_system_injection(
     the clock-fast-forward ablation, so differential tests and
     benchmarks can replay the identical campaign on the reference
     kernels.
+
+    The dark-corner axes: *size* narrows the frame's beats (AxSIZE < 3
+    on the 64-bit bus), *outstanding* stacks that many extra
+    deterministic DRAM reads behind the crossbar, and *reorder_depth*
+    lets the DRAM and Ethernet subordinates complete responses out of
+    request order within that window.  All default to the legacy Fig. 11
+    shape.
 
     The detection and recovery loops run through ``run_until`` with a
     stateful watcher: its bookkeeping only moves on handshake fires and
@@ -164,6 +174,7 @@ def run_system_injection(
         sim_update_skipping=sim_update_skipping,
         sim_time_leaping=sim_time_leaping,
         sim_tracer=sim_tracer,
+        reorder_depth=reorder_depth,
     )
     if trace is not None:
         # Batch pack leaders register a LeapTrace here, before the
@@ -171,9 +182,11 @@ def run_system_injection(
         soc.sim.add_probe(trace)
     if start_delay:
         soc.sim.run(start_delay)
-    soc.send_ethernet_frame(beats)
+    soc.send_ethernet_frame(beats, size=size)
     if background:
         soc.submit_background_traffic(background)
+    if outstanding > 1:
+        soc.submit_outstanding_reads(outstanding - 1)
 
     deferred_threshold = None
     if stage == InjectionStage.DATA_TRANSFER_STALL:
@@ -306,6 +319,9 @@ def run_fig11(
     batch_verify: bool = False,
     metrics=None,
     store=None,
+    size: int = 3,
+    outstanding: int = 1,
+    reorder_depth: int = 0,
 ) -> Dict[str, List[SystemInjectionResult]]:
     """All Fig. 11 series: both variants across the six write stages.
 
@@ -333,7 +349,14 @@ def run_fig11(
 
     variants = (Variant.FULL, Variant.TINY)
     spec = CampaignSpec.system(
-        variants, FIG11_STAGES, beats=beats, seeds=seeds, background=background
+        variants,
+        FIG11_STAGES,
+        beats=beats,
+        seeds=seeds,
+        background=background,
+        size=size,
+        outstanding=outstanding,
+        reorder_depth=reorder_depth,
     )
     flat = run_campaign_spec(
         spec,

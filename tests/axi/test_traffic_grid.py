@@ -1,0 +1,62 @@
+"""Regression grid: RandomTraffic stays AXI-legal over (beats, size).
+
+The generator used to draw burst lengths straight from ``max_beats`` and
+then pick a page offset from ``0x1000 - span``; any configuration where
+``beats * bytes_per_beat(size)`` could exceed 4 KiB made ``randrange``
+blow up with a ValueError.  The fix clamps the drawn length to an
+AXI-legal, 4 KiB-bounded burst — this grid pins that down over the full
+(beats, size) parameter space.
+"""
+
+import pytest
+
+from repro.axi.traffic import RandomTraffic
+from repro.axi.types import (
+    MAX_BURST_LEN,
+    bytes_per_beat,
+    crosses_4k_boundary,
+)
+
+SIZES = [0, 1, 2, 3]
+MAX_BEATS = [1, 2, 8, 64, 256, 300, 513, 1024, 5000]
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("max_beats", MAX_BEATS)
+def test_grid_never_crashes_and_stays_legal(size, max_beats):
+    traffic = RandomTraffic(
+        max_beats=max_beats, size=size, seed=max_beats * 8 + size
+    )
+    width = bytes_per_beat(size)
+    for spec in traffic.take(50):
+        assert 1 <= spec.beats <= MAX_BURST_LEN
+        assert spec.beats * width <= 0x1000
+        assert spec.addr % width == 0
+        assert not crosses_4k_boundary(
+            spec.addr, spec.len, spec.size, spec.burst
+        )
+
+
+def test_oversized_draw_regression():
+    """The exact shape that used to raise: 8-byte beats, >512-beat cap."""
+    traffic = RandomTraffic(max_beats=1024, size=3, seed=0)
+    specs = traffic.take(200)  # raised ValueError before the clamp
+    assert max(spec.beats for spec in specs) <= 0x1000 // 8
+
+
+def test_clamp_is_invisible_for_legal_parameters():
+    """In-range configurations draw the identical pre-fix stream."""
+    reference = RandomTraffic(max_beats=16, seed=42).take(30)
+    again = RandomTraffic(max_beats=16, seed=42).take(30)
+    assert [(s.addr, s.txn_id, s.len, s.size) for s in reference] == [
+        (s.addr, s.txn_id, s.len, s.size) for s in again
+    ]
+    # No legal draw is ever clamped: 16 beats * 8 bytes is well under 4 KiB.
+    assert max(s.beats for s in reference) <= 16
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_narrow_specs_carry_bus_geometry(size):
+    spec = RandomTraffic(max_beats=4, size=size, seed=1).next_spec()
+    assert spec.bus_bytes == 8
+    assert spec.size == size

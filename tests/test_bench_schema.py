@@ -19,6 +19,7 @@ BENCH_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "BENCH_kernel.
 EXPECTED_ENTRIES = {
     "campaign_batch_lockstep",
     "campaign_store_reuse",
+    "darkcorner_detection_gap",
     "settle_dirty_vs_exhaustive",
     "stall_campaign_time_leap",
     "stall_campaign_update_skip",
